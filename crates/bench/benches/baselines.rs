@@ -1,0 +1,50 @@
+//! Criterion bench: the baselines — O(N²) direct summation and Barnes–Hut
+//! — against the FMM at matched N (the crossover behind Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmm_bench::workloads::{uniform, unit_charges};
+use fmm_bh::BarnesHut;
+use fmm_core::{Fmm, FmmConfig};
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("method_crossover");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    for &n in &[2_000usize, 16_000] {
+        let pts = uniform(n, 31);
+        let q = unit_charges(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| fmm_direct::potentials(&pts, &q));
+        });
+        group.bench_with_input(BenchmarkId::new("barnes_hut_0.6", n), &n, |b, _| {
+            b.iter(|| {
+                let bh = BarnesHut::build(&pts, &q, 32);
+                bh.potentials(0.6, false)
+            });
+        });
+        let fmm = Fmm::new(FmmConfig::order(5)).unwrap();
+        group.bench_with_input(BenchmarkId::new("anderson_d5", n), &n, |b, _| {
+            b.iter(|| fmm.evaluate(&pts, &q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_bh_theta(c: &mut Criterion) {
+    let n = 50_000;
+    let pts = uniform(n, 37);
+    let q = unit_charges(n);
+    let bh = BarnesHut::build(&pts, &q, 32);
+    let mut group = c.benchmark_group("barnes_hut_theta");
+    group.sample_size(10);
+    for theta in [0.3f64, 0.6, 1.0] {
+        group.bench_with_input(BenchmarkId::new("theta", format!("{}", theta)), &theta, |b, &t| {
+            b.iter(|| bh.potentials(t, false));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover, bench_bh_theta);
+criterion_main!(benches);

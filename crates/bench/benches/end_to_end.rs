@@ -1,0 +1,47 @@
+//! Criterion bench: full FMM evaluations — orders, depths, supernodes,
+//! potentials vs forces. The headline end-to-end numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmm_bench::workloads::{uniform, unit_charges};
+use fmm_core::{Fmm, FmmConfig};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let n = 50_000;
+    let pts = uniform(n, 23);
+    let q = unit_charges(n);
+
+    let mut group = c.benchmark_group("fmm_evaluate_50k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(12));
+    group.throughput(Throughput::Elements(n as u64));
+    for d in [5usize, 7] {
+        let fmm = Fmm::new(FmmConfig::order(d)).unwrap();
+        group.bench_with_input(BenchmarkId::new("order", d), &d, |b, _| {
+            b.iter(|| fmm.evaluate(&pts, &q).unwrap());
+        });
+    }
+    let fmm_sup = Fmm::new(FmmConfig::order(5).supernodes(true)).unwrap();
+    group.bench_function("order5_supernodes", |b| {
+        b.iter(|| fmm_sup.evaluate(&pts, &q).unwrap());
+    });
+    let fmm5 = Fmm::new(FmmConfig::order(5)).unwrap();
+    group.bench_function("order5_forces", |b| {
+        b.iter(|| fmm5.evaluate_forces(&pts, &q).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_setup_cost(c: &mut Criterion) {
+    // Instance construction = translation-matrix precompute.
+    let mut group = c.benchmark_group("fmm_new");
+    group.sample_size(10);
+    for d in [5usize, 9] {
+        group.bench_with_input(BenchmarkId::new("order", d), &d, |b, &d| {
+            b.iter(|| Fmm::new(FmmConfig::order(d)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_setup_cost);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: near-field direct evaluation kernels — target-centric
+//! (parallelizable) vs symmetric (Newton's third law), one- vs
+//! two-separation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fmm_bench::workloads::{uniform, unit_charges};
+use fmm_core::particles::BinnedParticles;
+use fmm_core::{near_field_potentials, near_field_symmetric};
+use fmm_tree::{Domain, Separation};
+
+fn bench_near_field(c: &mut Criterion) {
+    let n = 50_000;
+    let pts = uniform(n, 17);
+    let q = unit_charges(n);
+    let bp = BinnedParticles::build(&pts, &q, Domain::unit(), 4);
+    let mut out = vec![0.0; n];
+
+    let mut group = c.benchmark_group("near_field");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    // Pair counts for throughput labels.
+    let st = near_field_potentials(&bp, Separation::Two, false, &mut out);
+    group.throughput(Throughput::Elements(st.pair_interactions));
+    group.bench_function("target_centric_seq", |b| {
+        b.iter(|| {
+            out.iter_mut().for_each(|x| *x = 0.0);
+            near_field_potentials(&bp, Separation::Two, false, &mut out)
+        });
+    });
+    group.bench_function("target_centric_par", |b| {
+        b.iter(|| {
+            out.iter_mut().for_each(|x| *x = 0.0);
+            near_field_potentials(&bp, Separation::Two, true, &mut out)
+        });
+    });
+    group.bench_function("symmetric_seq", |b| {
+        b.iter(|| near_field_symmetric(&bp, Separation::Two));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("near_field_separation");
+    group.sample_size(10);
+    for (label, sep) in [("one", Separation::One), ("two", Separation::Two)] {
+        group.bench_with_input(BenchmarkId::new("sep", label), &sep, |b, &sep| {
+            b.iter(|| {
+                out.iter_mut().for_each(|x| *x = 0.0);
+                near_field_potentials(&bp, sep, true, &mut out)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_near_field);
+criterion_main!(benches);

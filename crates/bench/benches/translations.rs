@@ -1,0 +1,52 @@
+//! Criterion bench: building translation matrices (the precompute side of
+//! Figs. 8–9) and applying them (single translation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fmm_core::translations::TranslationSet;
+use fmm_sphere::SphereRule;
+use fmm_tree::Separation;
+
+fn bench_build_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_translation_set");
+    group.sample_size(10);
+    for &d in &[3usize, 5] {
+        let rule = SphereRule::for_order(d);
+        group.bench_with_input(BenchmarkId::new("order", d), &d, |b, _| {
+            b.iter(|| TranslationSet::build(&rule, d / 2 + 1, 1.6, 1.0, Separation::Two, false));
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_with_supernodes(c: &mut Criterion) {
+    let rule = SphereRule::for_order(5);
+    let mut group = c.benchmark_group("build_supernode_matrices");
+    group.sample_size(10);
+    group.bench_function("order5", |b| {
+        b.iter(|| TranslationSet::build(&rule, 3, 1.6, 1.0, Separation::Two, true));
+    });
+    group.finish();
+}
+
+fn bench_apply_t2(c: &mut Criterion) {
+    let rule = SphereRule::for_order(5);
+    let k = rule.len();
+    let ts = TranslationSet::build(&rule, 3, 1.6, 1.0, Separation::Two, false);
+    let m = ts.t2([3, -4, 2]).unwrap();
+    let g: Vec<f64> = (0..k).map(|i| i as f64 * 0.3).collect();
+    let mut out = vec![0.0; k];
+    c.bench_function("apply_t2_single", |b| {
+        b.iter(|| {
+            for j in 0..k {
+                let mut acc = 0.0;
+                for i in 0..k {
+                    acc += g[i] * m[(i, j)];
+                }
+                out[j] += acc;
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_build_all, bench_build_with_supernodes, bench_apply_t2);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Parameter calibration sweep: for each integration order D, sweep sphere
+//! radius ratios and truncation M and report the end-to-end RMS error of a
+//! depth-3 FMM against direct summation. The winners become the defaults
+//! in `FmmConfig::order` (the paper's Table 2 role).
+
+use fmm_core::{relative_error_stats, Fmm, FmmConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn direct(positions: &[[f64; 3]], charges: &[f64]) -> Vec<f64> {
+    let n = positions.len();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = [
+                positions[i][0] - positions[j][0],
+                positions[i][1] - positions[j][1],
+                positions[i][2] - positions[j][2],
+            ];
+            acc += charges[j] / (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        }
+        out[i] = acc;
+    }
+    out
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(12345);
+    let n = 3000;
+    let positions: Vec<[f64; 3]> = (0..n)
+        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+    let charges = vec![1.0f64; n]; // gravitational convention: same sign
+    let reference = direct(&positions, &charges);
+
+    let args: Vec<String> = std::env::args().collect();
+    let orders: Vec<usize> = if args.len() > 1 {
+        args[1..].iter().map(|s| s.parse().unwrap()).collect()
+    } else {
+        vec![5]
+    };
+
+    for d in orders {
+        println!("== D = {} (K = {}) ==", d, FmmConfig::order(d).rule().len());
+        for &(outer, inner) in &[
+            (1.0, 1.0),
+            (1.2, 1.2),
+            (1.4, 1.4),
+            (1.4, 1.0),
+            (1.6, 1.0),
+            (1.8, 1.0),
+            (1.0, 1.6),
+        ] {
+            for m in [d / 2, d / 2 + 1, d / 2 + 2, d / 2 + 3] {
+                let cfg = FmmConfig::order(d)
+                    .depth(3)
+                    .radii(outer, inner)
+                    .truncation(m);
+                if cfg.validate().is_err() {
+                    continue;
+                }
+                let fmm = Fmm::new(cfg).unwrap();
+                let out = fmm.evaluate(&positions, &charges).unwrap();
+                let st = relative_error_stats(&out.potentials, &reference);
+                println!(
+                    "  outer={:<4} inner={:<4} M={:<3} rms_rel={:.3e} max_rel={:.3e} digits={:.2}",
+                    outer,
+                    inner,
+                    m,
+                    st.rms_rel,
+                    st.max_rel,
+                    st.digits()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! **E10a — §2.3 optimal hierarchy depth**: the depth that balances the
+//! hierarchy traversal (linear in the number of boxes) against the
+//! near-field direct evaluation (O(N²/M)).
+//!
+//! Run: `cargo run --release -p fmm-bench --bin exp_depth [n]`
+
+use fmm_bench::util::{header, time_s};
+use fmm_bench::workloads::{uniform, unit_charges};
+use fmm_core::{Fmm, FmmConfig, Phase};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    header("Optimal hierarchy depth — traversal vs near-field balance (§2.3)");
+    let positions = uniform(n, 99);
+    let charges = unit_charges(n);
+    println!("N = {}", n);
+    println!(
+        "{:>6} {:>12} {:>10} {:>12} {:>12} {:>12}",
+        "depth", "part/leaf", "time (s)", "near (s)", "traversal(s)", "other (s)"
+    );
+    let mut best = (0u32, f64::INFINITY);
+    for depth in 2..=6u32 {
+        let fmm = Fmm::new(FmmConfig::order(5).depth(depth)).unwrap();
+        let (t, out) = time_s(|| fmm.evaluate(&positions, &charges).unwrap());
+        let near = out.profile.phase_time(Phase::Near).as_secs_f64();
+        let trav = out.profile.traversal_time().as_secs_f64();
+        println!(
+            "{:>6} {:>12.1} {:>10.3} {:>12.3} {:>12.3} {:>12.3}",
+            depth,
+            n as f64 / 8f64.powi(depth as i32),
+            t,
+            near,
+            trav,
+            t - near - trav
+        );
+        if t < best.1 {
+            best = (depth, t);
+        }
+    }
+    println!(
+        "\nbest depth: {} ({:.3} s). The optimum sits where near-field and\n\
+         traversal times cross (paper §2.3: the optimal number of leaf boxes\n\
+         is proportional to N).",
+        best.0, best.1
+    );
+}

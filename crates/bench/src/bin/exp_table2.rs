@@ -1,0 +1,55 @@
+//! **E1 — Paper Table 2**: parameter selections and measured error decay
+//! rate of the outer/inner sphere approximations per integration order D.
+//!
+//! The paper's Table 2 lists, for each D: the number of integration points
+//! K, the truncation M, the sphere radii, and the *expected error decay
+//! rate* (exponent D/2+2). Its radii digits did not survive OCR, so this
+//! experiment plays the table's role: it reports our calibrated (M, radii)
+//! per D, the measured end-to-end RMS error of a depth-3 FMM against
+//! direct summation, and the decay rate fitted across successive D.
+//!
+//! Run: `cargo run --release -p fmm-bench --bin exp_table2`
+
+use fmm_bench::util::{header, rms_digits};
+use fmm_bench::workloads::{direct_potentials, uniform, unit_charges};
+use fmm_core::{Fmm, FmmConfig};
+
+fn main() {
+    header("Table 2 — error decay of Anderson's approximations per integration order D");
+    let n = 3000;
+    let positions = uniform(n, 12345);
+    let charges = unit_charges(n);
+    let reference = direct_potentials(&positions, &charges);
+
+    println!(
+        "{:>3} {:>5} {:>3} {:>7} {:>7} {:>12} {:>7} {:>16}",
+        "D", "K", "M", "a_out", "a_in", "rms_rel", "digits", "decay vs prev D"
+    );
+    let orders = [2usize, 3, 5, 7, 9, 11, 14];
+    let mut prev: Option<(usize, f64)> = None;
+    for &d in &orders {
+        let cfg = FmmConfig::order(d).depth(3);
+        let (m, aout, ain) = (cfg.m_trunc, cfg.outer_ratio, cfg.inner_ratio);
+        let k = cfg.rule().len();
+        let fmm = Fmm::new(cfg).unwrap();
+        let out = fmm.evaluate(&positions, &charges).unwrap();
+        let (rms, digits) = rms_digits(&out.potentials, &reference);
+        // Fitted decay exponent between consecutive orders, interpreting
+        // error ~ c^D: exponent = Δlog(err)/ΔD (the paper's expected rate
+        // is error ∝ c^(D/2+2) for a fixed geometry ratio c).
+        let decay = prev
+            .map(|(pd, perr)| ((rms.ln() - perr.ln()) / (d as f64 - pd as f64)).exp())
+            .map(|r| format!("{:.3} per ΔD=1", r))
+            .unwrap_or_else(|| "-".to_string());
+        println!(
+            "{:>3} {:>5} {:>3} {:>7.2} {:>7.2} {:>12.3e} {:>7.2} {:>16}",
+            d, k, m, aout, ain, rms, digits, decay
+        );
+        prev = Some((d, rms));
+    }
+    println!(
+        "\nPaper's headline: D=5 → ~4 digits, D=14 → ~7 digits (abstract);\n\
+         expected decay exponent grows like D/2+2 — i.e. roughly a constant\n\
+         factor per unit D, visible in the right-hand column."
+    );
+}

@@ -1,0 +1,78 @@
+//! Shared measurement helpers for the experiment binaries.
+
+use std::time::Instant;
+
+/// Wall-time a closure in seconds, returning (seconds, result).
+pub fn time_s<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+/// Best-of-`reps` wall time in seconds.
+pub fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    assert!(reps >= 1);
+    let (mut best, mut out) = time_s(&mut f);
+    for _ in 1..reps {
+        let (t, r) = time_s(&mut f);
+        if t < best {
+            best = t;
+            out = r;
+        }
+    }
+    (best, out)
+}
+
+/// Measure this host's peak dense GEMM rate (Gflop/s, single core) — the
+/// denominator of the paper's "arithmetic efficiency" (achieved rate /
+/// peak rate). Takes the max over several cache-resident shapes so the
+/// probe measures the ALU, not the memory system.
+pub fn peak_gemm_gflops() -> f64 {
+    let mut best = 0.0f64;
+    for n in [64usize, 96, 128, 192] {
+        let a: Vec<f64> = (0..n * n).map(|i| (i % 97) as f64 * 0.013).collect();
+        let b: Vec<f64> = (0..n * n).map(|i| (i % 89) as f64 * 0.017).collect();
+        let mut c = vec![0.0; n * n];
+        // Warm up, then repeat enough to amortize timer overhead.
+        fmm_linalg::gemm_acc(n, n, n, &a, &b, &mut c);
+        let reps = (1 << 24) / (n * n * n) + 1;
+        let (t, _) = best_of(5, || {
+            for _ in 0..reps {
+                fmm_linalg::gemm_acc(n, n, n, &a, &b, &mut c);
+            }
+        });
+        best = best.max(reps as f64 * fmm_linalg::gemm_flops(n, n, n) as f64 / t / 1e9);
+    }
+    best
+}
+
+/// RMS-relative error and implied digits.
+pub fn rms_digits(approx: &[f64], reference: &[f64]) -> (f64, f64) {
+    let st = fmm_core::relative_error_stats(approx, reference);
+    (st.rms_rel, st.digits())
+}
+
+/// Pretty separator line for experiment output.
+pub fn header(title: &str) {
+    println!("\n=== {} ===", title);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timers_return_results() {
+        let (t, v) = time_s(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+        let (t2, v2) = best_of(3, || 7);
+        assert_eq!(v2, 7);
+        assert!(t2 >= 0.0);
+    }
+
+    #[test]
+    fn peak_is_positive() {
+        assert!(peak_gemm_gflops() > 0.1);
+    }
+}

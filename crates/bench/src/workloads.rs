@@ -1,0 +1,88 @@
+//! Workload generators shared by the experiment binaries.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// N uniform points in the unit cube (the paper's uniform distribution).
+pub fn uniform(n: usize, seed: u64) -> Vec<[f64; 3]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect()
+}
+
+/// Unit charges (gravitational-mass convention; matches the paper's
+/// uniform systems).
+pub fn unit_charges(n: usize) -> Vec<f64> {
+    vec![1.0; n]
+}
+
+/// Mixed-sign charges in [−1, 1] (plasma convention; harder error metric).
+pub fn mixed_charges(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+}
+
+/// A near-uniform "jittered grid" distribution: one particle per cell of a
+/// g³ grid, jittered — exercises the coordinate-sort locality claims.
+pub fn jittered_grid(g: usize, jitter: f64, seed: u64) -> Vec<[f64; 3]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(g * g * g);
+    let h = 1.0 / g as f64;
+    for z in 0..g {
+        for y in 0..g {
+            for x in 0..g {
+                out.push([
+                    (x as f64 + 0.5 + jitter * (rng.gen::<f64>() - 0.5)) * h,
+                    (y as f64 + 0.5 + jitter * (rng.gen::<f64>() - 0.5)) * h,
+                    (z as f64 + 0.5 + jitter * (rng.gen::<f64>() - 0.5)) * h,
+                ]);
+            }
+        }
+    }
+    out
+}
+
+/// A clustered (Plummer-like radial) distribution, clamped to the unit
+/// cube: stresses load balance of the non-adaptive method (§3.5).
+pub fn clustered(n: usize, seed: u64) -> Vec<[f64; 3]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Plummer radius with scale 0.15, direction uniform.
+            let m: f64 = rng.gen::<f64>().max(1e-9);
+            let r = 0.15 / (m.powf(-2.0 / 3.0) - 1.0).max(1e-9).sqrt();
+            let r = r.min(0.49);
+            let theta = (2.0 * rng.gen::<f64>() - 1.0f64).acos();
+            let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+            [
+                0.5 + r * theta.sin() * phi.cos(),
+                0.5 + r * theta.sin() * phi.sin(),
+                0.5 + r * theta.cos(),
+            ]
+        })
+        .collect()
+}
+
+/// Direct O(N²) potential reference (sequential; use fmm-direct for the
+/// parallel baseline).
+pub fn direct_potentials(positions: &[[f64; 3]], charges: &[f64]) -> Vec<f64> {
+    let n = positions.len();
+    let mut out = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let d = [
+                positions[i][0] - positions[j][0],
+                positions[i][1] - positions[j][1],
+                positions[i][2] - positions[j][2],
+            ];
+            acc += charges[j] / (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+        }
+        out[i] = acc;
+    }
+    out
+}

@@ -1,0 +1,99 @@
+//! # fmm-bh — Barnes–Hut O(N log N) baseline
+//!
+//! The comparison class of the paper's Table 1 (Salmon & Warren, Liu &
+//! Bhatt: "BH, quadrupole"): an adaptive octree with monopole + dipole +
+//! quadrupole node moments and the classic s/d < θ multipole acceptance
+//! criterion. Dipole terms are kept (rather than expanding about the
+//! centre of mass) so mixed-sign charge systems are handled exactly as
+//! well as gravitational ones.
+
+pub mod moments;
+pub mod tree;
+
+pub use moments::Moments;
+pub use tree::{BarnesHut, BhStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_system(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<[f64; 3]> = (0..n).map(|_| [next(), next(), next()]).collect();
+        let q: Vec<f64> = (0..n).map(|_| 0.5 + next()).collect();
+        (pts, q)
+    }
+
+    fn direct(positions: &[[f64; 3]], charges: &[f64]) -> Vec<f64> {
+        let n = positions.len();
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = [
+                    positions[i][0] - positions[j][0],
+                    positions[i][1] - positions[j][1],
+                    positions[i][2] - positions[j][2],
+                ];
+                out[i] += charges[j] / (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn accuracy_improves_with_smaller_theta() {
+        let (pts, q) = pseudo_system(800, 3);
+        let reference = direct(&pts, &q);
+        let mut last = f64::INFINITY;
+        for &theta in &[1.0, 0.6, 0.3] {
+            let bh = BarnesHut::build(&pts, &q, 16);
+            let (pot, _) = bh.potentials(theta, false);
+            let err: f64 = pot
+                .iter()
+                .zip(&reference)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt()
+                / reference.iter().map(|b| b * b).sum::<f64>().sqrt();
+            assert!(err < last, "θ={}: err {} not below {}", theta, err, last);
+            assert!(err < 1e-2, "θ={}: err {}", theta, err);
+            last = err;
+        }
+        assert!(last < 1e-4, "θ=0.3 err {}", last);
+    }
+
+    #[test]
+    fn theta_zero_equals_direct() {
+        let (pts, q) = pseudo_system(200, 5);
+        let reference = direct(&pts, &q);
+        let bh = BarnesHut::build(&pts, &q, 8);
+        let (pot, stats) = bh.potentials(0.0, false);
+        for (a, b) in pot.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-10 * b.abs().max(1.0));
+        }
+        // θ = 0 never accepts a multipole.
+        assert_eq!(stats.node_interactions, 0);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let (pts, q) = pseudo_system(1000, 7);
+        let bh = BarnesHut::build(&pts, &q, 16);
+        let (_, s1) = bh.potentials(0.4, false);
+        let (_, s2) = bh.potentials(0.9, false);
+        // Larger θ accepts nodes earlier and does less direct work. (The
+        // node-interaction count is not monotone in θ once the bmax radius
+        // guard binds, so only the direct-work claim is asserted.)
+        assert!(s2.pair_interactions < s1.pair_interactions);
+        assert!(s1.node_interactions > 0 && s2.node_interactions > 0);
+    }
+}

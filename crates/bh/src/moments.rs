@@ -1,0 +1,255 @@
+//! Multipole moments of a particle cluster about an expansion centre:
+//! monopole, dipole, and traceless quadrupole.
+
+/// Moments about `center`: Φ(x) ≈ Q/r + D·x̂/r² + x̂ᵀ𝑸x̂ / (2r³), with
+/// x measured from the centre and 𝑸 the traceless quadrupole tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Moments {
+    pub center: [f64; 3],
+    /// Monopole Σq.
+    pub q: f64,
+    /// Dipole Σq·d.
+    pub dipole: [f64; 3],
+    /// Traceless quadrupole Σq(3 d dᵀ − |d|² I), symmetric, stored as
+    /// [xx, yy, zz, xy, xz, yz].
+    pub quad: [f64; 6],
+}
+
+impl Moments {
+    /// Zero moments about a centre.
+    pub fn zero(center: [f64; 3]) -> Self {
+        Moments {
+            center,
+            q: 0.0,
+            dipole: [0.0; 3],
+            quad: [0.0; 6],
+        }
+    }
+
+    /// Accumulate one particle.
+    pub fn add_particle(&mut self, x: [f64; 3], q: f64) {
+        let d = [
+            x[0] - self.center[0],
+            x[1] - self.center[1],
+            x[2] - self.center[2],
+        ];
+        let d2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        self.q += q;
+        for a in 0..3 {
+            self.dipole[a] += q * d[a];
+        }
+        self.quad[0] += q * (3.0 * d[0] * d[0] - d2);
+        self.quad[1] += q * (3.0 * d[1] * d[1] - d2);
+        self.quad[2] += q * (3.0 * d[2] * d[2] - d2);
+        self.quad[3] += q * 3.0 * d[0] * d[1];
+        self.quad[4] += q * 3.0 * d[0] * d[2];
+        self.quad[5] += q * 3.0 * d[1] * d[2];
+    }
+
+    /// Potential of the truncated expansion at an absolute point `x`.
+    pub fn potential(&self, x: [f64; 3]) -> f64 {
+        let r = [
+            x[0] - self.center[0],
+            x[1] - self.center[1],
+            x[2] - self.center[2],
+        ];
+        let r2 = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
+        let inv_r = 1.0 / r2.sqrt();
+        let inv_r3 = inv_r * inv_r * inv_r;
+        let mono = self.q * inv_r;
+        let dip = (self.dipole[0] * r[0] + self.dipole[1] * r[1] + self.dipole[2] * r[2])
+            * inv_r3;
+        // x̂ᵀ𝑸x̂/(2r³) = rᵀ𝑸r/(2r⁵)
+        let rqr = self.quad[0] * r[0] * r[0]
+            + self.quad[1] * r[1] * r[1]
+            + self.quad[2] * r[2] * r[2]
+            + 2.0 * (self.quad[3] * r[0] * r[1] + self.quad[4] * r[0] * r[2] + self.quad[5] * r[1] * r[2]);
+        let quad = 0.5 * rqr * inv_r3 * inv_r * inv_r;
+        mono + dip + quad
+    }
+
+    /// Field −∇Φ of the truncated expansion at an absolute point `x`.
+    pub fn field(&self, x: [f64; 3]) -> [f64; 3] {
+        let r = [
+            x[0] - self.center[0],
+            x[1] - self.center[1],
+            x[2] - self.center[2],
+        ];
+        let r2 = r[0] * r[0] + r[1] * r[1] + r[2] * r[2];
+        let inv_r = 1.0 / r2.sqrt();
+        let inv_r2 = inv_r * inv_r;
+        let inv_r3 = inv_r2 * inv_r;
+        let inv_r5 = inv_r3 * inv_r2;
+        let inv_r7 = inv_r5 * inv_r2;
+        let mut f = [0.0; 3];
+        // Monopole: −∇(Q/r) = Q r / r³.
+        for a in 0..3 {
+            f[a] += self.q * r[a] * inv_r3;
+        }
+        // Dipole: −∇(D·r/r³) = 3(D·r) r /r⁵ − D/r³.
+        let dr = self.dipole[0] * r[0] + self.dipole[1] * r[1] + self.dipole[2] * r[2];
+        for a in 0..3 {
+            f[a] += 3.0 * dr * r[a] * inv_r5 - self.dipole[a] * inv_r3;
+        }
+        // Quadrupole: Φ = rᵀ𝑸r/(2r⁵); −∇ = (5/2)(rᵀ𝑸r) r/r⁷ − 𝑸r/r⁵.
+        let qr = [
+            self.quad[0] * r[0] + self.quad[3] * r[1] + self.quad[4] * r[2],
+            self.quad[3] * r[0] + self.quad[1] * r[1] + self.quad[5] * r[2],
+            self.quad[4] * r[0] + self.quad[5] * r[1] + self.quad[2] * r[2],
+        ];
+        let rqr = qr[0] * r[0] + qr[1] * r[1] + qr[2] * r[2];
+        for a in 0..3 {
+            f[a] += 2.5 * rqr * r[a] * inv_r7 - qr[a] * inv_r5;
+        }
+        f
+    }
+
+    /// Merge another cluster's moments (about a possibly different centre)
+    /// into this one (standard parallel-axis shift).
+    pub fn merge(&mut self, other: &Moments) {
+        let d = [
+            other.center[0] - self.center[0],
+            other.center[1] - self.center[1],
+            other.center[2] - self.center[2],
+        ];
+        let d2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+        // Shift other's moments to self.center:
+        // Q' = Q
+        // D' = D + Q d
+        // quad'_ab = quad_ab + 3(D_a d_b + D_b d_a) − 2(D·d)δ_ab
+        //            + Q(3 d_a d_b − d² δ_ab)
+        let dd = other.dipole[0] * d[0] + other.dipole[1] * d[1] + other.dipole[2] * d[2];
+        let pairs = [(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 0, 1), (4, 0, 2), (5, 1, 2)];
+        for &(idx, a, b) in &pairs {
+            let delta = if a == b { 1.0 } else { 0.0 };
+            self.quad[idx] += other.quad[idx]
+                + 3.0 * (other.dipole[a] * d[b] + other.dipole[b] * d[a])
+                - 2.0 * dd * delta
+                + other.q * (3.0 * d[a] * d[b] - d2 * delta);
+        }
+        for a in 0..3 {
+            self.dipole[a] += other.dipole[a] + other.q * d[a];
+        }
+        self.q += other.q;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> (Vec<[f64; 3]>, Vec<f64>) {
+        (
+            vec![
+                [0.1, 0.0, -0.05],
+                [-0.08, 0.12, 0.02],
+                [0.03, -0.1, 0.07],
+                [-0.02, 0.05, -0.09],
+            ],
+            vec![1.0, 2.0, -0.5, 1.5],
+        )
+    }
+
+    fn exact(pos: &[[f64; 3]], q: &[f64], x: [f64; 3]) -> f64 {
+        pos.iter()
+            .zip(q)
+            .map(|(p, q)| {
+                let d = [x[0] - p[0], x[1] - p[1], x[2] - p[2]];
+                q / (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt()
+            })
+            .sum()
+    }
+
+    #[test]
+    fn quadrupole_expansion_converges_cubically() {
+        let (pos, q) = cluster();
+        let mut m = Moments::zero([0.0; 3]);
+        for (p, qq) in pos.iter().zip(&q) {
+            m.add_particle(*p, *qq);
+        }
+        // Error should fall like (cluster size / r)^3 relative.
+        let mut last = f64::INFINITY;
+        for &r in &[1.0, 2.0, 4.0, 8.0] {
+            let x = [r, 0.3 * r, -0.2 * r];
+            let e = (m.potential(x) - exact(&pos, &q, x)).abs() / exact(&pos, &q, x).abs();
+            assert!(e < last * 0.3, "r={}: {} vs {}", r, e, last);
+            last = e;
+        }
+        // Octupole truncation: (cluster radius / r)³ relative ≈ 1e-5 at
+        // r = 8 for this cluster.
+        assert!(last < 1e-5);
+    }
+
+    #[test]
+    fn single_particle_is_exact_through_quadrupole() {
+        let mut m = Moments::zero([0.5, 0.5, 0.5]);
+        m.add_particle([0.5, 0.5, 0.5], 2.0);
+        // particle at the centre: pure monopole.
+        let x = [1.5, 0.5, 0.5];
+        assert!((m.potential(x) - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn field_matches_finite_difference() {
+        let (pos, q) = cluster();
+        let mut m = Moments::zero([0.0; 3]);
+        for (p, qq) in pos.iter().zip(&q) {
+            m.add_particle(*p, *qq);
+        }
+        let x = [1.3, -0.7, 0.9];
+        let f = m.field(x);
+        let h = 1e-6;
+        for a in 0..3 {
+            let mut xp = x;
+            xp[a] += h;
+            let mut xm = x;
+            xm[a] -= h;
+            let fd = -(m.potential(xp) - m.potential(xm)) / (2.0 * h);
+            assert!((fd - f[a]).abs() < 1e-7, "axis {}: {} vs {}", a, fd, f[a]);
+        }
+    }
+
+    #[test]
+    fn merge_equals_rebuild() {
+        let (pos, q) = cluster();
+        // Build two half-clusters about different centres, merge into a
+        // third centre, compare against direct accumulation there.
+        let c = [0.3, -0.2, 0.1];
+        let mut direct = Moments::zero(c);
+        for (p, qq) in pos.iter().zip(&q) {
+            direct.add_particle(*p, *qq);
+        }
+        let mut m1 = Moments::zero([0.05, 0.0, 0.0]);
+        m1.add_particle(pos[0], q[0]);
+        m1.add_particle(pos[1], q[1]);
+        let mut m2 = Moments::zero([-0.02, 0.01, 0.0]);
+        m2.add_particle(pos[2], q[2]);
+        m2.add_particle(pos[3], q[3]);
+        let mut merged = Moments::zero(c);
+        merged.merge(&m1);
+        merged.merge(&m2);
+        assert!((merged.q - direct.q).abs() < 1e-13);
+        for a in 0..3 {
+            assert!((merged.dipole[a] - direct.dipole[a]).abs() < 1e-13);
+        }
+        for i in 0..6 {
+            assert!(
+                (merged.quad[i] - direct.quad[i]).abs() < 1e-12,
+                "quad[{}]: {} vs {}",
+                i,
+                merged.quad[i],
+                direct.quad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn quadrupole_is_traceless() {
+        let (pos, q) = cluster();
+        let mut m = Moments::zero([0.1, 0.1, 0.1]);
+        for (p, qq) in pos.iter().zip(&q) {
+            m.add_particle(*p, *qq);
+        }
+        assert!((m.quad[0] + m.quad[1] + m.quad[2]).abs() < 1e-13);
+    }
+}

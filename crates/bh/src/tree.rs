@@ -1,0 +1,374 @@
+//! Adaptive octree and the Barnes–Hut traversal.
+
+use crate::moments::Moments;
+use rayon::prelude::*;
+
+const NO_CHILD: u32 = u32::MAX;
+
+/// One octree node: cubic cell, particle index range (into the reordered
+/// index buffer), children, and multipole moments about the cell centre.
+#[derive(Debug, Clone)]
+struct Node {
+    center: [f64; 3],
+    half: f64,
+    /// Range of `order` covered by this node.
+    start: u32,
+    end: u32,
+    children: [u32; 8],
+    moments: Moments,
+    is_leaf: bool,
+    /// Squared max distance from `center` to any contained particle
+    /// (Salmon–Warren-style guard: floating-point rounding at tiny cell
+    /// sizes can leave the nominal cell geometry inconsistent with its
+    /// contents, so the MAC must also check the *actual* particle radius).
+    bmax2: f64,
+}
+
+/// Counters from one traversal.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BhStats {
+    /// Accepted node–particle multipole evaluations.
+    pub node_interactions: u64,
+    /// Direct particle–particle interactions.
+    pub pair_interactions: u64,
+}
+
+/// An adaptive Barnes–Hut octree over a particle set.
+pub struct BarnesHut {
+    nodes: Vec<Node>,
+    /// Particle indices reordered so each node's particles are contiguous.
+    order: Vec<u32>,
+    positions: Vec<[f64; 3]>,
+    charges: Vec<f64>,
+}
+
+impl BarnesHut {
+    /// Build the tree; cells with at most `leaf_cap` particles are leaves.
+    pub fn build(positions: &[[f64; 3]], charges: &[f64], leaf_cap: usize) -> Self {
+        assert_eq!(positions.len(), charges.len());
+        assert!(!positions.is_empty());
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for p in positions {
+            for a in 0..3 {
+                lo[a] = lo[a].min(p[a]);
+                hi[a] = hi[a].max(p[a]);
+            }
+        }
+        let size = (0..3).map(|a| hi[a] - lo[a]).fold(0.0f64, f64::max).max(1e-12);
+        let center = [
+            0.5 * (lo[0] + hi[0]),
+            0.5 * (lo[1] + hi[1]),
+            0.5 * (lo[2] + hi[2]),
+        ];
+        let mut bh = BarnesHut {
+            nodes: Vec::new(),
+            order: (0..positions.len() as u32).collect(),
+            positions: positions.to_vec(),
+            charges: charges.to_vec(),
+        };
+        bh.nodes.push(Node {
+            center,
+            half: 0.5 * size * (1.0 + 1e-12),
+            start: 0,
+            end: positions.len() as u32,
+            children: [NO_CHILD; 8],
+            moments: Moments::zero(center),
+            is_leaf: true,
+            bmax2: 0.0,
+        });
+        bh.split(0, leaf_cap, 0);
+        bh.compute_moments(0);
+        bh
+    }
+
+    /// Recursively split node `n` while it holds more than `leaf_cap`
+    /// particles (depth-capped to avoid pathological coincident points).
+    fn split(&mut self, n: usize, leaf_cap: usize, depth: usize) {
+        let (start, end) = (self.nodes[n].start as usize, self.nodes[n].end as usize);
+        if end - start <= leaf_cap || depth >= 24 {
+            return;
+        }
+        self.nodes[n].is_leaf = false;
+        let center = self.nodes[n].center;
+        let half = self.nodes[n].half;
+        // Partition `order[start..end]` into eight octant groups (stable
+        // bucket pass).
+        let octant_of = |i: u32| -> usize {
+            let p = self.positions[i as usize];
+            ((p[0] >= center[0]) as usize)
+                | (((p[1] >= center[1]) as usize) << 1)
+                | (((p[2] >= center[2]) as usize) << 2)
+        };
+        let slice = self.order[start..end].to_vec();
+        let mut counts = [0usize; 9];
+        for &i in &slice {
+            counts[octant_of(i) + 1] += 1;
+        }
+        for o in 0..8 {
+            counts[o + 1] += counts[o];
+        }
+        let mut cursors = counts;
+        for &i in &slice {
+            let o = octant_of(i);
+            self.order[start + cursors[o]] = i;
+            cursors[o] += 1;
+        }
+        for oct in 0..8 {
+            let (s, e) = (start + counts[oct], start + counts[oct + 1]);
+            if s == e {
+                continue;
+            }
+            let ccenter = [
+                center[0] + half * 0.5 * if oct & 1 != 0 { 1.0 } else { -1.0 },
+                center[1] + half * 0.5 * if oct & 2 != 0 { 1.0 } else { -1.0 },
+                center[2] + half * 0.5 * if oct & 4 != 0 { 1.0 } else { -1.0 },
+            ];
+            let ci = self.nodes.len();
+            self.nodes.push(Node {
+                center: ccenter,
+                half: half * 0.5,
+                start: s as u32,
+                end: e as u32,
+                children: [NO_CHILD; 8],
+                moments: Moments::zero(ccenter),
+                is_leaf: true,
+                bmax2: 0.0,
+            });
+            self.nodes[n].children[oct] = ci as u32;
+            self.split(ci, leaf_cap, depth + 1);
+        }
+    }
+
+    /// Post-order moment computation: leaves from particles, interior nodes
+    /// by merging children (the parallel-axis shift of `Moments::merge`).
+    fn compute_moments(&mut self, n: usize) {
+        if self.nodes[n].is_leaf {
+            let (start, end) = (self.nodes[n].start as usize, self.nodes[n].end as usize);
+            let mut m = Moments::zero(self.nodes[n].center);
+            let mut bmax2 = 0.0f64;
+            for s in start..end {
+                let i = self.order[s] as usize;
+                m.add_particle(self.positions[i], self.charges[i]);
+                let p = self.positions[i];
+                let c = self.nodes[n].center;
+                let d = [p[0] - c[0], p[1] - c[1], p[2] - c[2]];
+                bmax2 = bmax2.max(d[0] * d[0] + d[1] * d[1] + d[2] * d[2]);
+            }
+            self.nodes[n].moments = m;
+            self.nodes[n].bmax2 = bmax2;
+        } else {
+            let children = self.nodes[n].children;
+            let mut m = Moments::zero(self.nodes[n].center);
+            let mut bmax = 0.0f64;
+            for &c in &children {
+                if c != NO_CHILD {
+                    self.compute_moments(c as usize);
+                    let child = &self.nodes[c as usize];
+                    m.merge(&child.moments);
+                    let me = self.nodes[n].center;
+                    let d = [
+                        child.moments.center[0] - me[0],
+                        child.moments.center[1] - me[1],
+                        child.moments.center[2] - me[2],
+                    ];
+                    let dist = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+                    bmax = bmax.max(dist + child.bmax2.sqrt());
+                }
+            }
+            self.nodes[n].moments = m;
+            self.nodes[n].bmax2 = bmax * bmax;
+        }
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Potential (and optionally field) at one absolute point; `skip` is a
+    /// particle index excluded from direct interactions (usually the target
+    /// itself), or `usize::MAX`.
+    fn eval_point(
+        &self,
+        x: [f64; 3],
+        theta: f64,
+        skip: usize,
+        with_field: bool,
+    ) -> (f64, [f64; 3], BhStats) {
+        let mut pot = 0.0;
+        let mut field = [0.0; 3];
+        let mut stats = BhStats::default();
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            let d = [
+                x[0] - node.center[0],
+                x[1] - node.center[1],
+                x[2] - node.center[2],
+            ];
+            let dist2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+            let s = 2.0 * node.half; // cell side
+            // MAC: s / dist < θ (θ = 0 never accepts), guarded by the
+            // particle radius: never accept a node whose particles could
+            // be as close as the evaluation distance.
+            // The radius guard requires dist > 2·bmax; for θ ≤ 1 this is
+            // already implied by the cell-based MAC whenever the cell
+            // geometry is consistent (bmax ≤ (√3/2)s), so it only bites in
+            // the degenerate rounding case.
+            if !node.is_leaf && s * s < theta * theta * dist2 && 4.0 * node.bmax2 < dist2 {
+                pot += node.moments.potential(x);
+                if with_field {
+                    let f = node.moments.field(x);
+                    for a in 0..3 {
+                        field[a] += f[a];
+                    }
+                }
+                stats.node_interactions += 1;
+            } else if node.is_leaf {
+                for s in node.start..node.end {
+                    let i = self.order[s as usize] as usize;
+                    if i == skip {
+                        continue;
+                    }
+                    let dv = [
+                        x[0] - self.positions[i][0],
+                        x[1] - self.positions[i][1],
+                        x[2] - self.positions[i][2],
+                    ];
+                    let r2 = dv[0] * dv[0] + dv[1] * dv[1] + dv[2] * dv[2];
+                    if r2 == 0.0 {
+                        continue;
+                    }
+                    let inv_r = 1.0 / r2.sqrt();
+                    let qr = self.charges[i] * inv_r;
+                    pot += qr;
+                    if with_field {
+                        let qr3 = qr * inv_r * inv_r;
+                        for a in 0..3 {
+                            field[a] += qr3 * dv[a];
+                        }
+                    }
+                    stats.pair_interactions += 1;
+                }
+            } else {
+                for &c in &node.children {
+                    if c != NO_CHILD {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        (pot, field, stats)
+    }
+
+    /// Potentials at all particles (parallel over targets). Returns the
+    /// potentials and aggregate traversal counters.
+    pub fn potentials(&self, theta: f64, with_field: bool) -> (Vec<f64>, BhStats) {
+        let n = self.positions.len();
+        let results: Vec<(f64, BhStats)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let (p, _, s) = self.eval_point(self.positions[i], theta, i, with_field);
+                (p, s)
+            })
+            .collect();
+        let mut stats = BhStats::default();
+        let mut pot = Vec::with_capacity(n);
+        for (p, s) in results {
+            pot.push(p);
+            stats.node_interactions += s.node_interactions;
+            stats.pair_interactions += s.pair_interactions;
+        }
+        (pot, stats)
+    }
+
+    /// Potentials and fields at all particles.
+    pub fn potentials_and_fields(&self, theta: f64) -> (Vec<f64>, Vec<[f64; 3]>, BhStats) {
+        let n = self.positions.len();
+        let results: Vec<(f64, [f64; 3], BhStats)> = (0..n)
+            .into_par_iter()
+            .map(|i| self.eval_point(self.positions[i], theta, i, true))
+            .collect();
+        let mut stats = BhStats::default();
+        let mut pot = Vec::with_capacity(n);
+        let mut field = Vec::with_capacity(n);
+        for (p, f, s) in results {
+            pot.push(p);
+            field.push(f);
+            stats.node_interactions += s.node_interactions;
+            stats.pair_interactions += s.pair_interactions;
+        }
+        (pot, field, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_partitions_particles() {
+        let pts = vec![
+            [0.1, 0.1, 0.1],
+            [0.9, 0.9, 0.9],
+            [0.1, 0.9, 0.1],
+            [0.9, 0.1, 0.9],
+            [0.5, 0.5, 0.5],
+        ];
+        let q = vec![1.0; 5];
+        let bh = BarnesHut::build(&pts, &q, 1);
+        // Root covers everything; every particle appears exactly once.
+        let mut sorted = bh.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert!(bh.node_count() > 1);
+    }
+
+    #[test]
+    fn root_moments_total_charge() {
+        let pts = vec![[0.2, 0.3, 0.4], [0.8, 0.7, 0.6], [0.5, 0.1, 0.9]];
+        let q = vec![1.0, 2.0, 3.0];
+        let bh = BarnesHut::build(&pts, &q, 1);
+        assert!((bh.nodes[0].moments.q - 6.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn coincident_points_do_not_hang() {
+        let pts = vec![[0.5, 0.5, 0.5]; 20];
+        let q = vec![1.0; 20];
+        let bh = BarnesHut::build(&pts, &q, 2);
+        let (pot, _) = bh.potentials(0.5, false);
+        // All pairwise distances are zero — skipped — so potentials are 0.
+        assert!(pot.iter().all(|p| *p == 0.0), "pot = {:?}", &pot[..3]);
+    }
+
+    #[test]
+    fn field_consistent_with_potential() {
+        let pts = vec![
+            [0.1, 0.2, 0.3],
+            [0.7, 0.6, 0.2],
+            [0.4, 0.9, 0.8],
+            [0.85, 0.15, 0.55],
+        ];
+        let q = vec![1.0, 2.0, 1.5, 0.5];
+        let bh = BarnesHut::build(&pts, &q, 1);
+        let x = [0.0, -0.5, 1.5]; // off-particle evaluation point
+        let theta = 0.5;
+        let (p0, f, _) = bh.eval_point(x, theta, usize::MAX, true);
+        assert!(p0.is_finite());
+        let h = 1e-6;
+        for a in 0..3 {
+            let mut xp = x;
+            xp[a] += h;
+            let mut xm = x;
+            xm[a] -= h;
+            let (pp, _, _) = bh.eval_point(xp, theta, usize::MAX, false);
+            let (pm, _, _) = bh.eval_point(xm, theta, usize::MAX, false);
+            let fd = -(pp - pm) / (2.0 * h);
+            // MAC decisions can flip between xp and xm for a pathological h,
+            // but at this geometry they do not; tolerance is loose anyway.
+            assert!((fd - f[a]).abs() < 1e-5, "axis {}: {} vs {}", a, fd, f[a]);
+        }
+    }
+}

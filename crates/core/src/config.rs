@@ -1,0 +1,259 @@
+//! Configuration of the method: integration order, truncation, sphere
+//! radii, hierarchy depth, separation, supernodes.
+
+use fmm_sphere::SphereRule;
+use fmm_tree::Separation;
+
+/// How the hierarchy depth is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DepthPolicy {
+    /// Fixed depth h (leaf level has 8^h boxes).
+    Fixed(u32),
+    /// Choose h so the mean number of particles per leaf box is closest to
+    /// the target — the paper's "optimal hierarchy depth" balancing the
+    /// hierarchy traversal against the near-field direct evaluation
+    /// (§2.3). The optimum target grows with K (traversal cost ∝ K²).
+    Auto {
+        /// Desired mean particles per leaf box.
+        particles_per_leaf: f64,
+    },
+}
+
+impl DepthPolicy {
+    /// Resolve the policy for `n` particles. Depth is clamped to [2, 10]
+    /// (levels below 2 have no interactive field; 10 is an index-width
+    /// guard far beyond single-host memory).
+    pub fn resolve(&self, n: usize) -> u32 {
+        match *self {
+            DepthPolicy::Fixed(h) => h.clamp(2, 10),
+            DepthPolicy::Auto { particles_per_leaf } => {
+                let target = particles_per_leaf.max(1.0);
+                let mut best = 2u32;
+                let mut best_cost = f64::INFINITY;
+                for h in 2..=10u32 {
+                    let leaves = (1u64 << (3 * h)) as f64;
+                    let per_leaf = n as f64 / leaves;
+                    // log-distance to the target occupancy
+                    let cost = (per_leaf / target).ln().abs();
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best = h;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+/// Full configuration of Anderson's method.
+///
+/// The defaults for sphere radii and truncation per integration order are
+/// the outcome of the Table-2 calibration experiment (E1 in DESIGN.md):
+/// the paper's own Table 2 lists radii per D, but those digits did not
+/// survive OCR, so we re-derive them by sweeping (see
+/// `fmm-bench/src/bin/exp_table2.rs`).
+#[derive(Debug, Clone)]
+pub struct FmmConfig {
+    /// Integration order D: the sphere rule must integrate degree-D
+    /// spherical polynomials exactly. Controls the error decay rate.
+    pub order: usize,
+    /// Legendre truncation M in the Poisson-formula kernels.
+    pub m_trunc: usize,
+    /// Outer sphere radius in units of the box side. Must exceed the
+    /// circumscribed-sphere ratio √3/2 so that box sources lie inside the
+    /// sphere.
+    pub outer_ratio: f64,
+    /// Inner sphere radius in units of the box side.
+    pub inner_ratio: f64,
+    /// Near-field separation (the paper assumes two-separation).
+    pub separation: Separation,
+    /// Use the supernode decomposition in the downward pass (875 → 189
+    /// translations per box).
+    pub supernodes: bool,
+    /// Hierarchy depth policy.
+    pub depth: DepthPolicy,
+    /// Run the traversal and near field with rayon parallelism.
+    pub parallel: bool,
+    /// Plummer softening ε applied to the near-field pairwise kernel
+    /// (q/√(r²+ε²)); 0 disables it. Keep ε well below the leaf box side:
+    /// the far-field approximations are not softened, which is exact in
+    /// the ε → 0 limit and perturbs far interactions only by O(ε²/r²).
+    pub softening: f64,
+}
+
+impl FmmConfig {
+    /// Recommended configuration for integration order `d` (radii/truncation
+    /// from the E1 calibration).
+    pub fn order(d: usize) -> Self {
+        // Calibrated by the Table-2 sweep (fmm-bench exp_table2 /
+        // calibrate): truncating at M = ⌊D/2⌋ + 1 is essential — Legendre
+        // terms beyond the quadrature's faithful band inject aliasing noise
+        // amplified by (2n+1), so *more* terms make the answer worse. A
+        // generous outer radius shrinks the source-to-sphere ratio (the
+        // (p/a)^(D+1) aliasing floor) while keeping the T2 evaluation ratio
+        // a/r < 1 at two-separation distances; a tight inner radius keeps
+        // evaluation points far from interactive sources. These defaults
+        // reproduce the paper's headline accuracies: ~4 digits at D = 5 and
+        // ~7.9 digits at D = 14 on uniform unit-charge systems.
+        let m_trunc = d / 2 + 1;
+        FmmConfig {
+            order: d,
+            m_trunc,
+            outer_ratio: 1.6,
+            inner_ratio: 1.0,
+            separation: Separation::Two,
+            supernodes: false,
+            depth: DepthPolicy::Auto {
+                // Calibrated by the E10 depth sweep: for D = 5 (K = 12)
+                // the near-field/traversal crossover sits near ~8
+                // particles per leaf on this class of host.
+                particles_per_leaf: 8.0,
+            },
+            parallel: true,
+            softening: 0.0,
+        }
+    }
+
+    /// Builder-style: fixed depth.
+    pub fn depth(mut self, h: u32) -> Self {
+        self.depth = DepthPolicy::Fixed(h);
+        self
+    }
+
+    /// Builder-style: auto depth with a target leaf occupancy.
+    pub fn auto_depth(mut self, particles_per_leaf: f64) -> Self {
+        self.depth = DepthPolicy::Auto { particles_per_leaf };
+        self
+    }
+
+    /// Builder-style: truncation M.
+    pub fn truncation(mut self, m: usize) -> Self {
+        self.m_trunc = m;
+        self
+    }
+
+    /// Builder-style: sphere radii (units of box side).
+    pub fn radii(mut self, outer: f64, inner: f64) -> Self {
+        self.outer_ratio = outer;
+        self.inner_ratio = inner;
+        self
+    }
+
+    /// Builder-style: near-field separation.
+    pub fn separation(mut self, s: Separation) -> Self {
+        self.separation = s;
+        self
+    }
+
+    /// Builder-style: enable/disable supernodes.
+    pub fn supernodes(mut self, on: bool) -> Self {
+        self.supernodes = on;
+        self
+    }
+
+    /// Builder-style: sequential execution (useful for deterministic tests
+    /// and the machine-simulator comparison).
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Builder-style: Plummer softening ε for the near-field kernel.
+    pub fn softening(mut self, eps: f64) -> Self {
+        self.softening = eps;
+        self
+    }
+
+    /// The sphere rule implied by the order.
+    pub fn rule(&self) -> SphereRule {
+        SphereRule::for_order(self.order)
+    }
+
+    /// Validate parameter sanity; returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        let min_ratio = 3f64.sqrt() / 2.0;
+        if self.outer_ratio <= min_ratio {
+            return Err(format!(
+                "outer_ratio {} must exceed the circumscribed-sphere ratio √3/2 ≈ {:.4}",
+                self.outer_ratio, min_ratio
+            ));
+        }
+        if self.inner_ratio <= min_ratio {
+            return Err(format!(
+                "inner_ratio {} must exceed √3/2 ≈ {:.4} (leaf particles must lie inside)",
+                self.inner_ratio, min_ratio
+            ));
+        }
+        // The closest T2 source centre sits (d+1) box sides away; the
+        // evaluation point can be inner_ratio closer. The outer series only
+        // converges if outer_ratio < distance.
+        let min_dist = (self.separation.d() + 1) as f64 - self.inner_ratio;
+        if self.outer_ratio >= min_dist {
+            return Err(format!(
+                "outer_ratio {} too large: T2 evaluation distance can shrink to {:.3}",
+                self.outer_ratio, min_dist
+            ));
+        }
+        if self.m_trunc == 0 {
+            return Err("truncation M must be at least 1".into());
+        }
+        if self.softening < 0.0 {
+            return Err("softening must be non-negative".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_depth_tracks_n() {
+        let p = DepthPolicy::Auto {
+            particles_per_leaf: 32.0,
+        };
+        assert_eq!(p.resolve(100), 2); // 100/64 ≈ 1.6 per leaf already past
+        let d1 = p.resolve(10_000);
+        let d2 = p.resolve(1_000_000);
+        assert!(d2 > d1, "depth must grow with N: {} vs {}", d1, d2);
+        // 32 particles per leaf at depth h means N ≈ 32·8^h.
+        assert_eq!(p.resolve(32 * 8usize.pow(4)), 4);
+    }
+
+    #[test]
+    fn fixed_depth_clamped() {
+        assert_eq!(DepthPolicy::Fixed(0).resolve(10), 2);
+        assert_eq!(DepthPolicy::Fixed(5).resolve(10), 5);
+    }
+
+    #[test]
+    fn default_config_valid() {
+        for d in [2, 3, 5, 7, 14] {
+            let cfg = FmmConfig::order(d);
+            cfg.validate().unwrap_or_else(|e| panic!("order {}: {}", d, e));
+        }
+    }
+
+    #[test]
+    fn invalid_radii_rejected() {
+        assert!(FmmConfig::order(5).radii(0.5, 1.0).validate().is_err());
+        assert!(FmmConfig::order(5).radii(1.0, 0.5).validate().is_err());
+        assert!(FmmConfig::order(5).radii(2.5, 1.0).validate().is_err());
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = FmmConfig::order(5)
+            .depth(4)
+            .truncation(9)
+            .supernodes(true)
+            .sequential();
+        assert_eq!(cfg.m_trunc, 9);
+        assert!(cfg.supernodes);
+        assert!(!cfg.parallel);
+        assert_eq!(cfg.depth.resolve(1), 4);
+        assert_eq!(cfg.rule().len(), 12);
+    }
+}

@@ -1,0 +1,729 @@
+//! The end-to-end FMM driver: the five steps of the paper's generic
+//! hierarchical method, wired together with binning, translation matrices
+//! and per-phase profiling.
+
+use crate::config::FmmConfig;
+use crate::field::FieldHierarchy;
+use crate::near::{near_field_forces_softened, near_field_potentials_softened, NearFieldStats};
+use crate::particles::BinnedParticles;
+use crate::stats::{Phase, Profile};
+use crate::translations::TranslationSet;
+use crate::traversal::{downward_pass, upward_pass, Aggregation, TraversalFlops};
+use fmm_sphere::{
+    inner_kernel_row, inner_kernel_row_grad, norm, SphereRule,
+};
+use fmm_tree::{BoxCoord, Domain, Hierarchy};
+use rayon::prelude::*;
+use std::fmt;
+
+/// Errors from building or running an [`Fmm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FmmError {
+    /// Configuration failed validation.
+    InvalidConfig(String),
+    /// Input arrays are inconsistent or empty.
+    BadInput(String),
+}
+
+impl fmt::Display for FmmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmmError::InvalidConfig(s) => write!(f, "invalid configuration: {}", s),
+            FmmError::BadInput(s) => write!(f, "bad input: {}", s),
+        }
+    }
+}
+
+impl std::error::Error for FmmError {}
+
+/// Result of one evaluation.
+#[derive(Debug, Clone)]
+pub struct EvalOutput {
+    /// Potential at every input particle (original order).
+    pub potentials: Vec<f64>,
+    /// Field −∇Φ at every particle, when requested.
+    pub fields: Option<Vec<[f64; 3]>>,
+    /// Per-phase timing and flops.
+    pub profile: Profile,
+    /// Hierarchy depth used.
+    pub depth: u32,
+    /// Near-field counters.
+    pub near_stats: NearFieldStats,
+    /// Traversal flop counters.
+    pub traversal_flops: TraversalFlops,
+    /// The domain the hierarchy was built on.
+    pub domain: Domain,
+}
+
+/// A configured instance of Anderson's method with precomputed translation
+/// matrices (the paper precomputes all 1331 + 16 matrices once and reuses
+/// them across evaluations and levels).
+pub struct Fmm {
+    cfg: FmmConfig,
+    rule: SphereRule,
+    translations: TranslationSet,
+}
+
+impl Fmm {
+    /// Build an instance: validates the configuration and precomputes the
+    /// translation matrices.
+    pub fn new(cfg: FmmConfig) -> Result<Self, FmmError> {
+        cfg.validate().map_err(FmmError::InvalidConfig)?;
+        let rule = cfg.rule();
+        let translations = TranslationSet::build(
+            &rule,
+            cfg.m_trunc,
+            cfg.outer_ratio,
+            cfg.inner_ratio,
+            cfg.separation,
+            cfg.supernodes,
+        );
+        Ok(Fmm {
+            cfg,
+            rule,
+            translations,
+        })
+    }
+
+    pub fn config(&self) -> &FmmConfig {
+        &self.cfg
+    }
+
+    pub fn rule(&self) -> &SphereRule {
+        &self.rule
+    }
+
+    pub fn translations(&self) -> &TranslationSet {
+        &self.translations
+    }
+
+    /// Number of sphere integration points K.
+    pub fn k(&self) -> usize {
+        self.rule.len()
+    }
+
+    /// Evaluate potentials with the domain inferred from the particles'
+    /// bounding cube.
+    pub fn evaluate(&self, positions: &[[f64; 3]], charges: &[f64]) -> Result<EvalOutput, FmmError> {
+        if positions.is_empty() {
+            return Err(FmmError::BadInput("no particles".into()));
+        }
+        let domain = Domain::bounding(positions);
+        self.run(positions, charges, domain, false)
+    }
+
+    /// Evaluate potentials on an explicit domain.
+    pub fn evaluate_in(
+        &self,
+        positions: &[[f64; 3]],
+        charges: &[f64],
+        domain: Domain,
+    ) -> Result<EvalOutput, FmmError> {
+        self.run(positions, charges, domain, false)
+    }
+
+    /// Evaluate potentials and fields (−∇Φ).
+    pub fn evaluate_forces(
+        &self,
+        positions: &[[f64; 3]],
+        charges: &[f64],
+    ) -> Result<EvalOutput, FmmError> {
+        if positions.is_empty() {
+            return Err(FmmError::BadInput("no particles".into()));
+        }
+        let domain = Domain::bounding(positions);
+        self.run(positions, charges, domain, true)
+    }
+
+    /// Evaluate the potential at arbitrary target points (not necessarily
+    /// source particles). Targets coinciding with a source see that
+    /// source's contribution skipped only if they coincide *exactly*.
+    ///
+    /// The far field is read from the leaf inner approximations of the
+    /// target's box; the near field is summed directly over the source
+    /// particles of the d-separation neighbourhood — the same split the
+    /// paper uses for the sources themselves.
+    pub fn evaluate_at(
+        &self,
+        targets: &[[f64; 3]],
+        positions: &[[f64; 3]],
+        charges: &[f64],
+    ) -> Result<Vec<f64>, FmmError> {
+        if positions.is_empty() {
+            return Err(FmmError::BadInput("no particles".into()));
+        }
+        if positions.len() != charges.len() {
+            return Err(FmmError::BadInput("positions/charges length mismatch".into()));
+        }
+        // The domain must cover sources and targets.
+        let mut all: Vec<[f64; 3]> = Vec::with_capacity(positions.len() + targets.len());
+        all.extend_from_slice(positions);
+        all.extend_from_slice(targets);
+        let domain = Domain::bounding(&all);
+        drop(all);
+
+        let depth = self.cfg.depth.resolve(positions.len());
+        let k = self.k();
+        let par = self.cfg.parallel;
+        let bp = BinnedParticles::build(positions, charges, domain, depth);
+        let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
+        let leaf_side = domain.box_side(depth);
+        let a_leaf = self.cfg.outer_ratio * leaf_side;
+        p2o(&bp, &self.rule, a_leaf, depth, par, &mut fh.far[depth as usize]);
+        upward_pass(&mut fh, &self.translations, Aggregation::Gemm, par);
+        downward_pass(
+            &mut fh,
+            &self.translations,
+            self.cfg.supernodes,
+            Aggregation::Gemm,
+            par,
+        );
+
+        let b_leaf = self.cfg.inner_ratio * leaf_side;
+        let m = self.cfg.m_trunc;
+        let near_offsets = fmm_tree::near_field_offsets(self.cfg.separation);
+        let local_leaf = &fh.local[depth as usize];
+        let eval_one = |t: &[f64; 3]| -> f64 {
+            let b = domain.locate(*t, depth);
+            let c = domain.box_center(b);
+            let mut row = vec![0.0; k];
+            inner_kernel_row(
+                &self.rule,
+                m,
+                b_leaf,
+                [t[0] - c[0], t[1] - c[1], t[2] - c[2]],
+                &mut row,
+            );
+            let g = &local_leaf[b.index() * k..(b.index() + 1) * k];
+            let mut pot: f64 = row.iter().zip(g).map(|(r, gg)| r * gg).sum();
+            // Near field: own box + neighbours, direct.
+            let mut near_box = |bb: BoxCoord| {
+                for s in bp.range(bb.index()) {
+                    let dx = t[0] - bp.x[s];
+                    let dy = t[1] - bp.y[s];
+                    let dz = t[2] - bp.z[s];
+                    let r2 = dx * dx + dy * dy + dz * dz;
+                    if r2 > 0.0 {
+                        pot += bp.q[s] / r2.sqrt();
+                    }
+                }
+            };
+            near_box(b);
+            for &d in &near_offsets {
+                if let Some(nb) = b.offset(d) {
+                    near_box(nb);
+                }
+            }
+            pot
+        };
+        let out: Vec<f64> = if par {
+            targets.par_iter().map(eval_one).collect()
+        } else {
+            targets.iter().map(eval_one).collect()
+        };
+        Ok(out)
+    }
+
+    fn run(
+        &self,
+        positions: &[[f64; 3]],
+        charges: &[f64],
+        domain: Domain,
+        with_fields: bool,
+    ) -> Result<EvalOutput, FmmError> {
+        if positions.is_empty() {
+            return Err(FmmError::BadInput("no particles".into()));
+        }
+        if positions.len() != charges.len() {
+            return Err(FmmError::BadInput(format!(
+                "{} positions vs {} charges",
+                positions.len(),
+                charges.len()
+            )));
+        }
+        let depth = self.cfg.depth.resolve(positions.len());
+        let k = self.k();
+        let par = self.cfg.parallel;
+        let mut profile = Profile::new();
+
+        // Step 0: coordinate sort / binning (paper §3.2).
+        let bp = profile.time(Phase::Sort, || {
+            BinnedParticles::build(positions, charges, domain, depth)
+        });
+
+        // Step 1: leaf-level outer approximations (P2O).
+        let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
+        let leaf_side = domain.box_side(depth);
+        let a_leaf = self.cfg.outer_ratio * leaf_side;
+        let p2o_flops = profile.time(Phase::P2O, || {
+            p2o(&bp, &self.rule, a_leaf, depth, par, &mut fh.far[depth as usize])
+        });
+        profile.add_flops(Phase::P2O, p2o_flops);
+
+        // Step 2: upward pass.
+        let mut tflops = TraversalFlops::default();
+        let up = profile.time(Phase::Upward, || {
+            upward_pass(&mut fh, &self.translations, Aggregation::Gemm, par)
+        });
+        profile.add_flops(Phase::Upward, up.t1);
+        tflops.t1 = up.t1;
+
+        // Step 3: downward pass (T2 + T3 are timed together inside; the
+        // interactive field dominates, as in the paper).
+        let down = profile.time(Phase::Interactive, || {
+            downward_pass(
+                &mut fh,
+                &self.translations,
+                self.cfg.supernodes,
+                Aggregation::Gemm,
+                par,
+            )
+        });
+        profile.add_flops(Phase::Interactive, down.t2);
+        profile.add_flops(Phase::Downward, down.t3);
+        tflops.t2 = down.t2;
+        tflops.t3 = down.t3;
+        tflops.copied = up.copied + down.copied;
+
+        // Step 4: evaluate leaf inner approximations at the particles.
+        let b_leaf = self.cfg.inner_ratio * leaf_side;
+        let mut far_pot = vec![0.0; bp.len()];
+        let mut far_field = if with_fields {
+            Some(vec![[0.0; 3]; bp.len()])
+        } else {
+            None
+        };
+        let eval_flops = profile.time(Phase::Eval, || {
+            eval_local(
+                &bp,
+                &self.rule,
+                self.cfg.m_trunc,
+                b_leaf,
+                depth,
+                par,
+                &fh.local[depth as usize],
+                &mut far_pot,
+                far_field.as_deref_mut(),
+            )
+        });
+        profile.add_flops(Phase::Eval, eval_flops);
+
+        // Step 5: near-field direct evaluation.
+        let mut near_pot = vec![0.0; bp.len()];
+        let near_stats = if with_fields {
+            let mut near_f = vec![[0.0; 3]; bp.len()];
+            let st = profile.time(Phase::Near, || {
+                near_field_forces_softened(
+                    &bp,
+                    self.cfg.separation,
+                    par,
+                    self.cfg.softening,
+                    &mut near_pot,
+                    &mut near_f,
+                )
+            });
+            if let Some(ff) = far_field.as_mut() {
+                for (a, b) in ff.iter_mut().zip(&near_f) {
+                    for d in 0..3 {
+                        a[d] += b[d];
+                    }
+                }
+            }
+            st
+        } else {
+            profile.time(Phase::Near, || {
+                near_field_potentials_softened(
+                    &bp,
+                    self.cfg.separation,
+                    par,
+                    self.cfg.softening,
+                    &mut near_pot,
+                )
+            })
+        };
+        profile.add_flops(Phase::Near, near_stats.flops);
+
+        // Combine and scatter back to original particle order.
+        for (f, n) in far_pot.iter_mut().zip(&near_pot) {
+            *f += n;
+        }
+        let potentials = bp.binning.scatter(&far_pot);
+        let fields = far_field.map(|ff| bp.binning.scatter(&ff));
+
+        Ok(EvalOutput {
+            potentials,
+            fields,
+            profile,
+            depth,
+            near_stats,
+            traversal_flops: tflops,
+            domain,
+        })
+    }
+}
+
+/// Leaf-level particle → outer samples: g_i = Σ_j q_j / |c + a s_i − x_j|.
+fn p2o(
+    bp: &BinnedParticles,
+    rule: &SphereRule,
+    a_leaf: f64,
+    depth: u32,
+    parallel: bool,
+    far_leaf: &mut [f64],
+) -> u64 {
+    let k = rule.len();
+    let domain = &bp.domain;
+    let work = |(b, g): (usize, &mut [f64])| -> u64 {
+        let range = bp.range(b);
+        if range.is_empty() {
+            return 0;
+        }
+        let c = domain.box_center(BoxCoord::from_index(depth, b));
+        for (i, &s) in rule.points.iter().enumerate() {
+            let sp = [c[0] + a_leaf * s[0], c[1] + a_leaf * s[1], c[2] + a_leaf * s[2]];
+            let mut acc = 0.0;
+            for j in range.clone() {
+                let d = [sp[0] - bp.x[j], sp[1] - bp.y[j], sp[2] - bp.z[j]];
+                acc += bp.q[j] / norm(d);
+            }
+            g[i] = acc;
+        }
+        (range.len() * k) as u64 * 10
+    };
+    if parallel {
+        far_leaf
+            .par_chunks_mut(k)
+            .enumerate()
+            .map(work)
+            .sum()
+    } else {
+        far_leaf.chunks_mut(k).enumerate().map(work).sum()
+    }
+}
+
+/// Leaf-level inner samples → particle potentials (and fields).
+#[allow(clippy::too_many_arguments)]
+fn eval_local(
+    bp: &BinnedParticles,
+    rule: &SphereRule,
+    m: usize,
+    b_leaf: f64,
+    depth: u32,
+    parallel: bool,
+    local_leaf: &[f64],
+    pot: &mut [f64],
+    mut fields: Option<&mut [[f64; 3]]>,
+) -> u64 {
+    let k = rule.len();
+    let domain = &bp.domain;
+    let n_boxes = 1usize << (3 * depth);
+
+    // Split outputs per box (contiguous ranges).
+    let mut pot_slices: Vec<&mut [f64]> = Vec::with_capacity(n_boxes);
+    {
+        let mut rest: &mut [f64] = pot;
+        for b in 0..n_boxes {
+            let (head, tail) = rest.split_at_mut(bp.binning.count(b));
+            pot_slices.push(head);
+            rest = tail;
+        }
+    }
+    let mut field_slices: Vec<Option<&mut [[f64; 3]]>> = Vec::with_capacity(n_boxes);
+    match fields.as_mut() {
+        Some(f) => {
+            let mut rest: &mut [[f64; 3]] = f;
+            for b in 0..n_boxes {
+                let (head, tail) = rest.split_at_mut(bp.binning.count(b));
+                field_slices.push(Some(head));
+                rest = tail;
+            }
+        }
+        None => field_slices.resize_with(n_boxes, || None),
+    }
+
+    let work = |(b, (po, fo)): (usize, (&mut &mut [f64], &mut Option<&mut [[f64; 3]]>))| -> u64 {
+        let range = bp.range(b);
+        if range.is_empty() {
+            return 0;
+        }
+        let c = domain.box_center(BoxCoord::from_index(depth, b));
+        let g = &local_leaf[b * k..(b + 1) * k];
+        let mut row = vec![0.0; k];
+        let mut grad_rows = [vec![0.0; k], vec![0.0; k], vec![0.0; k]];
+        for (idx, j) in range.clone().enumerate() {
+            let x = [bp.x[j] - c[0], bp.y[j] - c[1], bp.z[j] - c[2]];
+            inner_kernel_row(rule, m, b_leaf, x, &mut row);
+            po[idx] += row.iter().zip(g).map(|(r, gg)| r * gg).sum::<f64>();
+            if let Some(f) = fo.as_mut() {
+                inner_kernel_row_grad(rule, m, b_leaf, x, &mut grad_rows);
+                for d in 0..3 {
+                    // field is −∇Φ
+                    f[idx][d] -=
+                        grad_rows[d].iter().zip(g).map(|(r, gg)| r * gg).sum::<f64>();
+                }
+            }
+        }
+        (range.len() * k * (m + 1)) as u64 * 6
+    };
+
+    if parallel {
+        pot_slices
+            .par_iter_mut()
+            .zip(field_slices.par_iter_mut())
+            .enumerate()
+            .map(work)
+            .sum()
+    } else {
+        pot_slices
+            .iter_mut()
+            .zip(field_slices.iter_mut())
+            .enumerate()
+            .map(work)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FmmConfig;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<[f64; 3]> {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| [next(), next(), next()]).collect()
+    }
+
+    /// Uniform points with unit charges — the paper's gravitational-mass
+    /// convention, under which its accuracy figures are quoted.
+    fn pseudo_system(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+        (pseudo_points(n, seed), vec![1.0; n])
+    }
+
+    /// Mixed-sign charges: a harsher relative-error metric because the
+    /// reference potential fluctuates around zero.
+    fn pseudo_mixed(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let pts = pseudo_points(n, seed);
+        let mut state = seed ^ 0xabcdef;
+        let q: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect();
+        (pts, q)
+    }
+
+    fn direct(positions: &[[f64; 3]], charges: &[f64]) -> Vec<f64> {
+        let n = positions.len();
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = [
+                    positions[i][0] - positions[j][0],
+                    positions[i][1] - positions[j][1],
+                    positions[i][2] - positions[j][2],
+                ];
+                acc += charges[j] / norm(d);
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    #[test]
+    fn depth2_matches_direct_to_expected_accuracy() {
+        let (pts, q) = pseudo_system(600, 42);
+        let fmm = Fmm::new(FmmConfig::order(5).depth(2).sequential()).unwrap();
+        let out = fmm.evaluate(&pts, &q).unwrap();
+        let reference = direct(&pts, &q);
+        let stats = crate::error::relative_error_stats(&out.potentials, &reference);
+        assert!(
+            stats.rms_rel < 5e-4,
+            "rms_rel = {:.2e} (digits {:.1})",
+            stats.rms_rel,
+            stats.digits()
+        );
+    }
+
+    #[test]
+    fn depth3_matches_direct() {
+        let (pts, q) = pseudo_system(2000, 7);
+        let fmm = Fmm::new(FmmConfig::order(5).depth(3)).unwrap();
+        let out = fmm.evaluate(&pts, &q).unwrap();
+        let reference = direct(&pts, &q);
+        let stats = crate::error::relative_error_stats(&out.potentials, &reference);
+        assert!(
+            stats.rms_rel < 5e-4,
+            "rms_rel = {:.2e} (digits {:.1})",
+            stats.rms_rel,
+            stats.digits()
+        );
+    }
+
+    #[test]
+    fn supernodes_agree_with_plain_t2() {
+        let (pts, q) = pseudo_system(1500, 11);
+        let plain = Fmm::new(FmmConfig::order(5).depth(3).supernodes(false)).unwrap();
+        let sup = Fmm::new(FmmConfig::order(5).depth(3).supernodes(true)).unwrap();
+        let p1 = plain.evaluate(&pts, &q).unwrap().potentials;
+        let p2 = sup.evaluate(&pts, &q).unwrap().potentials;
+        let stats = crate::error::relative_error_stats(&p2, &p1);
+        // Slight accuracy cost is expected (paper §2.3), but results must
+        // agree to within the method's own accuracy scale.
+        assert!(stats.rms_rel < 2e-3, "supernode deviation {:.2e}", stats.rms_rel);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bitwise_phases() {
+        let (pts, q) = pseudo_system(800, 13);
+        let seq = Fmm::new(FmmConfig::order(3).depth(3).sequential()).unwrap();
+        let par = Fmm::new(FmmConfig::order(3).depth(3)).unwrap();
+        let a = seq.evaluate(&pts, &q).unwrap().potentials;
+        let b = par.evaluate(&pts, &q).unwrap().potentials;
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn fields_match_direct_forces() {
+        let (pts, q) = pseudo_system(400, 17);
+        let fmm = Fmm::new(FmmConfig::order(5).depth(2)).unwrap();
+        let out = fmm.evaluate_forces(&pts, &q).unwrap();
+        let fields = out.fields.unwrap();
+        // Direct field at particle i: Σ q_j (x_i − x_j)/r³.
+        let mut worst = 0.0f64;
+        let mut fnorm = 0.0f64;
+        for i in 0..pts.len() {
+            let mut f = [0.0; 3];
+            for j in 0..pts.len() {
+                if i == j {
+                    continue;
+                }
+                let d = [
+                    pts[i][0] - pts[j][0],
+                    pts[i][1] - pts[j][1],
+                    pts[i][2] - pts[j][2],
+                ];
+                let r = norm(d);
+                let c = q[j] / (r * r * r);
+                for a in 0..3 {
+                    f[a] += c * d[a];
+                }
+            }
+            for a in 0..3 {
+                worst = worst.max((f[a] - fields[i][a]).abs());
+                fnorm = fnorm.max(f[a].abs());
+            }
+        }
+        assert!(
+            worst < 1e-2 * fnorm,
+            "field error {:.2e} vs scale {:.2e}",
+            worst,
+            fnorm
+        );
+    }
+
+    #[test]
+    fn charge_superposition_linearity() {
+        let (pts, q1) = pseudo_mixed(500, 19);
+        let (_, q2) = pseudo_mixed(500, 23);
+        let domain = Domain::bounding(&pts);
+        let fmm = Fmm::new(FmmConfig::order(3).depth(2).sequential()).unwrap();
+        let p1 = fmm.evaluate_in(&pts, &q1, domain).unwrap().potentials;
+        let p2 = fmm.evaluate_in(&pts, &q2, domain).unwrap().potentials;
+        let qs: Vec<f64> = q1.iter().zip(&q2).map(|(a, b)| a + b).collect();
+        let ps = fmm.evaluate_in(&pts, &qs, domain).unwrap().potentials;
+        for i in 0..pts.len() {
+            assert!(
+                (ps[i] - p1[i] - p2[i]).abs() < 1e-9 * ps[i].abs().max(1.0),
+                "superposition violated at {}",
+                i
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_at_matches_direct_at_off_particle_points() {
+        let (pts, q) = pseudo_system(1200, 31);
+        let fmm = Fmm::new(FmmConfig::order(5).depth(3)).unwrap();
+        // Probe points strictly inside the cube, away from particles.
+        let targets: Vec<[f64; 3]> = (0..50)
+            .map(|i| {
+                let f = i as f64 / 50.0;
+                [0.1 + 0.8 * f, 0.5 + 0.3 * (f * 9.0).sin() * 0.5, 0.3 + 0.5 * f]
+            })
+            .collect();
+        let approx = fmm.evaluate_at(&targets, &pts, &q).unwrap();
+        for (t, a) in targets.iter().zip(&approx) {
+            let exact: f64 = pts
+                .iter()
+                .zip(&q)
+                .map(|(p, qq)| {
+                    let d = [t[0] - p[0], t[1] - p[1], t[2] - p[2]];
+                    qq / norm(d)
+                })
+                .sum();
+            assert!(
+                (a - exact).abs() < 2e-3 * exact.abs().max(1.0),
+                "target {:?}: {} vs {}",
+                t,
+                a,
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn evaluate_at_particle_positions_matches_evaluate() {
+        let (pts, q) = pseudo_system(800, 37);
+        let fmm = Fmm::new(FmmConfig::order(5).depth(3).sequential()).unwrap();
+        let at = fmm.evaluate_at(&pts, &pts, &q).unwrap();
+        let out = fmm.evaluate(&pts, &q).unwrap().potentials;
+        // evaluate_at skips exactly-coincident sources, so at a particle's
+        // own position the two agree.
+        for (a, b) in at.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-9 * (1.0 + b.abs()), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let fmm = Fmm::new(FmmConfig::order(3)).unwrap();
+        assert!(matches!(
+            fmm.evaluate(&[], &[]),
+            Err(FmmError::BadInput(_))
+        ));
+        assert!(matches!(
+            fmm.evaluate(&[[0.0; 3]], &[1.0, 2.0]),
+            Err(FmmError::BadInput(_))
+        ));
+        assert!(matches!(
+            Fmm::new(FmmConfig::order(3).radii(0.1, 0.1)),
+            Err(FmmError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn profile_is_populated() {
+        let (pts, q) = pseudo_system(1000, 29);
+        let fmm = Fmm::new(FmmConfig::order(3).depth(3)).unwrap();
+        let out = fmm.evaluate(&pts, &q).unwrap();
+        assert!(out.profile.total_flops() > 0);
+        assert!(out.profile.phase_flops(Phase::Interactive) > 0);
+        assert!(out.profile.phase_flops(Phase::Near) > 0);
+        assert_eq!(out.depth, 3);
+    }
+}

@@ -1,0 +1,95 @@
+//! Accuracy metrics.
+//!
+//! The paper quotes accuracy as digits relative to system-scale quantities
+//! (its ε₁ is "the error bound per partial acceleration relative to the
+//! mean acceleration of the system"). The analogous potential-based
+//! metrics here: RMS and max error normalized by the RMS of the reference
+//! potential.
+
+/// Error statistics of an approximate result against a reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// √(Σ(φ−φ*)²/N) / √(Σφ*²/N)
+    pub rms_rel: f64,
+    /// max |φ−φ*| / √(Σφ*²/N)
+    pub max_rel: f64,
+    /// √(Σ(φ−φ*)²/N)
+    pub rms_abs: f64,
+    /// Number of samples compared.
+    pub n: usize,
+}
+
+impl ErrorStats {
+    /// Correct digits implied by the relative RMS error.
+    pub fn digits(&self) -> f64 {
+        if self.rms_rel <= 0.0 {
+            f64::INFINITY
+        } else {
+            -self.rms_rel.log10()
+        }
+    }
+}
+
+/// Compare `approx` against `reference` element-wise.
+pub fn relative_error_stats(approx: &[f64], reference: &[f64]) -> ErrorStats {
+    assert_eq!(approx.len(), reference.len());
+    assert!(!approx.is_empty());
+    let n = approx.len();
+    let mut sum_sq = 0.0;
+    let mut ref_sq = 0.0;
+    let mut max_abs: f64 = 0.0;
+    for (a, r) in approx.iter().zip(reference) {
+        let e = a - r;
+        sum_sq += e * e;
+        ref_sq += r * r;
+        max_abs = max_abs.max(e.abs());
+    }
+    let rms_abs = (sum_sq / n as f64).sqrt();
+    let ref_rms = (ref_sq / n as f64).sqrt();
+    let denom = if ref_rms > 0.0 { ref_rms } else { 1.0 };
+    ErrorStats {
+        rms_rel: rms_abs / denom,
+        max_rel: max_abs / denom,
+        rms_abs,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_error() {
+        let v = vec![1.0, -2.0, 3.0];
+        let s = relative_error_stats(&v, &v);
+        assert_eq!(s.rms_rel, 0.0);
+        assert_eq!(s.max_rel, 0.0);
+        assert!(s.digits().is_infinite());
+    }
+
+    #[test]
+    fn known_error() {
+        let approx = vec![1.1, 2.0];
+        let reference = vec![1.0, 2.0];
+        let s = relative_error_stats(&approx, &reference);
+        let ref_rms = (5.0f64 / 2.0).sqrt();
+        assert!((s.rms_abs - (0.01f64 / 2.0).sqrt()).abs() < 1e-15);
+        assert!((s.max_rel - 0.1 / ref_rms).abs() < 1e-15);
+        assert_eq!(s.n, 2);
+    }
+
+    #[test]
+    fn digits_log_scale() {
+        let approx = vec![1.0001];
+        let reference = vec![1.0];
+        let s = relative_error_stats(&approx, &reference);
+        assert!((s.digits() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let _ = relative_error_stats(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Flattened per-level potential storage.
+//!
+//! The paper embeds the whole hierarchy of far-field potentials in two
+//! layers of a 4-D array (Fig. 3) so that herarchical operations become
+//! array operations on flattened data. The shared-memory analogue: one
+//! contiguous `8^l × K` row-major buffer per level (one K-vector per box,
+//! boxes in row-major order), which is exactly the panel layout the
+//! aggregated GEMMs consume.
+
+use fmm_tree::Hierarchy;
+
+/// Far-field (outer) and local-field (inner) sample buffers for every
+/// level of the hierarchy.
+#[derive(Debug, Clone)]
+pub struct FieldHierarchy {
+    pub k: usize,
+    pub hierarchy: Hierarchy,
+    /// `far[l]` has length `8^l * k`; box b's samples at `b*k..(b+1)*k`.
+    pub far: Vec<Vec<f64>>,
+    /// Same layout for the inner (local-field) samples.
+    pub local: Vec<Vec<f64>>,
+}
+
+impl FieldHierarchy {
+    pub fn new(hierarchy: Hierarchy, k: usize) -> Self {
+        let far = (0..=hierarchy.depth)
+            .map(|l| vec![0.0; hierarchy.boxes_at_level(l) * k])
+            .collect();
+        let local = (0..=hierarchy.depth)
+            .map(|l| vec![0.0; hierarchy.boxes_at_level(l) * k])
+            .collect();
+        FieldHierarchy {
+            k,
+            hierarchy,
+            far,
+            local,
+        }
+    }
+
+    /// Far-field samples of box `b` (row-major index) at level `l`.
+    #[inline]
+    pub fn far_of(&self, l: u32, b: usize) -> &[f64] {
+        &self.far[l as usize][b * self.k..(b + 1) * self.k]
+    }
+
+    /// Local-field samples of box `b` at level `l`.
+    #[inline]
+    pub fn local_of(&self, l: u32, b: usize) -> &[f64] {
+        &self.local[l as usize][b * self.k..(b + 1) * self.k]
+    }
+
+    /// Total stored f64s (memory-efficiency accounting; the paper stores
+    /// far-field potentials for all levels, local fields per level in
+    /// flight).
+    pub fn len(&self) -> usize {
+        self.far.iter().map(Vec::len).sum::<usize>() + self.local.iter().map(Vec::len).sum::<usize>()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Zero all buffers (for reuse across evaluations).
+    pub fn clear(&mut self) {
+        for v in self.far.iter_mut().chain(self.local.iter_mut()) {
+            v.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_follow_levels() {
+        let f = FieldHierarchy::new(Hierarchy::new(3), 12);
+        assert_eq!(f.far[0].len(), 12);
+        assert_eq!(f.far[3].len(), 512 * 12);
+        assert_eq!(f.local[2].len(), 64 * 12);
+        // total = 2 · K · (1 + 8 + 64 + 512)
+        assert_eq!(f.len(), 2 * 12 * 585);
+    }
+
+    #[test]
+    fn slices_are_disjoint_per_box() {
+        let mut f = FieldHierarchy::new(Hierarchy::new(2), 4);
+        f.far[2][5 * 4 + 2] = 7.0;
+        assert_eq!(f.far_of(2, 5), &[0.0, 0.0, 7.0, 0.0]);
+        assert_eq!(f.far_of(2, 4), &[0.0; 4]);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
+        let mut f = FieldHierarchy::new(Hierarchy::new(2), 3);
+        f.far[1][0] = 1.0;
+        f.local[2][10] = 2.0;
+        f.clear();
+        assert!(f.far.iter().flatten().all(|&x| x == 0.0));
+        assert!(f.local.iter().flatten().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-phase timing and flop accounting.
+//!
+//! The paper's evaluation is phrased in terms of *arithmetic efficiency*
+//! (achieved flop rate over peak) and *cycles per particle*; it also
+//! reports the communication share of the traversal. This module gives the
+//! driver a per-phase profile so the benchmark harness can print the same
+//! quantities.
+
+use std::time::{Duration, Instant};
+
+/// The five algorithm phases of §2.2 plus setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Binning / coordinate sort of the input particles.
+    Sort,
+    /// Leaf-level particle → outer approximation.
+    P2O,
+    /// Upward pass (T1).
+    Upward,
+    /// Downward pass, interactive field conversions (T2).
+    Interactive,
+    /// Downward pass, parent-to-child inner shifts (T3).
+    Downward,
+    /// Leaf-level inner approximation → particle evaluation.
+    Eval,
+    /// Near-field direct evaluation.
+    Near,
+}
+
+impl Phase {
+    pub const ALL: [Phase; 7] = [
+        Phase::Sort,
+        Phase::P2O,
+        Phase::Upward,
+        Phase::Interactive,
+        Phase::Downward,
+        Phase::Eval,
+        Phase::Near,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Sort => "sort",
+            Phase::P2O => "p2o",
+            Phase::Upward => "upward(T1)",
+            Phase::Interactive => "interactive(T2)",
+            Phase::Downward => "downward(T3)",
+            Phase::Eval => "eval",
+            Phase::Near => "near",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Phase::Sort => 0,
+            Phase::P2O => 1,
+            Phase::Upward => 2,
+            Phase::Interactive => 3,
+            Phase::Downward => 4,
+            Phase::Eval => 5,
+            Phase::Near => 6,
+        }
+    }
+}
+
+/// Timing and flop totals per phase for one evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    times: [Duration; 7],
+    flops: [u64; 7],
+}
+
+impl Profile {
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Time a closure, attributing its wall time to `phase`.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.times[phase.idx()] += t0.elapsed();
+        r
+    }
+
+    /// Add flops to a phase.
+    pub fn add_flops(&mut self, phase: Phase, flops: u64) {
+        self.flops[phase.idx()] += flops;
+    }
+
+    pub fn phase_time(&self, phase: Phase) -> Duration {
+        self.times[phase.idx()]
+    }
+
+    pub fn phase_flops(&self, phase: Phase) -> u64 {
+        self.flops[phase.idx()]
+    }
+
+    pub fn total_time(&self) -> Duration {
+        self.times.iter().sum()
+    }
+
+    pub fn total_flops(&self) -> u64 {
+        self.flops.iter().sum()
+    }
+
+    /// Hierarchy-traversal time (T1 + T2 + T3) — the paper's "herarchical
+    /// part".
+    pub fn traversal_time(&self) -> Duration {
+        self.phase_time(Phase::Upward)
+            + self.phase_time(Phase::Interactive)
+            + self.phase_time(Phase::Downward)
+    }
+
+    /// Achieved flop rate of a phase, in Gflop/s.
+    pub fn phase_gflops(&self, phase: Phase) -> f64 {
+        let t = self.phase_time(phase).as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.phase_flops(phase) as f64 / t / 1e9
+        }
+    }
+
+    /// Render a fixed-width table of the profile.
+    pub fn table(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(s, "{:<16} {:>10} {:>14} {:>9}", "phase", "time(ms)", "flops", "Gflop/s")
+            .unwrap();
+        for p in Phase::ALL {
+            writeln!(
+                s,
+                "{:<16} {:>10.2} {:>14} {:>9.2}",
+                p.name(),
+                self.phase_time(p).as_secs_f64() * 1e3,
+                self.phase_flops(p),
+                self.phase_gflops(p)
+            )
+            .unwrap();
+        }
+        writeln!(
+            s,
+            "{:<16} {:>10.2} {:>14}",
+            "total",
+            self.total_time().as_secs_f64() * 1e3,
+            self.total_flops()
+        )
+        .unwrap();
+        s
+    }
+
+    /// Merge another profile into this one.
+    pub fn merge(&mut self, other: &Profile) {
+        for i in 0..7 {
+            self.times[i] += other.times[i];
+            self.flops[i] += other.flops[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_attributes_to_phase() {
+        let mut p = Profile::new();
+        let v = p.time(Phase::Near, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(p.phase_time(Phase::Near) >= Duration::from_millis(4));
+        assert_eq!(p.phase_time(Phase::P2O), Duration::ZERO);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        let mut p = Profile::new();
+        p.add_flops(Phase::Interactive, 1000);
+        p.add_flops(Phase::Interactive, 500);
+        p.add_flops(Phase::Near, 250);
+        assert_eq!(p.phase_flops(Phase::Interactive), 1500);
+        assert_eq!(p.total_flops(), 1750);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = Profile::new();
+        a.add_flops(Phase::Eval, 10);
+        let mut b = Profile::new();
+        b.add_flops(Phase::Eval, 20);
+        a.merge(&b);
+        assert_eq!(a.phase_flops(Phase::Eval), 30);
+    }
+
+    #[test]
+    fn table_renders_all_phases() {
+        let p = Profile::new();
+        let t = p.table();
+        for ph in Phase::ALL {
+            assert!(t.contains(ph.name()), "missing {}", ph.name());
+        }
+    }
+}

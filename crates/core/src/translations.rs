@@ -1,0 +1,413 @@
+//! Translation operators T1, T2, T3 as K×K matrices.
+//!
+//! In Anderson's method a translation is just "evaluate the source sphere's
+//! approximation at the destination sphere's integration points" (paper
+//! Fig. 2), which is linear in the source samples — a K×K matrix whose
+//! entries depend only on the *relative geometry* of the two spheres. The
+//! same matrices therefore serve every level (geometry is scale-invariant:
+//! sphere radii are fixed ratios of box sides) and every box pair with the
+//! same relative position, which is what makes the aggregation into
+//! level-3 BLAS possible.
+//!
+//! Matrices are stored **transposed**: the traversal applies them to panels
+//! of potential vectors laid out one-vector-per-row (`n_boxes × K`), so the
+//! update is `OUT (n×K) += IN (n×K) · Tᵗ (K×K)` — a single GEMM with unit
+//! stride everywhere.
+
+use fmm_linalg::Matrix;
+use fmm_sphere::{inner_kernel_row, outer_kernel_row, SphereRule};
+use fmm_tree::{interactive_field_union, supernode_decomposition, Separation};
+use std::collections::HashMap;
+
+/// Offsets of the eight child centres relative to their parent's centre,
+/// in child-side units, indexed by octant.
+#[inline]
+pub fn child_center_offset(octant: usize) -> [f64; 3] {
+    [
+        (octant & 1) as f64 - 0.5,
+        ((octant >> 1) & 1) as f64 - 0.5,
+        ((octant >> 2) & 1) as f64 - 0.5,
+    ]
+}
+
+/// The translation-matrix side of an FMM instance: all T1/T3 matrices, the
+/// full cube of T2 matrices, and (optionally) the supernode T2 matrices.
+#[derive(Debug, Clone)]
+pub struct TranslationSet {
+    pub k: usize,
+    /// Separation the T2 cube was built for.
+    pub separation: Separation,
+    /// `t1t[oct]`: child-outer → parent-outer (transposed).
+    pub t1t: Vec<Matrix>,
+    /// `t3t[oct]`: parent-inner → child-inner (transposed).
+    pub t3t: Vec<Matrix>,
+    /// T2 matrices (transposed) in a dense (4d+3)³ cube indexed by
+    /// [`TranslationSet::t2_index_for`]; `None` for near-field offsets (the
+    /// paper allocates the full 11³ = 1331 cube "for ease of indexing" and
+    /// fills the 1206 interactive offsets).
+    pub t2t: Vec<Option<Matrix>>,
+    /// Supernode T2 matrices keyed by the doubled parent-centre offset.
+    pub t2t_super: HashMap<[i32; 3], Matrix>,
+}
+
+/// Floating point work to build one K×K translation matrix with truncation
+/// M: each entry is an M-term Legendre series plus a dot product, ~6 flops
+/// per term. Used by the precomputation-vs-replication experiments
+/// (paper Figs. 8–9).
+pub const fn matrix_build_flops(k: usize, m: usize) -> u64 {
+    (k as u64) * (k as u64) * (6 * (m as u64 + 1) + 10)
+}
+
+impl TranslationSet {
+    /// Build all matrices for a rule, truncation, sphere radii (in units of
+    /// the box side at the *child* level) and separation.
+    ///
+    /// `with_supernodes` additionally builds the parent-level source
+    /// matrices of the supernode decomposition.
+    pub fn build(
+        rule: &SphereRule,
+        m: usize,
+        outer_ratio: f64,
+        inner_ratio: f64,
+        separation: Separation,
+        with_supernodes: bool,
+    ) -> Self {
+        let k = rule.len();
+        let a_child = outer_ratio;
+        let a_parent = 2.0 * outer_ratio;
+        let b_child = inner_ratio;
+        let b_parent = 2.0 * inner_ratio;
+
+        // T1: parent sample j is the child's outer approximation evaluated
+        // at the parent integration point (2ρ s_j, relative to the parent
+        // centre), i.e. at 2ρ s_j − c_oct relative to the child centre.
+        let mut t1t = Vec::with_capacity(8);
+        let mut t3t = Vec::with_capacity(8);
+        let mut row = vec![0.0; k];
+        for oct in 0..8 {
+            let c = child_center_offset(oct);
+            let mut m1 = Matrix::zeros(k, k);
+            let mut m3 = Matrix::zeros(k, k);
+            for j in 0..k {
+                let s = rule.points[j];
+                let x1 = [
+                    a_parent * s[0] - c[0],
+                    a_parent * s[1] - c[1],
+                    a_parent * s[2] - c[2],
+                ];
+                outer_kernel_row(rule, m, a_child, x1, &mut row);
+                for i in 0..k {
+                    m1[(i, j)] = row[i]; // transposed store
+                }
+                // T3: child sample j is the parent's inner approximation
+                // evaluated at c_oct + b_child s_j relative to the parent
+                // centre.
+                let x3 = [
+                    c[0] + b_child * s[0],
+                    c[1] + b_child * s[1],
+                    c[2] + b_child * s[2],
+                ];
+                inner_kernel_row(rule, m, b_parent, x3, &mut row);
+                for i in 0..k {
+                    m3[(i, j)] = row[i];
+                }
+            }
+            t1t.push(m1);
+            t3t.push(m3);
+        }
+
+        // T2 cube: target sample j is the source box's outer approximation
+        // evaluated at b_child s_j − o relative to the source centre, where
+        // o is the source-centre offset (source − target) in box units.
+        let d = separation.d();
+        let w = (4 * d + 3) as usize;
+        let mut t2t: Vec<Option<Matrix>> = vec![None; w * w * w];
+        for o in interactive_field_union(separation) {
+            let mut mt = Matrix::zeros(k, k);
+            for j in 0..k {
+                let s = rule.points[j];
+                let x = [
+                    b_child * s[0] - o[0] as f64,
+                    b_child * s[1] - o[1] as f64,
+                    b_child * s[2] - o[2] as f64,
+                ];
+                outer_kernel_row(rule, m, a_child, x, &mut row);
+                for i in 0..k {
+                    mt[(i, j)] = row[i];
+                }
+            }
+            t2t[Self::t2_index_for(separation, o)] = Some(mt);
+        }
+
+        // Supernode matrices: parent-level sources (outer radius 2ρ) at the
+        // doubled centre offsets produced by the decomposition. The key
+        // set is shared across octants, so collect the union.
+        let mut t2t_super = HashMap::new();
+        if with_supernodes {
+            for oct in 0..8 {
+                let o = [
+                    (oct & 1) as i32,
+                    ((oct >> 1) & 1) as i32,
+                    ((oct >> 2) & 1) as i32,
+                ];
+                for p in supernode_decomposition(o, separation).parents {
+                    t2t_super
+                        .entry(p.center_offset_half)
+                        .or_insert_with(|| {
+                            let mut mt = Matrix::zeros(k, k);
+                            for j in 0..k {
+                                let s = rule.points[j];
+                                let x = [
+                                    b_child * s[0] - p.center_offset_half[0] as f64 / 2.0,
+                                    b_child * s[1] - p.center_offset_half[1] as f64 / 2.0,
+                                    b_child * s[2] - p.center_offset_half[2] as f64 / 2.0,
+                                ];
+                                outer_kernel_row(rule, m, a_parent, x, &mut row);
+                                for i in 0..k {
+                                    mt[(i, j)] = row[i];
+                                }
+                            }
+                            mt
+                        });
+                }
+            }
+        }
+
+        TranslationSet {
+            k,
+            separation,
+            t1t,
+            t3t,
+            t2t,
+            t2t_super,
+        }
+    }
+
+    /// Dense-cube index of a T2 offset.
+    #[inline]
+    pub fn t2_index_for(separation: Separation, o: [i32; 3]) -> usize {
+        let d = separation.d();
+        let r = 2 * d + 1; // offsets span [−r, r]
+        let w = (2 * r + 1) as usize;
+        debug_assert!(o.iter().all(|v| v.abs() <= r));
+        (((o[2] + r) as usize * w) + (o[1] + r) as usize) * w + (o[0] + r) as usize
+    }
+
+    /// T2 matrix (transposed) for an offset; `None` inside the near field.
+    #[inline]
+    pub fn t2(&self, o: [i32; 3]) -> Option<&Matrix> {
+        self.t2t[Self::t2_index_for(self.separation, o)].as_ref()
+    }
+
+    /// Number of distinct T2 matrices stored.
+    pub fn t2_count(&self) -> usize {
+        self.t2t.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Memory footprint of all stored matrices in bytes (the paper tracks
+    /// this: 1331 double-precision K×K matrices are 1.53 MB at K = 12 and
+    /// 53.9 MB at K = 72).
+    pub fn memory_bytes(&self) -> usize {
+        let per = self.k * self.k * std::mem::size_of::<f64>();
+        (self.t1t.len() + self.t3t.len() + self.t2_count() + self.t2t_super.len()) * per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_sphere::{InnerApprox, OuterApprox};
+
+    fn apply_t(mt: &Matrix, g: &[f64]) -> Vec<f64> {
+        // OUT = IN · Tᵗ for a single row-vector.
+        let k = g.len();
+        let mut out = vec![0.0; k];
+        for j in 0..k {
+            let mut acc = 0.0;
+            for i in 0..k {
+                acc += g[i] * mt[(i, j)];
+            }
+            out[j] = acc;
+        }
+        out
+    }
+
+    fn rule5() -> SphereRule {
+        SphereRule::for_order(5)
+    }
+
+    /// High-order rule for tight identity checks (test-only; building a
+    /// full TranslationSet at K = 66 would be slow in debug builds, so the
+    /// identity tests construct single matrices directly).
+    fn rule10() -> SphereRule {
+        SphereRule::product(10)
+    }
+
+    /// Build one translation matrix (transposed) from a kernel-row closure.
+    fn single_matrix(
+        rule: &SphereRule,
+        mut row_for: impl FnMut(usize, &mut [f64]),
+    ) -> Matrix {
+        let k = rule.len();
+        let mut mt = Matrix::zeros(k, k);
+        let mut row = vec![0.0; k];
+        for j in 0..k {
+            row_for(j, &mut row);
+            for i in 0..k {
+                mt[(i, j)] = row[i];
+            }
+        }
+        mt
+    }
+
+    #[test]
+    fn t2_cube_has_1206_matrices() {
+        let ts = TranslationSet::build(&rule5(), 3, 1.0, 1.0, Separation::Two, false);
+        assert_eq!(ts.t2_count(), 1206);
+        assert_eq!(ts.t2t.len(), 11 * 11 * 11);
+        assert!(ts.t2([0, 0, 0]).is_none());
+        assert!(ts.t2([2, -1, 0]).is_none());
+        assert!(ts.t2([3, 0, 0]).is_some());
+        assert!(ts.t2([-5, 4, 2]).is_some());
+    }
+
+    #[test]
+    fn supernode_matrix_count_is_bounded_by_offsets() {
+        let ts = TranslationSet::build(&rule5(), 3, 1.0, 1.0, Separation::Two, true);
+        assert!(!ts.t2t_super.is_empty());
+        // Keys are odd triples (4P − 2o + 1).
+        for key in ts.t2t_super.keys() {
+            for v in key {
+                assert!(v % 2 != 0, "doubled centre offset must be odd: {:?}", key);
+            }
+        }
+    }
+
+    #[test]
+    fn t1_combines_children_into_parent() {
+        // Particles in one child box; T1 applied to the child's outer
+        // samples must reproduce the parent's directly-built outer samples.
+        let rule = rule10();
+        let m = 6;
+        let rho = 1.6;
+        // Child box side 1, octant 5 = (1,0,1): centre offset (0.5,-0.5,0.5).
+        let oct = 5;
+        let cc = child_center_offset(oct);
+        let t1t = single_matrix(&rule, |j, row| {
+            let s = rule.points[j];
+            let x = [
+                2.0 * rho * s[0] - cc[0],
+                2.0 * rho * s[1] - cc[1],
+                2.0 * rho * s[2] - cc[2],
+            ];
+            outer_kernel_row(&rule, m, rho, x, row);
+        });
+        let pos = vec![
+            [cc[0] + 0.2, cc[1] - 0.3, cc[2] + 0.1],
+            [cc[0] - 0.4, cc[1] + 0.1, cc[2] - 0.2],
+        ];
+        let q = vec![1.0, -0.5];
+        let child = OuterApprox::from_particles(&rule, cc, rho, &pos, &q);
+        let parent_direct = OuterApprox::from_particles(&rule, [0.0; 3], 2.0 * rho, &pos, &q);
+        let parent_via_t1 = apply_t(&t1t, &child.g);
+        for (a, b) in parent_via_t1.iter().zip(&parent_direct.g) {
+            assert!(
+                (a - b).abs() < 1e-4 * b.abs().max(1.0),
+                "T1 sample mismatch: {} vs {}",
+                a,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn t2_converts_outer_to_inner() {
+        let rule = rule10();
+        let m = 6;
+        let (rho, b_in) = (1.6, 1.0);
+        let o = [4.0, -3.0, 2.0]; // source centre − target centre, box units
+        let t2t = single_matrix(&rule, |j, row| {
+            let s = rule.points[j];
+            let x = [b_in * s[0] - o[0], b_in * s[1] - o[1], b_in * s[2] - o[2]];
+            outer_kernel_row(&rule, m, rho, x, row);
+        });
+        let src_center = o;
+        let pos = vec![
+            [src_center[0] + 0.3, src_center[1], src_center[2] - 0.2],
+            [src_center[0] - 0.1, src_center[1] + 0.4, src_center[2]],
+        ];
+        let q = vec![2.0, 1.0];
+        let src_outer = OuterApprox::from_particles(&rule, src_center, rho, &pos, &q);
+        let inner_direct = InnerApprox::from_particles(&rule, [0.0; 3], b_in, &pos, &q);
+        let inner_via_t2 = apply_t(&t2t, &src_outer.g);
+        for (a, b) in inner_via_t2.iter().zip(&inner_direct.g) {
+            assert!(
+                (a - b).abs() < 1e-4 * b.abs().max(0.2),
+                "T2 sample mismatch: {} vs {}",
+                a,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn t3_pushes_parent_inner_to_child() {
+        let rule = rule10();
+        let m = 6;
+        let b_in = 1.0;
+        // Far sources; parent inner at origin with radius 2b (parent side
+        // 2); child at octant 2 = (0,1,0): centre (−0.5, 0.5, −0.5).
+        let oct = 2;
+        let cc = child_center_offset(oct);
+        let t3t = single_matrix(&rule, |j, row| {
+            let s = rule.points[j];
+            let x = [
+                cc[0] + b_in * s[0],
+                cc[1] + b_in * s[1],
+                cc[2] + b_in * s[2],
+            ];
+            inner_kernel_row(&rule, m, 2.0 * b_in, x, row);
+        });
+        let pos = vec![[9.0, 2.0, -4.0], [-8.0, 6.0, 5.0]];
+        let q = vec![1.0, 3.0];
+        let parent_inner = InnerApprox::from_particles(&rule, [0.0; 3], 2.0 * b_in, &pos, &q);
+        let child_direct = InnerApprox::from_particles(&rule, cc, b_in, &pos, &q);
+        let child_via_t3 = apply_t(&t3t, &parent_inner.g);
+        for (a, b) in child_via_t3.iter().zip(&child_direct.g) {
+            assert!(
+                (a - b).abs() < 1e-4 * b.abs().max(0.2),
+                "T3 sample mismatch: {} vs {}",
+                a,
+                b
+            );
+        }
+    }
+
+    #[test]
+    fn t1_matrices_are_permutations_of_each_other() {
+        // The paper: "due to the symmetry of the distribution of the
+        // integration points on the spheres, the eight matrices required to
+        // represent T1 (T3) are permutations of each other". True for the
+        // icosahedral rule (antipodally symmetric point set).
+        let ts = TranslationSet::build(&rule5(), 5, 1.0, 1.0, Separation::Two, false);
+        for oct in 1..8 {
+            let p = fmm_linalg::perm::find_row_permutation(&ts.t1t[0], &ts.t1t[oct], 1e-9);
+            assert!(p.is_some(), "t1t[0] and t1t[{}] not row-permutable", oct);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_matches_paper_scale() {
+        // K = 12: 1331 matrices ≈ 1.53 MB (paper §3.3.4). We store 1206 +
+        // 16 parent/child matrices, so slightly less.
+        let ts = TranslationSet::build(&rule5(), 3, 1.0, 1.0, Separation::Two, false);
+        let mb = ts.memory_bytes() as f64 / 1e6;
+        assert!(mb > 1.3 && mb < 1.6, "memory {} MB", mb);
+    }
+
+    #[test]
+    fn matrix_build_flops_monotone() {
+        assert!(matrix_build_flops(72, 10) > matrix_build_flops(12, 10));
+        assert!(matrix_build_flops(12, 20) > matrix_build_flops(12, 5));
+    }
+}

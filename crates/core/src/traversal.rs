@@ -1,0 +1,550 @@
+//! The hierarchy traversal: upward (T1) and downward (T2 + T3) passes.
+//!
+//! This module is the reproduction of the paper's §3.3: every translation
+//! is a K×K matrix, and all boxes at a level that share a matrix are
+//! batched into a panel so the whole traversal "takes the form of a
+//! collection of matrix–matrix multiplications". Parallelism follows the
+//! paper's data-parallel model: boxes of one level are partitioned into
+//! slabs of parent z-planes (the analogue of per-VU subgrids); slabs are
+//! processed by rayon workers, each of which owns a disjoint, contiguous
+//! range of the level's output buffer, so there are no write conflicts.
+//! Levels are sequential, as in the paper.
+//!
+//! Both the aggregated (GEMM) path and a per-box GEMV path are provided;
+//! their ratio is the paper's Table 3 experiment.
+
+use crate::field::FieldHierarchy;
+use crate::translations::TranslationSet;
+use fmm_linalg::{gemm_acc, gemm_flops, multi_gemm_acc, MultiGemmPlan};
+use fmm_tree::{interactive_field_offsets, supernode_decomposition, BoxCoord};
+use rayon::prelude::*;
+
+/// Flop counters from a traversal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalFlops {
+    pub t1: u64,
+    pub t2: u64,
+    pub t3: u64,
+    /// Elements moved by gathers/scatters (the paper's "copying" overhead,
+    /// linear in K where the GEMMs are quadratic).
+    pub copied: u64,
+}
+
+/// Execution strategy for the translation applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// One GEMV per box pair (the paper's level-2-BLAS baseline).
+    Gemv,
+    /// Panel-aggregated GEMMs (the paper's level-3-BLAS optimization).
+    Gemm,
+    /// Multiple-instance GEMM over per-row panels — the paper's CMSSL
+    /// multiple-instance call, which aggregates "along one of the three
+    /// space dimensions without a data reallocation": each instance is a
+    /// K×K by K×S product over one row of parents (S = row extent).
+    MultiGemm,
+}
+
+#[inline]
+fn child_index(parent: BoxCoord, oct: usize) -> usize {
+    parent.child(oct).index()
+}
+
+/// Gather the octant-`oct` children of parents `p0..p1` (row-major parent
+/// indices at level `l`) into a `(p1-p0) × k` panel.
+fn gather_children(
+    src_child_level: &[f64],
+    l_parent: u32,
+    p0: usize,
+    p1: usize,
+    oct: usize,
+    k: usize,
+    panel: &mut [f64],
+) {
+    debug_assert_eq!(panel.len(), (p1 - p0) * k);
+    for (row, pi) in (p0..p1).enumerate() {
+        let parent = BoxCoord::from_index(l_parent, pi);
+        let ci = child_index(parent, oct);
+        panel[row * k..(row + 1) * k].copy_from_slice(&src_child_level[ci * k..(ci + 1) * k]);
+    }
+}
+
+/// Scatter-add a `(p1-p0) × k` panel into the octant-`oct` children of
+/// parents `p0..p1`, where `dst` is the slice of the child level starting
+/// at child box index `dst_base`.
+fn scatter_add_children(
+    dst: &mut [f64],
+    dst_base: usize,
+    l_parent: u32,
+    p0: usize,
+    p1: usize,
+    oct: usize,
+    k: usize,
+    panel: &[f64],
+) {
+    for (row, pi) in (p0..p1).enumerate() {
+        let parent = BoxCoord::from_index(l_parent, pi);
+        let ci = child_index(parent, oct) - dst_base;
+        let d = &mut dst[ci * k..(ci + 1) * k];
+        for (dj, sj) in d.iter_mut().zip(&panel[row * k..(row + 1) * k]) {
+            *dj += sj;
+        }
+    }
+}
+
+/// Slab decomposition of a parent level: ranges of parent box indices, one
+/// z-plane (or more for small levels) each, whose children occupy disjoint
+/// contiguous ranges of the child level.
+fn parent_slabs(l_parent: u32) -> Vec<(usize, usize)> {
+    let n = 1usize << l_parent; // parents per axis
+    let plane = n * n;
+    (0..n).map(|z| (z * plane, (z + 1) * plane)).collect()
+}
+
+/// Upward pass: for levels l = depth−1 … 2 combine children's outer
+/// samples into parents' (T1). Returns flop counters.
+pub fn upward_pass(
+    fh: &mut FieldHierarchy,
+    ts: &TranslationSet,
+    agg: Aggregation,
+    parallel: bool,
+) -> TraversalFlops {
+    let k = fh.k;
+    let depth = fh.hierarchy.depth;
+    let mut flops = TraversalFlops::default();
+    if depth < 3 {
+        return flops;
+    }
+    // Level 1 is included (beyond the paper's level-2 stop) because the
+    // supernode path at level 2 reads parent-level outer samples.
+    for l in (1..depth).rev() {
+        let n_parents = fh.hierarchy.boxes_at_level(l);
+        // Split far into (child source, parent destination) levels.
+        let (lo, hi) = fh.far.split_at_mut(l as usize + 1);
+        let parents = &mut lo[l as usize];
+        let children = &hi[0];
+        let slabs = parent_slabs(l);
+        let plane = slabs[0].1 - slabs[0].0;
+
+        let do_slab = |(slab, out): (&(usize, usize), &mut [f64])| {
+            let (p0, p1) = *slab;
+            match agg {
+                Aggregation::Gemm => {
+                    let mut panel = vec![0.0; (p1 - p0) * k];
+                    for oct in 0..8 {
+                        gather_children(children, l, p0, p1, oct, k, &mut panel);
+                        gemm_acc(p1 - p0, k, k, &panel, ts.t1t[oct].as_slice(), out);
+                    }
+                }
+                Aggregation::MultiGemm => {
+                    // One instance per parent row (x-axis aggregation, the
+                    // CM's no-reallocation direction), all sharing one
+                    // translation matrix.
+                    let row_len = 1usize << l; // parents per x-row
+                    let n_rows = (p1 - p0) / row_len;
+                    let mut panel = vec![0.0; (p1 - p0) * k];
+                    for oct in 0..8 {
+                        gather_children(children, l, p0, p1, oct, k, &mut panel);
+                        let mut plan = MultiGemmPlan::new(row_len, k, k);
+                        for r in 0..n_rows {
+                            // A = the row's gathered child panel, B = the
+                            // shared transposed T1 matrix, C = the row's
+                            // parents.
+                            plan.push(r * row_len * k, 0, r * row_len * k);
+                        }
+                        multi_gemm_acc(&plan, &panel, ts.t1t[oct].as_slice(), out);
+                    }
+                }
+                Aggregation::Gemv => {
+                    let mut xt = vec![0.0; k];
+                    for (row, pi) in (p0..p1).enumerate() {
+                        let parent = BoxCoord::from_index(l, pi);
+                        for oct in 0..8 {
+                            let ci = child_index(parent, oct);
+                            let g = &children[ci * k..(ci + 1) * k];
+                            // out_j += Σ_i g_i Tᵗ[i][j] — apply the
+                            // transposed matrix to a row vector via GEMV on
+                            // the transpose: equivalent to T · g with the
+                            // untransposed matrix; reuse gemv_acc with Tᵗᵗ
+                            // by looping columns.
+                            xt.copy_from_slice(g);
+                            let t = &ts.t1t[oct];
+                            let dst = &mut out[row * k..(row + 1) * k];
+                            for i in 0..k {
+                                let gi = xt[i];
+                                let trow = t.row(i);
+                                for (dj, tj) in dst.iter_mut().zip(trow) {
+                                    *dj += gi * tj;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        if parallel {
+            slabs
+                .par_iter()
+                .zip(parents.par_chunks_mut(plane * k))
+                .for_each(do_slab);
+        } else {
+            for (slab, out) in slabs.iter().zip(parents.chunks_mut(plane * k)) {
+                do_slab((slab, out));
+            }
+        }
+        flops.t1 += gemm_flops(n_parents, k, k) * 8;
+        flops.copied += (n_parents * 8 * k) as u64;
+    }
+    flops
+}
+
+/// Downward pass: for levels l = 2 … depth, convert interactive-field
+/// outer samples to inner samples (T2, optionally with supernodes) and add
+/// the parent's shifted inner samples (T3).
+pub fn downward_pass(
+    fh: &mut FieldHierarchy,
+    ts: &TranslationSet,
+    supernodes: bool,
+    agg: Aggregation,
+    parallel: bool,
+) -> TraversalFlops {
+    let k = fh.k;
+    let depth = fh.hierarchy.depth;
+    let sep = ts.separation;
+    let mut flops = TraversalFlops::default();
+
+    // Precompute per-octant interactive lists and supernode decompositions.
+    let octant_offsets: Vec<Vec<[i32; 3]>> = (0..8)
+        .map(|oct| {
+            let o = [
+                (oct & 1) as i32,
+                ((oct >> 1) & 1) as i32,
+                ((oct >> 2) & 1) as i32,
+            ];
+            interactive_field_offsets(o, sep)
+        })
+        .collect();
+    let octant_supernodes: Vec<_> = (0..8)
+        .map(|oct| {
+            let o = [
+                (oct & 1) as i32,
+                ((oct >> 1) & 1) as i32,
+                ((oct >> 2) & 1) as i32,
+            ];
+            supernode_decomposition(o, sep)
+        })
+        .collect();
+
+    for l in 2..=depth {
+        let n_boxes = fh.hierarchy.boxes_at_level(l);
+        let l_parent = l - 1;
+        let (local_lo, local_hi) = fh.local.split_at_mut(l as usize);
+        let local_parent: &[f64] = &local_lo[l_parent as usize];
+        let local_cur = &mut local_hi[0];
+        local_cur.iter_mut().for_each(|x| *x = 0.0);
+        let far_cur: &[f64] = &fh.far[l as usize];
+        let far_parent: &[f64] = &fh.far[l_parent as usize];
+        let slabs = parent_slabs(l_parent);
+        let parent_plane = slabs[0].1 - slabs[0].0;
+        let child_chunk = parent_plane * 8 * k; // children of one parent plane
+
+        let apply_t3 = l >= 3; // local field is zero above level 2
+
+        let do_slab = |(slab, out): (&(usize, usize), &mut [f64])| {
+            let (p0, p1) = *slab;
+            let np = p1 - p0;
+            let dst_base = p0 * 8; // first child box index of the slab
+            let mut src_panel = vec![0.0; np * k];
+            let mut acc_panel = vec![0.0; np * k];
+            for oct in 0..8 {
+                acc_panel.iter_mut().for_each(|x| *x = 0.0);
+
+                // ---- T3: parent inner → child inner -------------------
+                if apply_t3 {
+                    match agg {
+                        Aggregation::Gemm | Aggregation::MultiGemm => {
+                            gemm_acc(
+                                np,
+                                k,
+                                k,
+                                &local_parent[p0 * k..p1 * k],
+                                ts.t3t[oct].as_slice(),
+                                &mut acc_panel,
+                            );
+                        }
+                        Aggregation::Gemv => {
+                            for row in 0..np {
+                                let g = &local_parent[(p0 + row) * k..(p0 + row + 1) * k];
+                                let t = &ts.t3t[oct];
+                                let dst = &mut acc_panel[row * k..(row + 1) * k];
+                                for i in 0..k {
+                                    let gi = g[i];
+                                    for (dj, tj) in dst.iter_mut().zip(t.row(i)) {
+                                        *dj += gi * tj;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // ---- T2: interactive field ----------------------------
+                // Targets: the octant-`oct` children of parents p0..p1, in
+                // parent order (rows of the panels).
+                let n_axis = 1i64 << l;
+                let target_coord = |row: usize| -> [i64; 3] {
+                    let parent = BoxCoord::from_index(l_parent, p0 + row);
+                    let c = parent.child(oct);
+                    [c.x as i64, c.y as i64, c.z as i64]
+                };
+
+                let mut run_offset_list =
+                    |offsets: &[[i32; 3]],
+                     matrices: &[&fmm_linalg::Matrix],
+                     source: &[f64],
+                     src_axis: i64,
+                     to_src: &dyn Fn([i64; 3], [i32; 3]) -> [i64; 3]| {
+                        for (&off, &m) in offsets.iter().zip(matrices) {
+                            // Gather sources; out-of-domain sources are zero.
+                            let mut any = false;
+                            for row in 0..np {
+                                let t = target_coord(row);
+                                let s = to_src(t, off);
+                                let dst = &mut src_panel[row * k..(row + 1) * k];
+                                if s[0] >= 0
+                                    && s[1] >= 0
+                                    && s[2] >= 0
+                                    && s[0] < src_axis
+                                    && s[1] < src_axis
+                                    && s[2] < src_axis
+                                {
+                                    let si =
+                                        ((s[2] * src_axis + s[1]) * src_axis + s[0]) as usize;
+                                    dst.copy_from_slice(&source[si * k..(si + 1) * k]);
+                                    any = true;
+                                } else {
+                                    dst.iter_mut().for_each(|x| *x = 0.0);
+                                }
+                            }
+                            if !any {
+                                continue;
+                            }
+                            match agg {
+                                Aggregation::Gemm | Aggregation::MultiGemm => {
+                                    gemm_acc(np, k, k, &src_panel, m.as_slice(), &mut acc_panel);
+                                }
+                                Aggregation::Gemv => {
+                                    for row in 0..np {
+                                        let g = &src_panel[row * k..(row + 1) * k];
+                                        let dst = &mut acc_panel[row * k..(row + 1) * k];
+                                        for i in 0..k {
+                                            let gi = g[i];
+                                            if gi == 0.0 {
+                                                continue;
+                                            }
+                                            for (dj, tj) in dst.iter_mut().zip(m.row(i)) {
+                                                *dj += gi * tj;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    };
+
+                let same_level =
+                    |t: [i64; 3], off: [i32; 3]| -> [i64; 3] {
+                        [
+                            t[0] + off[0] as i64,
+                            t[1] + off[1] as i64,
+                            t[2] + off[2] as i64,
+                        ]
+                    };
+                if supernodes {
+                    let sd = &octant_supernodes[oct];
+                    // Parent-level supernode sources.
+                    let parent_axis = 1i64 << l_parent;
+                    let sn_offsets: Vec<[i32; 3]> =
+                        sd.parents.iter().map(|p| p.parent_offset).collect();
+                    let sn_matrices: Vec<&fmm_linalg::Matrix> = sd
+                        .parents
+                        .iter()
+                        .map(|p| &ts.t2t_super[&p.center_offset_half])
+                        .collect();
+                    run_offset_list(
+                        &sn_offsets,
+                        &sn_matrices,
+                        far_parent,
+                        parent_axis,
+                        &|t, off| {
+                            [
+                                (t[0] >> 1) + off[0] as i64,
+                                (t[1] >> 1) + off[1] as i64,
+                                (t[2] >> 1) + off[2] as i64,
+                            ]
+                        },
+                    );
+                    // Leftover child-level sources.
+                    let ch_matrices: Vec<&fmm_linalg::Matrix> = sd
+                        .children
+                        .iter()
+                        .map(|&off| ts.t2(off).expect("interactive offset"))
+                        .collect();
+                    run_offset_list(&sd.children, &ch_matrices, far_cur, n_axis, &same_level);
+                } else {
+                    let matrices: Vec<&fmm_linalg::Matrix> = octant_offsets[oct]
+                        .iter()
+                        .map(|&off| ts.t2(off).expect("interactive offset"))
+                        .collect();
+                    run_offset_list(
+                        &octant_offsets[oct],
+                        &matrices,
+                        far_cur,
+                        n_axis,
+                        &same_level,
+                    );
+                }
+
+                // Scatter the accumulated panel into the children.
+                scatter_add_children(out, dst_base, l_parent, p0, p1, oct, k, &acc_panel);
+            }
+        };
+
+        if parallel {
+            slabs
+                .par_iter()
+                .zip(local_cur.par_chunks_mut(child_chunk))
+                .for_each(do_slab);
+        } else {
+            for (slab, out) in slabs.iter().zip(local_cur.chunks_mut(child_chunk)) {
+                do_slab((slab, out));
+            }
+        }
+
+        // Flop accounting (interior-box counts; boundary boxes do less).
+        let per_box_t2 = if supernodes {
+            octant_supernodes[0].translation_count() as u64
+        } else {
+            octant_offsets[0].len() as u64
+        };
+        flops.t2 += per_box_t2 * gemm_flops(n_boxes, k, k);
+        if apply_t3 {
+            flops.t3 += gemm_flops(n_boxes, k, k);
+        }
+        flops.copied += (n_boxes * k) as u64 * (per_box_t2 + 2);
+    }
+    flops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fmm_sphere::SphereRule;
+    use fmm_tree::{Hierarchy, Separation};
+
+    fn small_setup(depth: u32) -> (FieldHierarchy, TranslationSet) {
+        let rule = SphereRule::for_order(3);
+        let ts = TranslationSet::build(&rule, 4, 1.0, 1.0, Separation::Two, true);
+        let fh = FieldHierarchy::new(Hierarchy::new(depth), rule.len());
+        (fh, ts)
+    }
+
+    fn fill_pseudo(fh: &mut FieldHierarchy) {
+        let depth = fh.hierarchy.depth as usize;
+        let mut state = 777u64;
+        for v in fh.far[depth].iter_mut() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        }
+    }
+
+    #[test]
+    fn upward_parallel_matches_sequential() {
+        let (mut a, ts) = small_setup(4);
+        fill_pseudo(&mut a);
+        let mut b = a.clone();
+        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        upward_pass(&mut b, &ts, Aggregation::Gemm, true);
+        for l in 2..=4usize {
+            for (x, y) in a.far[l].iter().zip(&b.far[l]) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn upward_multigemm_matches_gemm() {
+        let (mut a, ts) = small_setup(4);
+        fill_pseudo(&mut a);
+        let mut b = a.clone();
+        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        upward_pass(&mut b, &ts, Aggregation::MultiGemm, false);
+        for l in 1..=4usize {
+            for (x, y) in a.far[l].iter().zip(&b.far[l]) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn upward_gemv_matches_gemm() {
+        let (mut a, ts) = small_setup(3);
+        fill_pseudo(&mut a);
+        let mut b = a.clone();
+        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        upward_pass(&mut b, &ts, Aggregation::Gemv, false);
+        for l in 2..3usize {
+            for (x, y) in a.far[l].iter().zip(&b.far[l]) {
+                assert!((x - y).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn downward_parallel_matches_sequential() {
+        let (mut a, ts) = small_setup(3);
+        fill_pseudo(&mut a);
+        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        let mut b = a.clone();
+        downward_pass(&mut a, &ts, false, Aggregation::Gemm, false);
+        downward_pass(&mut b, &ts, false, Aggregation::Gemm, true);
+        for l in 2..=3usize {
+            for (x, y) in a.local[l].iter().zip(&b.local[l]) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn downward_gemv_matches_gemm() {
+        let (mut a, ts) = small_setup(3);
+        fill_pseudo(&mut a);
+        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        let mut b = a.clone();
+        downward_pass(&mut a, &ts, false, Aggregation::Gemm, false);
+        downward_pass(&mut b, &ts, false, Aggregation::Gemv, false);
+        for (x, y) in a.local[3].iter().zip(&b.local[3]) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn upward_flops_counted() {
+        let (mut a, ts) = small_setup(4);
+        fill_pseudo(&mut a);
+        let f = upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        // Levels 3, 2 and 1 are computed: 8·2K²·(8³ + 8² + 8) with K = 6.
+        let k = 6u64;
+        assert_eq!(f.t1, 8 * 2 * k * k * (512 + 64 + 8));
+    }
+
+    #[test]
+    fn empty_far_field_stays_zero() {
+        let (mut a, ts) = small_setup(3);
+        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        downward_pass(&mut a, &ts, false, Aggregation::Gemm, false);
+        assert!(a.local[3].iter().all(|&x| x == 0.0));
+    }
+}

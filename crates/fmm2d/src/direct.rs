@@ -1,0 +1,40 @@
+//! O(N²) direct summation with the 2-D log kernel (reference).
+
+use rayon::prelude::*;
+
+/// Φᵢ = Σ_{j≠i} q_j ln(1/|xᵢ − x_j|).
+pub fn direct_potentials(positions: &[[f64; 2]], charges: &[f64]) -> Vec<f64> {
+    assert_eq!(positions.len(), charges.len());
+    let n = positions.len();
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut acc = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let d = [
+                    positions[i][0] - positions[j][0],
+                    positions[i][1] - positions[j][1],
+                ];
+                acc -= charges[j] * (d[0] * d[0] + d[1] * d[1]).sqrt().ln();
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_charges() {
+        let p = [[0.0, 0.0], [f64::exp(1.0), 0.0]];
+        let q = [1.0, 3.0];
+        let out = direct_potentials(&p, &q);
+        assert!((out[0] - (-3.0)).abs() < 1e-12); // 3·ln(1/e) = −3
+        assert!((out[1] - (-1.0)).abs() < 1e-12);
+    }
+}

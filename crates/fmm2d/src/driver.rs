@@ -1,0 +1,375 @@
+//! The 2-D driver: the same five phases as the 3-D crate, on a quadtree.
+
+use crate::element::{element_len, inner_row, outer_from_particles, Circle};
+use crate::translations::{apply_t, t2_index, LevelSet};
+use crate::tree2d::{
+    interactive_field_offsets_2d, near_field_offsets_2d, BoxCoord2d,
+};
+use rayon::prelude::*;
+
+/// Configuration of the 2-D method.
+#[derive(Debug, Clone)]
+pub struct Fmm2dConfig {
+    /// Integration points on each circle (trapezoid rule); modes up to
+    /// K/2 − 1 are represented faithfully.
+    pub k: usize,
+    /// Fourier truncation M (defaults to K/2 − 1).
+    pub m: usize,
+    /// Circle radii in box-side units; outer must exceed √2/2.
+    pub outer_ratio: f64,
+    pub inner_ratio: f64,
+    /// Quadtree depth (leaf level has 4^depth boxes).
+    pub depth: u32,
+    /// Parallel near field / leaf phases.
+    pub parallel: bool,
+}
+
+impl Fmm2dConfig {
+    pub fn with_points(k: usize) -> Self {
+        Fmm2dConfig {
+            k,
+            m: k / 2 - 1,
+            outer_ratio: 1.4,
+            inner_ratio: 0.9,
+            depth: 3,
+            parallel: true,
+        }
+    }
+
+    pub fn depth(mut self, d: u32) -> Self {
+        self.depth = d.max(2);
+        self
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        let min = 2f64.sqrt() / 2.0;
+        if self.outer_ratio <= min || self.inner_ratio <= min {
+            return Err(format!("circle radii must exceed √2/2 ≈ {:.3}", min));
+        }
+        if self.outer_ratio >= 3.0 - self.inner_ratio {
+            return Err("outer_ratio too large for two-separation".into());
+        }
+        if self.m + 1 > self.k / 2 {
+            return Err(format!(
+                "truncation M = {} exceeds the trapezoid rule's faithful band (K/2 − 1 = {})",
+                self.m,
+                self.k / 2 - 1
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A configured 2-D FMM over the unit square.
+pub struct Fmm2d {
+    cfg: Fmm2dConfig,
+    circle: Circle,
+    levels: Vec<LevelSet>,
+}
+
+impl Fmm2d {
+    pub fn new(cfg: Fmm2dConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        let circle = Circle::new(cfg.k);
+        // Per-level matrices (the log kernel is not scale invariant).
+        let levels = (0..=cfg.depth)
+            .map(|l| {
+                let side = 1.0 / (1u64 << l) as f64;
+                LevelSet::build(&circle, cfg.m, cfg.outer_ratio, cfg.inner_ratio, side)
+            })
+            .collect();
+        Ok(Fmm2d { cfg, circle, levels })
+    }
+
+    pub fn k(&self) -> usize {
+        self.cfg.k
+    }
+
+    /// Potentials Φᵢ = Σ_{j≠i} q_j ln(1/r) for particles in [0,1)².
+    pub fn evaluate(&self, positions: &[[f64; 2]], charges: &[f64]) -> Vec<f64> {
+        assert_eq!(positions.len(), charges.len());
+        assert!(!positions.is_empty());
+        let depth = self.cfg.depth;
+        let e = element_len(self.cfg.k);
+        let n_axis = |l: u32| 1usize << l;
+        let boxes = |l: u32| 1usize << (2 * l);
+        let side = |l: u32| 1.0 / n_axis(l) as f64;
+
+        // ---- bin particles -------------------------------------------------
+        let nl = boxes(depth);
+        let locate = |p: &[f64; 2]| -> usize {
+            let n = n_axis(depth) as f64;
+            let x = ((p[0] * n) as usize).min(n_axis(depth) - 1);
+            let y = ((p[1] * n) as usize).min(n_axis(depth) - 1);
+            y * n_axis(depth) + x
+        };
+        let mut counts = vec![0u32; nl + 1];
+        for p in positions {
+            counts[locate(p) + 1] += 1;
+        }
+        for i in 0..nl {
+            counts[i + 1] += counts[i];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut order = vec![0u32; positions.len()];
+        for (i, p) in positions.iter().enumerate() {
+            let b = locate(p);
+            order[cursor[b] as usize] = i as u32;
+            cursor[b] += 1;
+        }
+
+        // ---- P2O -----------------------------------------------------------
+        let mut far: Vec<Vec<f64>> = (0..=depth).map(|l| vec![0.0; boxes(l) * e]).collect();
+        let leaf_side = side(depth);
+        let a_leaf = self.cfg.outer_ratio * leaf_side;
+        {
+            let fl = &mut far[depth as usize];
+            let circle = &self.circle;
+            let build_box = |(b, out): (usize, &mut [f64])| {
+                let r = starts[b] as usize..starts[b + 1] as usize;
+                if r.is_empty() {
+                    return;
+                }
+                let bc = BoxCoord2d::from_index(depth, b);
+                let c = [
+                    (bc.x as f64 + 0.5) * leaf_side,
+                    (bc.y as f64 + 0.5) * leaf_side,
+                ];
+                let rel: Vec<[f64; 2]> = r
+                    .clone()
+                    .map(|s| {
+                        let p = positions[order[s] as usize];
+                        [p[0] - c[0], p[1] - c[1]]
+                    })
+                    .collect();
+                let q: Vec<f64> = r.clone().map(|s| charges[order[s] as usize]).collect();
+                outer_from_particles(circle, a_leaf, &rel, &q, out);
+            };
+            if self.cfg.parallel {
+                fl.par_chunks_mut(e).enumerate().for_each(build_box);
+            } else {
+                fl.chunks_mut(e).enumerate().for_each(build_box);
+            }
+        }
+
+        // ---- upward (T1) ----------------------------------------------------
+        for l in (1..depth).rev() {
+            let (lo, hi) = far.split_at_mut(l as usize + 1);
+            let parents = &mut lo[l as usize];
+            let children = &hi[0];
+            let ls = &self.levels[(l + 1) as usize]; // matrices at child side
+            for pi in 0..boxes(l) {
+                let pc = BoxCoord2d::from_index(l, pi);
+                let out = &mut parents[pi * e..(pi + 1) * e];
+                for quad in 0..4 {
+                    let ci = pc.child(quad).index();
+                    apply_t(e, &ls.t1t[quad], &children[ci * e..(ci + 1) * e], out);
+                }
+            }
+        }
+
+        // ---- downward (T2 + T3) ----------------------------------------------
+        let mut local_prev: Vec<f64> = vec![0.0; e]; // level-1 locals are zero
+        for l in 2..=depth {
+            let nb = boxes(l);
+            let mut local_cur = vec![0.0; nb * e];
+            let ls = &self.levels[l as usize];
+            let far_cur = &far[l as usize];
+            let na = n_axis(l) as i32;
+            for bi in 0..nb {
+                let bc = BoxCoord2d::from_index(l, bi);
+                let quad = bc.quadrant();
+                let out = &mut local_cur[bi * e..(bi + 1) * e];
+                // T3
+                if l >= 3 {
+                    let pi = bc.parent().unwrap().index();
+                    apply_t(e, &ls.t3t[quad], &local_prev[pi * e..(pi + 1) * e], out);
+                }
+                // T2
+                let qoff = [(quad & 1) as i32, ((quad >> 1) & 1) as i32];
+                for o in interactive_field_offsets_2d(qoff, 2) {
+                    let sx = bc.x as i32 + o[0];
+                    let sy = bc.y as i32 + o[1];
+                    if sx < 0 || sy < 0 || sx >= na || sy >= na {
+                        continue;
+                    }
+                    let si = sy as usize * na as usize + sx as usize;
+                    let mt = ls.t2t[t2_index(o)].as_ref().unwrap();
+                    apply_t(e, mt, &far_cur[si * e..(si + 1) * e], out);
+                }
+            }
+            local_prev = std::mem::take(&mut local_cur);
+        }
+        let local_leaf = local_prev;
+
+        // ---- leaf evaluation + near field -------------------------------------
+        let b_leaf = self.cfg.inner_ratio * leaf_side;
+        let near = near_field_offsets_2d(2);
+        let circle = &self.circle;
+        let m = self.cfg.m;
+        let eval_box = |b: usize| -> Vec<(u32, f64)> {
+            let r = starts[b] as usize..starts[b + 1] as usize;
+            let mut out = Vec::with_capacity(r.len());
+            if r.is_empty() {
+                return out;
+            }
+            let bc = BoxCoord2d::from_index(depth, b);
+            let c = [
+                (bc.x as f64 + 0.5) * leaf_side,
+                (bc.y as f64 + 0.5) * leaf_side,
+            ];
+            let g = &local_leaf[b * e..(b + 1) * e];
+            let mut row = vec![0.0; e];
+            for s in r.clone() {
+                let idx = order[s] as usize;
+                let p = positions[idx];
+                inner_row(circle, m, b_leaf, [p[0] - c[0], p[1] - c[1]], &mut row);
+                let mut pot: f64 = row.iter().zip(g).map(|(a, b)| a * b).sum();
+                // near field: own box + 24 neighbours
+                let mut near_box = |nb: BoxCoord2d| {
+                    let rr = starts[nb.index()] as usize..starts[nb.index() + 1] as usize;
+                    for t in rr {
+                        let j = order[t] as usize;
+                        if j == idx {
+                            continue;
+                        }
+                        let d = [p[0] - positions[j][0], p[1] - positions[j][1]];
+                        let r2 = d[0] * d[0] + d[1] * d[1];
+                        if r2 > 0.0 {
+                            pot -= charges[j] * 0.5 * r2.ln();
+                        }
+                    }
+                };
+                near_box(bc);
+                for &o in &near {
+                    if let Some(nb) = bc.offset(o) {
+                        near_box(nb);
+                    }
+                }
+                out.push((idx as u32, pot));
+            }
+            out
+        };
+        let mut potentials = vec![0.0; positions.len()];
+        let per_box: Vec<Vec<(u32, f64)>> = if self.cfg.parallel {
+            (0..nl).into_par_iter().map(eval_box).collect()
+        } else {
+            (0..nl).map(eval_box).collect()
+        };
+        for chunk in per_box {
+            for (idx, pot) in chunk {
+                potentials[idx as usize] = pot;
+            }
+        }
+        potentials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::direct_potentials;
+
+    fn pseudo(n: usize, seed: u64) -> (Vec<[f64; 2]>, Vec<f64>) {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<[f64; 2]> = (0..n).map(|_| [next(), next()]).collect();
+        let q = vec![1.0; n];
+        (pts, q)
+    }
+
+    fn rms_rel(a: &[f64], b: &[f64]) -> f64 {
+        let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let den: f64 = b.iter().map(|y| y * y).sum();
+        (num / den).sqrt()
+    }
+
+    #[test]
+    fn matches_direct_depth3() {
+        let (pts, q) = pseudo(2000, 21);
+        let fmm = Fmm2d::new(Fmm2dConfig::with_points(16).depth(3)).unwrap();
+        let out = fmm.evaluate(&pts, &q);
+        let reference = direct_potentials(&pts, &q);
+        let err = rms_rel(&out, &reference);
+        assert!(err < 1e-5, "rms_rel {:.2e}", err);
+    }
+
+    #[test]
+    fn matches_direct_depth4() {
+        let (pts, q) = pseudo(4000, 22);
+        let fmm = Fmm2d::new(Fmm2dConfig::with_points(16).depth(4)).unwrap();
+        let out = fmm.evaluate(&pts, &q);
+        let reference = direct_potentials(&pts, &q);
+        let err = rms_rel(&out, &reference);
+        assert!(err < 1e-5, "rms_rel {:.2e}", err);
+    }
+
+    #[test]
+    fn accuracy_improves_with_k() {
+        let (pts, q) = pseudo(1500, 23);
+        let reference = direct_potentials(&pts, &q);
+        let mut last = f64::INFINITY;
+        for k in [8usize, 16, 32] {
+            let fmm = Fmm2d::new(Fmm2dConfig::with_points(k).depth(3)).unwrap();
+            let err = rms_rel(&fmm.evaluate(&pts, &q), &reference);
+            assert!(err < last, "K={}: {:.2e} not below {:.2e}", k, err, last);
+            last = err;
+        }
+        assert!(last < 1e-9, "K=32 err {:.2e}", last);
+    }
+
+    #[test]
+    fn mixed_charges_2d() {
+        let (pts, _) = pseudo(1000, 24);
+        let mut state = 77u64;
+        let q: Vec<f64> = (0..1000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect();
+        let fmm = Fmm2d::new(Fmm2dConfig::with_points(24).depth(3)).unwrap();
+        let out = fmm.evaluate(&pts, &q);
+        let reference = direct_potentials(&pts, &q);
+        // Absolute comparison (reference fluctuates near zero).
+        let scale = reference.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        for (a, b) in out.iter().zip(&reference) {
+            assert!((a - b).abs() < 1e-6 * scale.max(1.0), "{} vs {}", a, b);
+        }
+    }
+
+    #[test]
+    fn sequential_matches_parallel_2d() {
+        let (pts, q) = pseudo(800, 25);
+        let mut cfg = Fmm2dConfig::with_points(16).depth(3);
+        cfg.parallel = false;
+        let seq = Fmm2d::new(cfg.clone()).unwrap().evaluate(&pts, &q);
+        cfg.parallel = true;
+        let par = Fmm2d::new(cfg).unwrap().evaluate(&pts, &q);
+        for (a, b) in seq.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected_2d() {
+        assert!(Fmm2d::new(Fmm2dConfig {
+            outer_ratio: 0.5,
+            ..Fmm2dConfig::with_points(16)
+        })
+        .is_err());
+        assert!(Fmm2d::new(Fmm2dConfig {
+            m: 12,
+            ..Fmm2dConfig::with_points(16)
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! The 2-D computational elements: outer/inner circle approximations.
+//!
+//! An element is the vector `(Q, g₁…g_K)`: total enclosed charge plus K
+//! equispaced potential samples on the circle. Kernel rows map an element
+//! to a potential value at a point; they are the columns of every
+//! translation matrix.
+
+/// A circle of K equispaced integration points.
+#[derive(Debug, Clone)]
+pub struct Circle {
+    pub k: usize,
+    /// cos θᵢ, sin θᵢ of the integration points.
+    pub cos: Vec<f64>,
+    pub sin: Vec<f64>,
+}
+
+impl Circle {
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 2);
+        let (mut cos, mut sin) = (Vec::with_capacity(k), Vec::with_capacity(k));
+        for i in 0..k {
+            let t = 2.0 * std::f64::consts::PI * i as f64 / k as f64;
+            cos.push(t.cos());
+            sin.push(t.sin());
+        }
+        Circle { k, cos, sin }
+    }
+
+    /// Point i on a circle of radius `a` centred at `c`.
+    #[inline]
+    pub fn point(&self, i: usize, c: [f64; 2], a: f64) -> [f64; 2] {
+        [c[0] + a * self.cos[i], c[1] + a * self.sin[i]]
+    }
+}
+
+/// Element length: 1 charge slot + K samples.
+#[inline]
+pub fn element_len(k: usize) -> usize {
+    k + 1
+}
+
+/// Fill the outer kernel row: `row` has length K+1; `row[0]` multiplies Q
+/// and `row[1 + i]` multiplies gᵢ, so that Φ(x) = row · (Q, g).
+/// `x` is relative to the circle centre; requires r > 0.
+pub fn outer_row(circle: &Circle, m: usize, a: f64, x: [f64; 2], row: &mut [f64]) {
+    let k = circle.k;
+    debug_assert_eq!(row.len(), k + 1);
+    let r = (x[0] * x[0] + x[1] * x[1]).sqrt();
+    debug_assert!(r > 0.0);
+    let (ct, st) = (x[0] / r, x[1] / r);
+    row[0] = -r.ln(); // Q ln(1/r)
+    let t = a / r;
+    for i in 0..k {
+        // cos n(θ−θᵢ) via the angle difference δᵢ: cos δ = cosθ cosθᵢ +
+        // sinθ sinθᵢ; recurrence cos nδ = 2 cos δ cos (n−1)δ − cos (n−2)δ.
+        let cd = ct * circle.cos[i] + st * circle.sin[i];
+        let mut c_nm1 = 1.0; // cos 0δ
+        let mut c_n = cd; // cos 1δ
+        let mut tp = t;
+        let mut acc = 0.0;
+        for _n in 1..=m {
+            acc += tp * c_n;
+            let c_np1 = 2.0 * cd * c_n - c_nm1;
+            c_nm1 = c_n;
+            c_n = c_np1;
+            tp *= t;
+        }
+        row[1 + i] = 2.0 * acc / k as f64;
+    }
+}
+
+/// Fill the inner kernel row (same layout; `row[0]` is 0 because the
+/// inner element's charge slot is unused — far sources contribute no log
+/// growth inside the circle).
+pub fn inner_row(circle: &Circle, m: usize, a: f64, x: [f64; 2], row: &mut [f64]) {
+    let k = circle.k;
+    debug_assert_eq!(row.len(), k + 1);
+    row[0] = 0.0;
+    let r = (x[0] * x[0] + x[1] * x[1]).sqrt();
+    if r == 0.0 {
+        for i in 0..k {
+            row[1 + i] = 1.0 / k as f64;
+        }
+        return;
+    }
+    let (ct, st) = (x[0] / r, x[1] / r);
+    let t = r / a;
+    for i in 0..k {
+        let cd = ct * circle.cos[i] + st * circle.sin[i];
+        let mut c_nm1 = 1.0;
+        let mut c_n = cd;
+        let mut tp = t;
+        let mut acc = 0.5; // the n = 0 term contributes 1/K overall
+        for _n in 1..=m {
+            acc += tp * c_n;
+            let c_np1 = 2.0 * cd * c_n - c_nm1;
+            c_nm1 = c_n;
+            c_n = c_np1;
+            tp *= t;
+        }
+        row[1 + i] = 2.0 * acc / k as f64;
+    }
+}
+
+/// Build an outer element from point charges (positions relative to the
+/// circle centre): Q = Σq, gᵢ = Σ_j q_j ln(1/|a·pᵢ − x_j|).
+pub fn outer_from_particles(
+    circle: &Circle,
+    a: f64,
+    positions: &[[f64; 2]],
+    charges: &[f64],
+    out: &mut [f64],
+) {
+    let k = circle.k;
+    debug_assert_eq!(out.len(), k + 1);
+    out[0] = charges.iter().sum();
+    for i in 0..k {
+        let p = [a * circle.cos[i], a * circle.sin[i]];
+        let mut acc = 0.0;
+        for (x, q) in positions.iter().zip(charges) {
+            let d = [p[0] - x[0], p[1] - x[1]];
+            let r = (d[0] * d[0] + d[1] * d[1]).sqrt();
+            acc -= q * r.ln();
+        }
+        out[1 + i] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(row: &[f64], elem: &[f64]) -> f64 {
+        row.iter().zip(elem).map(|(r, e)| r * e).sum()
+    }
+
+    #[test]
+    fn point_charge_at_centre_exact() {
+        // g = q ln(1/a) constant; cosine sums annihilate constants, so
+        // Φ(x) = Q ln(1/r) exactly.
+        let circle = Circle::new(8);
+        let a = 1.3;
+        let mut elem = vec![0.0; 9];
+        outer_from_particles(&circle, a, &[[0.0, 0.0]], &[2.0], &mut elem);
+        let mut row = vec![0.0; 9];
+        for &r in &[2.0f64, 5.0, 11.0] {
+            outer_row(&circle, 4, a, [r, 0.0], &mut row);
+            let v = eval(&row, &elem);
+            let exact = -2.0 * r.ln();
+            assert!((v - exact).abs() < 1e-12, "r={}: {} vs {}", r, v, exact);
+        }
+    }
+
+    #[test]
+    fn off_centre_charge_converges() {
+        let circle = Circle::new(16);
+        let a = 1.0;
+        let p = [[0.3, -0.2]];
+        let q = [1.5];
+        let mut elem = vec![0.0; 17];
+        outer_from_particles(&circle, a, &p, &q, &mut elem);
+        let mut row = vec![0.0; 17];
+        let x = [3.0, 1.0];
+        outer_row(&circle, 7, a, x, &mut row);
+        let v = eval(&row, &elem);
+        let d = [x[0] - p[0][0], x[1] - p[0][1]];
+        let exact = -q[0] * (d[0] * d[0] + d[1] * d[1]).sqrt().ln();
+        assert!((v - exact).abs() < 1e-6, "{} vs {}", v, exact);
+    }
+
+    #[test]
+    fn inner_reconstructs_far_field() {
+        let circle = Circle::new(16);
+        let a = 1.0;
+        // Far sources; sample their exact potential on the circle.
+        let sources = [[5.0, 2.0], [-4.0, 6.0]];
+        let q = [1.0, -0.5];
+        let mut elem = vec![0.0; 17];
+        elem[0] = 0.0; // inner elements do not carry charge
+        for i in 0..16 {
+            let pt = circle.point(i, [0.0, 0.0], a);
+            let mut acc = 0.0;
+            for (s, qq) in sources.iter().zip(&q) {
+                let d = [pt[0] - s[0], pt[1] - s[1]];
+                acc -= qq * (d[0] * d[0] + d[1] * d[1]).sqrt().ln();
+            }
+            elem[1 + i] = acc;
+        }
+        let mut row = vec![0.0; 17];
+        for x in [[0.2, 0.1], [0.0, 0.0], [-0.3, 0.3]] {
+            inner_row(&circle, 7, a, x, &mut row);
+            let v = eval(&row, &elem);
+            let mut exact = 0.0;
+            for (s, qq) in sources.iter().zip(&q) {
+                let d = [x[0] - s[0], x[1] - s[1]];
+                exact -= qq * (d[0] * d[0] + d[1] * d[1]).sqrt().ln();
+            }
+            assert!((v - exact).abs() < 1e-5, "x={:?}: {} vs {}", x, v, exact);
+        }
+    }
+
+    #[test]
+    fn inner_at_centre_is_circle_mean() {
+        let circle = Circle::new(12);
+        let mut row = vec![0.0; 13];
+        inner_row(&circle, 5, 1.0, [0.0, 0.0], &mut row);
+        assert_eq!(row[0], 0.0);
+        for i in 0..12 {
+            assert!((row[1 + i] - 1.0 / 12.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn more_points_improve_accuracy() {
+        let p: [[f64; 2]; 1] = [[0.4, 0.3]];
+        let q = [1.0];
+        let x = [2.5, -1.0];
+        let d = [x[0] - p[0][0], x[1] - p[0][1]];
+        let exact = -(d[0] * d[0] + d[1] * d[1]).sqrt().ln();
+        let mut last = f64::INFINITY;
+        for k in [4usize, 8, 16, 32] {
+            let circle = Circle::new(k);
+            let mut elem = vec![0.0; k + 1];
+            outer_from_particles(&circle, 1.0, &p, &q, &mut elem);
+            let mut row = vec![0.0; k + 1];
+            outer_row(&circle, k / 2 - 1, 1.0, x, &mut row);
+            let err = (eval(&row, &elem) - exact).abs();
+            assert!(err < last, "K={}: {} not below {}", k, err, last);
+            last = err;
+        }
+        assert!(last < 1e-9);
+    }
+}

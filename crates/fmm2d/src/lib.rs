@@ -1,0 +1,39 @@
+//! # fmm2d — the two-dimensional variant of Anderson's method
+//!
+//! The paper emphasizes that in Anderson's formulation "the computations
+//! in two and three dimensions are very similar; therefore, a code for
+//! three dimensions is easily obtained from a code for two dimensions, or
+//! vice versa". This crate substantiates that claim: it is the 2-D
+//! log-kernel (Φ = Σ q ln(1/r)) analogue of `fmm-core`, with circles in
+//! place of spheres, the trapezoid rule in place of sphere quadrature,
+//! a quadtree in place of the octree, and (K+1)-dimensional computational
+//! elements `(Q, g₁…g_K)` — the total charge must ride along explicitly in
+//! 2-D because the far potential grows like Q ln(1/r).
+//!
+//! ## Elements
+//!
+//! *Outer* (sources inside the circle of radius a, samples gᵢ = Φ(a·eᶦᶿⁱ)):
+//!
+//!   Φ(x) ≈ Q ln(1/r) + Σᵢ gᵢ · (2/K) Σₙ₌₁^M (a/r)ⁿ cos n(θ−θᵢ)
+//!
+//! (the constant part of g drops out of the cosine sums because the θᵢ
+//! are equispaced, so no ln(1/a) bookkeeping is needed).
+//!
+//! *Inner* (sources far outside):
+//!
+//!   Ψ(x) ≈ (1/K) Σᵢ gᵢ \[ 1 + 2 Σₙ₌₁^M (r/a)ⁿ cos n(θ−θᵢ) \]
+//!
+//! The structure of the driver — P2O, upward (T1), downward (T2 + T3),
+//! leaf evaluation, near field — is line-for-line parallel to the 3-D
+//! crate, which is precisely the paper's point.
+
+pub mod direct;
+pub mod driver;
+pub mod element;
+pub mod translations;
+pub mod tree2d;
+
+pub use direct::direct_potentials;
+pub use driver::{Fmm2d, Fmm2dConfig};
+pub use element::{inner_row, outer_row, Circle};
+pub use tree2d::{interactive_field_offsets_2d, near_field_offsets_2d, BoxCoord2d};

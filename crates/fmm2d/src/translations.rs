@@ -1,0 +1,185 @@
+//! 2-D translation matrices.
+//!
+//! One structural difference from 3-D: the log kernel is not scale
+//! invariant (ln λr = ln λ + ln r), so the matrix entries multiplying the
+//! charge slot Q pick up a per-level ln(1/side) term. Matrices are
+//! therefore built per level (they are small: (K+1)² each, 96 + 4 + 4 per
+//! level), where the 3-D crate shares one set across all levels.
+
+use crate::element::{element_len, inner_row, outer_row, Circle};
+use crate::tree2d::interactive_field_union_2d;
+
+/// Transposed (E×E, E = K+1) matrices for one level.
+#[derive(Debug, Clone)]
+pub struct LevelSet {
+    pub e: usize,
+    /// `t1t[quad]`: child outer → parent outer.
+    pub t1t: Vec<Vec<f64>>,
+    /// `t3t[quad]`: parent inner → child inner (scale-free but stored per
+    /// level for uniformity).
+    pub t3t: Vec<Vec<f64>>,
+    /// T2 cube over offsets [−5,5]², indexed by `t2_index`.
+    pub t2t: Vec<Option<Vec<f64>>>,
+}
+
+/// Index into the 11×11 offset cube.
+#[inline]
+pub fn t2_index(o: [i32; 2]) -> usize {
+    debug_assert!(o[0].abs() <= 5 && o[1].abs() <= 5);
+    ((o[1] + 5) as usize) * 11 + (o[0] + 5) as usize
+}
+
+fn quad_center_offset(quad: usize) -> [f64; 2] {
+    [
+        (quad & 1) as f64 - 0.5,
+        ((quad >> 1) & 1) as f64 - 0.5,
+    ]
+}
+
+impl LevelSet {
+    /// Build for boxes of side `side` at the child/target level.
+    pub fn build(circle: &Circle, m: usize, outer_ratio: f64, inner_ratio: f64, side: f64) -> Self {
+        let k = circle.k;
+        let e = element_len(k);
+        let a_child = outer_ratio * side;
+        let a_parent = 2.0 * outer_ratio * side;
+        let b_child = inner_ratio * side;
+        let b_parent = 2.0 * inner_ratio * side;
+        let mut row = vec![0.0; e];
+
+        let mut t1t = Vec::with_capacity(4);
+        let mut t3t = Vec::with_capacity(4);
+        for quad in 0..4 {
+            let c = quad_center_offset(quad);
+            let c = [c[0] * side, c[1] * side];
+            let mut m1 = vec![0.0; e * e];
+            let mut m3 = vec![0.0; e * e];
+            // Charge slot: parent Q accumulates child Q (T1); inner
+            // elements carry no charge (T3 row 0 stays zero).
+            m1[0] = 1.0; // transposed: column 0 (parent Q) ← row 0 (child Q)
+            for j in 0..k {
+                let pj = circle.point(j, [0.0, 0.0], a_parent);
+                let x1 = [pj[0] - c[0], pj[1] - c[1]];
+                outer_row(circle, m, a_child, x1, &mut row);
+                for i in 0..e {
+                    m1[i * e + (1 + j)] = row[i]; // transposed store
+                }
+                let qj = circle.point(j, [0.0, 0.0], b_child);
+                let x3 = [c[0] + qj[0], c[1] + qj[1]];
+                inner_row(circle, m, b_parent, x3, &mut row);
+                for i in 0..e {
+                    m3[i * e + (1 + j)] = row[i];
+                }
+            }
+            t1t.push(m1);
+            t3t.push(m3);
+        }
+
+        let mut t2t: Vec<Option<Vec<f64>>> = vec![None; 121];
+        for o in interactive_field_union_2d(2) {
+            let mut mt = vec![0.0; e * e];
+            for j in 0..k {
+                let pj = circle.point(j, [0.0, 0.0], b_child);
+                let x = [pj[0] - o[0] as f64 * side, pj[1] - o[1] as f64 * side];
+                outer_row(circle, m, a_child, x, &mut row);
+                for i in 0..e {
+                    mt[i * e + (1 + j)] = row[i];
+                }
+            }
+            t2t[t2_index(o)] = Some(mt);
+        }
+        LevelSet { e, t1t, t3t, t2t }
+    }
+}
+
+/// Apply a transposed matrix to a single element: `out += elem · Mᵗ`.
+pub fn apply_t(e: usize, mt: &[f64], elem: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(mt.len(), e * e);
+    for i in 0..e {
+        let gi = elem[i];
+        if gi == 0.0 {
+            continue;
+        }
+        let mrow = &mt[i * e..(i + 1) * e];
+        for (o, m) in out.iter_mut().zip(mrow) {
+            *o += gi * m;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::outer_from_particles;
+
+    #[test]
+    fn t1_matches_directly_built_parent() {
+        let circle = Circle::new(24);
+        let m = 10;
+        let side = 0.25; // a non-unit side exercises the log scaling
+        let ls = LevelSet::build(&circle, m, 1.4, 0.9, side);
+        let quad = 3; // (1,1): centre offset (+side/2, +side/2)
+        let cc = [0.5 * side, 0.5 * side];
+        let pos = [[cc[0] + 0.1 * side, cc[1] - 0.2 * side]];
+        let q = [2.0];
+        let e = ls.e;
+        // Child element (positions relative to child centre).
+        let rel: Vec<[f64; 2]> = pos.iter().map(|p| [p[0] - cc[0], p[1] - cc[1]]).collect();
+        let mut child = vec![0.0; e];
+        outer_from_particles(&circle, 1.4 * side, &rel, &q, &mut child);
+        // Parent element built directly (positions relative to origin).
+        let mut parent_direct = vec![0.0; e];
+        outer_from_particles(&circle, 2.8 * side, &pos, &q, &mut parent_direct);
+        let mut parent_via = vec![0.0; e];
+        apply_t(e, &ls.t1t[quad], &child, &mut parent_via);
+        assert!((parent_via[0] - 2.0).abs() < 1e-12, "Q not conserved");
+        for j in 0..circle.k {
+            assert!(
+                (parent_via[1 + j] - parent_direct[1 + j]).abs() < 1e-7,
+                "sample {}: {} vs {}",
+                j,
+                parent_via[1 + j],
+                parent_direct[1 + j]
+            );
+        }
+    }
+
+    #[test]
+    fn t2_converts_outer_to_inner_2d() {
+        let circle = Circle::new(24);
+        let m = 10;
+        let side = 1.0;
+        let ls = LevelSet::build(&circle, m, 1.4, 0.9, side);
+        let o = [4, -3];
+        let src_c = [4.0, -3.0];
+        let pos = [[src_c[0] + 0.3, src_c[1] - 0.1]];
+        let q = [1.0];
+        let e = ls.e;
+        let rel: Vec<[f64; 2]> = pos.iter().map(|p| [p[0] - src_c[0], p[1] - src_c[1]]).collect();
+        let mut src = vec![0.0; e];
+        outer_from_particles(&circle, 1.4, &rel, &q, &mut src);
+        let mut inner = vec![0.0; e];
+        apply_t(e, ls.t2t[t2_index(o)].as_ref().unwrap(), &src, &mut inner);
+        // Inner samples must equal the exact potential on the target circle.
+        for j in 0..circle.k {
+            let pt = circle.point(j, [0.0, 0.0], 0.9);
+            let d = [pt[0] - pos[0][0], pt[1] - pos[0][1]];
+            let exact = -q[0] * (d[0] * d[0] + d[1] * d[1]).sqrt().ln();
+            assert!(
+                (inner[1 + j] - exact).abs() < 1e-6,
+                "sample {}: {} vs {}",
+                j,
+                inner[1 + j],
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn t2_cube_has_96_matrices() {
+        let circle = Circle::new(8);
+        let ls = LevelSet::build(&circle, 3, 1.4, 0.9, 1.0);
+        let n = ls.t2t.iter().filter(|m| m.is_some()).count();
+        assert_eq!(n, 96);
+    }
+}

@@ -1,0 +1,167 @@
+//! Quadtree index arithmetic and 2-D interaction lists.
+//!
+//! The 2-D analogues of `fmm-tree`: level-l grids of 4^l boxes,
+//! d-separation near fields of (2d+1)²−1 boxes, and interactive fields of
+//! (4d+2)²−(2d+1)² = 75 boxes for two-separation.
+
+/// Box coordinates on a level-l grid of 2^l × 2^l boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BoxCoord2d {
+    pub level: u32,
+    pub x: u32,
+    pub y: u32,
+}
+
+impl BoxCoord2d {
+    #[inline]
+    pub fn index(&self) -> usize {
+        let n = 1usize << self.level;
+        self.y as usize * n + self.x as usize
+    }
+
+    #[inline]
+    pub fn from_index(level: u32, idx: usize) -> Self {
+        let n = 1usize << level;
+        BoxCoord2d {
+            level,
+            x: (idx % n) as u32,
+            y: (idx / n) as u32,
+        }
+    }
+
+    #[inline]
+    pub fn parent(&self) -> Option<BoxCoord2d> {
+        if self.level == 0 {
+            None
+        } else {
+            Some(BoxCoord2d {
+                level: self.level - 1,
+                x: self.x >> 1,
+                y: self.y >> 1,
+            })
+        }
+    }
+
+    /// Quadrant within the parent: bit 0 = x parity, bit 1 = y parity.
+    #[inline]
+    pub fn quadrant(&self) -> usize {
+        ((self.x & 1) | ((self.y & 1) << 1)) as usize
+    }
+
+    #[inline]
+    pub fn child(&self, quad: usize) -> BoxCoord2d {
+        BoxCoord2d {
+            level: self.level + 1,
+            x: (self.x << 1) | (quad as u32 & 1),
+            y: (self.y << 1) | ((quad as u32 >> 1) & 1),
+        }
+    }
+
+    #[inline]
+    pub fn offset(&self, d: [i32; 2]) -> Option<BoxCoord2d> {
+        let n = 1i64 << self.level;
+        let x = self.x as i64 + d[0] as i64;
+        let y = self.y as i64 + d[1] as i64;
+        if x < 0 || y < 0 || x >= n || y >= n {
+            None
+        } else {
+            Some(BoxCoord2d {
+                level: self.level,
+                x: x as u32,
+                y: y as u32,
+            })
+        }
+    }
+}
+
+/// Near-field offsets for d-separation (excluding self): 24 for d = 2.
+pub fn near_field_offsets_2d(d: i32) -> Vec<[i32; 2]> {
+    let mut out = Vec::new();
+    for dy in -d..=d {
+        for dx in -d..=d {
+            if dx != 0 || dy != 0 {
+                out.push([dx, dy]);
+            }
+        }
+    }
+    out
+}
+
+/// Interactive-field offsets of a box with quadrant parity `(qx, qy)`:
+/// 75 offsets for two-separation.
+pub fn interactive_field_offsets_2d(quad: [i32; 2], d: i32) -> Vec<[i32; 2]> {
+    let mut out = Vec::new();
+    for py in -d..=d {
+        for px in -d..=d {
+            for e in 0..4 {
+                let o = [
+                    2 * px + (e & 1) - quad[0],
+                    2 * py + ((e >> 1) & 1) - quad[1],
+                ];
+                if o[0].abs() > d || o[1].abs() > d {
+                    out.push(o);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Offsets over the union cube [−(2d+1), 2d+1]² minus the near field.
+pub fn interactive_field_union_2d(d: i32) -> Vec<[i32; 2]> {
+    let w = 2 * d + 1;
+    let mut out = Vec::new();
+    for dy in -w..=w {
+        for dx in -w..=w {
+            if dx.abs() > d || dy.abs() > d {
+                out.push([dx, dy]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn near_field_sizes_2d() {
+        assert_eq!(near_field_offsets_2d(1).len(), 8);
+        assert_eq!(near_field_offsets_2d(2).len(), 24);
+    }
+
+    #[test]
+    fn interactive_field_is_75_for_two_separation() {
+        for q in 0..4 {
+            let quad = [(q & 1) as i32, ((q >> 1) & 1) as i32];
+            let f = interactive_field_offsets_2d(quad, 2);
+            assert_eq!(f.len(), 100 - 25, "quad {:?}", quad);
+            let set: HashSet<_> = f.iter().collect();
+            assert_eq!(set.len(), 75);
+        }
+    }
+
+    #[test]
+    fn union_is_96() {
+        // 11² − 5² = 96 distinct offsets across the four quadrants.
+        assert_eq!(interactive_field_union_2d(2).len(), 121 - 25);
+    }
+
+    #[test]
+    fn parent_child_round_trip_2d() {
+        let c = BoxCoord2d { level: 4, x: 11, y: 6 };
+        let p = c.parent().unwrap();
+        assert_eq!(p.child(c.quadrant()), c);
+        assert_eq!(BoxCoord2d::from_index(4, c.index()), c);
+    }
+
+    #[test]
+    fn offsets_clip_at_boundary() {
+        let c = BoxCoord2d { level: 2, x: 0, y: 3 };
+        assert_eq!(c.offset([-1, 0]), None);
+        assert_eq!(c.offset([0, 1]), None);
+        assert!(c.offset([1, -1]).is_some());
+    }
+}

@@ -1,0 +1,165 @@
+//! GEMV / GEMM kernels.
+//!
+//! The hot path of the hierarchy traversal is `C += A * B` where `A` is a
+//! `K × K` translation matrix and `B` a gathered `K × n` panel of potential
+//! vectors (K is 12–120, n is the number of aggregated boxes, often
+//! hundreds to thousands). The kernel below uses the classic i-k-j loop
+//! order so the innermost loop runs unit-stride over a row of `B` and a row
+//! of `C`, which LLVM auto-vectorizes, and blocks over `k` to keep the
+//! panel rows in cache.
+
+/// `y = A * x` where `A` is row-major `m × k`.
+#[inline]
+pub fn gemv(m: usize, k: usize, a: &[f64], x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(x.len(), k);
+    debug_assert_eq!(y.len(), m);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a[i * k..(i + 1) * k];
+        let mut acc = 0.0;
+        for (aij, xj) in row.iter().zip(x) {
+            acc += aij * xj;
+        }
+        *yi = acc;
+    }
+}
+
+/// `y += A * x` where `A` is row-major `m × k`.
+#[inline]
+pub fn gemv_acc(m: usize, k: usize, a: &[f64], x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(x.len(), k);
+    debug_assert_eq!(y.len(), m);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = &a[i * k..(i + 1) * k];
+        let mut acc = 0.0;
+        for (aij, xj) in row.iter().zip(x) {
+            acc += aij * xj;
+        }
+        *yi += acc;
+    }
+}
+
+/// `C += A * B`, all row-major; `A` is `m × k`, `B` is `k × n`, `C` is `m × n`.
+///
+/// i-k-j loop order: the inner loop is an axpy over contiguous rows, which
+/// vectorizes. This is the workhorse behind aggregated translations.
+pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    // Block over k so that the `KB` rows of B being streamed stay in L1/L2.
+    const KB: usize = 64;
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KB.min(k - k0);
+        for i in 0..m {
+            let arow = &a[i * k + k0..i * k + k0 + kb];
+            let crow = &mut c[i * n..(i + 1) * n];
+            // Unroll pairs of rank-1 updates to expose more ILP.
+            let mut p = 0;
+            while p + 1 < kb {
+                let a0 = arow[p];
+                let a1 = arow[p + 1];
+                let b0 = &b[(k0 + p) * n..(k0 + p) * n + n];
+                let b1 = &b[(k0 + p + 1) * n..(k0 + p + 1) * n + n];
+                for ((cj, b0j), b1j) in crow.iter_mut().zip(b0).zip(b1) {
+                    *cj += a0 * b0j + a1 * b1j;
+                }
+                p += 2;
+            }
+            if p < kb {
+                let a0 = arow[p];
+                let b0 = &b[(k0 + p) * n..(k0 + p) * n + n];
+                for (cj, b0j) in crow.iter_mut().zip(b0) {
+                    *cj += a0 * b0j;
+                }
+            }
+        }
+        k0 += kb;
+    }
+}
+
+/// Reference triple-loop GEMM (`C += A * B`) used to validate `gemm_acc`.
+pub fn gemm_naive(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    assert_eq!(c.len(), m * n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(seed: u64, len: usize) -> Vec<f64> {
+        // Small deterministic LCG so the tests need no external crates.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let a = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]; // 2x3
+        let x = vec![1.0, 0.5, -1.0];
+        let mut y = vec![0.0; 2];
+        gemv(2, 3, &a, &x, &mut y);
+        assert!((y[0] - (1.0 + 1.0 - 3.0)).abs() < 1e-15);
+        assert!((y[1] - (4.0 + 2.5 - 6.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gemv_acc_accumulates() {
+        let a = vec![2.0]; // 1x1
+        let x = vec![3.0];
+        let mut y = vec![10.0];
+        gemv_acc(1, 1, &a, &x, &mut y);
+        assert_eq!(y[0], 16.0);
+    }
+
+    #[test]
+    fn gemm_matches_naive_various_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (12, 12, 8), (72, 72, 4), (13, 129, 33)] {
+            let a = pseudo(1 + m as u64, m * k);
+            let b = pseudo(2 + n as u64, k * n);
+            let mut c1 = pseudo(3, m * n);
+            let mut c2 = c1.clone();
+            gemm_acc(m, k, n, &a, &b, &mut c1);
+            gemm_naive(m, k, n, &a, &b, &mut c2);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() < 1e-12, "mismatch for {}x{}x{}", m, k, n);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_vs_repeated_gemv() {
+        let (m, k, n) = (9, 9, 17);
+        let a = pseudo(11, m * k);
+        let b = pseudo(13, k * n);
+        let mut c = vec![0.0; m * n];
+        gemm_acc(m, k, n, &a, &b, &mut c);
+        // Column j of C should equal A * (column j of B).
+        for j in 0..n {
+            let col: Vec<f64> = (0..k).map(|p| b[p * n + j]).collect();
+            let mut y = vec![0.0; m];
+            gemv(m, k, &a, &col, &mut y);
+            for i in 0..m {
+                assert!((c[i * n + j] - y[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Multiple-instance GEMM, mirroring the CMSSL routine the paper uses.
+//!
+//! The paper aggregates parent–child translations "along one of the three
+//! space dimensions without a data reallocation", producing `S_m`
+//! independent `K×K by K×S` products handled "as one multiple instance
+//! matrix matrix multiplication". Here a [`MultiGemmPlan`] describes a
+//! batch of products that share shapes but have distinct operand offsets in
+//! flat buffers; [`multi_gemm_acc`] executes the batch.
+
+use crate::gemm::gemm_acc;
+
+/// One instance of a batched product: offsets of A, B and C in their
+/// respective flat buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instance {
+    pub a_off: usize,
+    pub b_off: usize,
+    pub c_off: usize,
+}
+
+/// A batch of same-shape `C += A*B` products over flat buffers.
+#[derive(Debug, Clone)]
+pub struct MultiGemmPlan {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub instances: Vec<Instance>,
+}
+
+impl MultiGemmPlan {
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        MultiGemmPlan {
+            m,
+            k,
+            n,
+            instances: Vec::new(),
+        }
+    }
+
+    /// Add an instance with the given operand offsets.
+    pub fn push(&mut self, a_off: usize, b_off: usize, c_off: usize) {
+        self.instances.push(Instance { a_off, b_off, c_off });
+    }
+
+    /// A plan with regular strides: instance `i` uses offsets
+    /// `i*stride_{a,b,c}`.
+    pub fn strided(
+        m: usize,
+        k: usize,
+        n: usize,
+        count: usize,
+        stride_a: usize,
+        stride_b: usize,
+        stride_c: usize,
+    ) -> Self {
+        let instances = (0..count)
+            .map(|i| Instance {
+                a_off: i * stride_a,
+                b_off: i * stride_b,
+                c_off: i * stride_c,
+            })
+            .collect();
+        MultiGemmPlan { m, k, n, instances }
+    }
+
+    /// Total flops executed by the batch.
+    pub fn flops(&self) -> u64 {
+        crate::gemm_flops(self.m, self.k, self.n) * self.instances.len() as u64
+    }
+}
+
+/// Execute a batched `C += A * B` over flat buffers.
+///
+/// Panics if any instance would read or write out of bounds.
+pub fn multi_gemm_acc(plan: &MultiGemmPlan, a: &[f64], b: &[f64], c: &mut [f64]) {
+    let (m, k, n) = (plan.m, plan.k, plan.n);
+    for inst in &plan.instances {
+        let ai = &a[inst.a_off..inst.a_off + m * k];
+        let bi = &b[inst.b_off..inst.b_off + k * n];
+        let ci = &mut c[inst.c_off..inst.c_off + m * n];
+        gemm_acc(m, k, n, ai, bi, ci);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_naive;
+
+    #[test]
+    fn strided_plan_offsets() {
+        let plan = MultiGemmPlan::strided(2, 2, 3, 4, 0, 6, 6);
+        assert_eq!(plan.instances.len(), 4);
+        assert_eq!(plan.instances[2], Instance { a_off: 0, b_off: 12, c_off: 12 });
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let (m, k, n) = (4, 4, 5);
+        let count = 3;
+        let a: Vec<f64> = (0..count * m * k).map(|i| (i % 17) as f64 - 8.0).collect();
+        let b: Vec<f64> = (0..count * k * n).map(|i| (i % 13) as f64 * 0.5).collect();
+        let mut c = vec![0.0; count * m * n];
+        let plan = MultiGemmPlan::strided(m, k, n, count, m * k, k * n, m * n);
+        multi_gemm_acc(&plan, &a, &b, &mut c);
+
+        let mut c_ref = vec![0.0; count * m * n];
+        for i in 0..count {
+            gemm_naive(
+                m,
+                k,
+                n,
+                &a[i * m * k..(i + 1) * m * k],
+                &b[i * k * n..(i + 1) * k * n],
+                &mut c_ref[i * m * n..(i + 1) * m * n],
+            );
+        }
+        for (x, y) in c.iter().zip(&c_ref) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shared_a_instances() {
+        // All instances can share one A (the paper shares one translation
+        // matrix across all same-octant parent-child pairs).
+        let (m, k, n) = (3, 3, 2);
+        let a: Vec<f64> = vec![1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0];
+        let b: Vec<f64> = (0..2 * k * n).map(|i| i as f64).collect();
+        let mut c = vec![0.0; 2 * m * n];
+        let mut plan = MultiGemmPlan::new(m, k, n);
+        plan.push(0, 0, 0);
+        plan.push(0, k * n, m * n);
+        multi_gemm_acc(&plan, &a, &b, &mut c);
+        // Second instance: rows of B scaled by diag(1,2,3).
+        assert_eq!(c[m * n + 0], 6.0); // 1 * b[6]
+        assert_eq!(c[m * n + 2], 2.0 * 8.0);
+        assert_eq!(c[m * n + 4], 3.0 * 10.0);
+    }
+
+    #[test]
+    fn flops_accounting() {
+        let plan = MultiGemmPlan::strided(12, 12, 8, 16, 0, 96, 96);
+        assert_eq!(plan.flops(), 16 * 2 * 12 * 12 * 8);
+    }
+}

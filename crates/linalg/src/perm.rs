@@ -1,0 +1,200 @@
+//! Permutations of matrix rows/columns.
+//!
+//! The paper observes that the eight T1 (and T3) translation matrices are
+//! row/column permutations of one another, thanks to the symmetry of the
+//! integration-point distribution on the sphere, and discusses using that
+//! fact to compress precomputation. This module provides the permutation
+//! machinery (and is exercised by `fmm-core`'s symmetry tests, which verify
+//! the paper's claim for the icosahedral rule).
+
+use crate::Matrix;
+
+/// A permutation of `0..n`, stored as the image vector: `perm[i]` is where
+/// element `i` goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    image: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            image: (0..n).collect(),
+        }
+    }
+
+    /// Build from an image vector; panics unless it is a bijection on
+    /// `0..n`.
+    pub fn from_image(image: Vec<usize>) -> Self {
+        let n = image.len();
+        let mut seen = vec![false; n];
+        for &v in &image {
+            assert!(v < n, "permutation image out of range");
+            assert!(!seen[v], "permutation image not injective");
+            seen[v] = true;
+        }
+        Permutation { image }
+    }
+
+    pub fn len(&self) -> usize {
+        self.image.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.image.is_empty()
+    }
+
+    #[inline]
+    pub fn apply_index(&self, i: usize) -> usize {
+        self.image[i]
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0; self.image.len()];
+        for (i, &v) in self.image.iter().enumerate() {
+            inv[v] = i;
+        }
+        Permutation { image: inv }
+    }
+
+    /// Compose: `(self ∘ other)(i) = self(other(i))`.
+    pub fn compose(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len());
+        Permutation {
+            image: other.image.iter().map(|&i| self.image[i]).collect(),
+        }
+    }
+
+    /// Permute the rows of `m`: row `i` of the result is row `inv(i)` of the
+    /// input, i.e. input row `i` lands at `perm(i)`.
+    pub fn permute_rows(&self, m: &Matrix) -> Matrix {
+        assert_eq!(self.len(), m.rows());
+        let mut out = Matrix::zeros(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            out.row_mut(self.image[i]).copy_from_slice(m.row(i));
+        }
+        out
+    }
+
+    /// Permute the columns of `m`: input column `j` lands at `perm(j)`.
+    pub fn permute_cols(&self, m: &Matrix) -> Matrix {
+        assert_eq!(self.len(), m.cols());
+        let mut out = Matrix::zeros(m.rows(), m.cols());
+        for i in 0..m.rows() {
+            let src = m.row(i);
+            let dst = out.row_mut(i);
+            for (j, &v) in src.iter().enumerate() {
+                dst[self.image[j]] = v;
+            }
+        }
+        out
+    }
+
+    /// Permute a vector: input element `i` lands at `perm(i)`.
+    pub fn permute_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.len(), v.len());
+        let mut out = vec![0.0; v.len()];
+        for (i, &x) in v.iter().enumerate() {
+            out[self.image[i]] = x;
+        }
+        out
+    }
+}
+
+/// Find a permutation pair `(p_rows, p_cols)` such that
+/// `p_rows . a . p_cols^{-1} == b` entry-wise within `tol`, by greedy row
+/// matching; returns `None` if rows cannot be matched. Used to verify the
+/// paper's claim that the eight T1/T3 matrices are permutations of each
+/// other.
+pub fn find_row_permutation(a: &Matrix, b: &Matrix, tol: f64) -> Option<Permutation> {
+    if a.rows() != b.rows() || a.cols() != b.cols() {
+        return None;
+    }
+    let n = a.rows();
+    let mut image = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    for i in 0..n {
+        // Sorted row signature comparison: row i of a must equal some row of b
+        // up to a column permutation, so compare multisets of entries.
+        let mut sa: Vec<f64> = a.row(i).to_vec();
+        sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut found = false;
+        for j in 0..n {
+            if used[j] {
+                continue;
+            }
+            let mut sb: Vec<f64> = b.row(j).to_vec();
+            sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            if sa.iter().zip(&sb).all(|(x, y)| (x - y).abs() <= tol) {
+                image[i] = j;
+                used[j] = true;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return None;
+        }
+    }
+    Some(Permutation::from_image(image))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = Permutation::from_image(vec![2, 0, 3, 1]);
+        let id = p.compose(&p.inverse());
+        assert_eq!(id, Permutation::identity(4));
+        let id2 = p.inverse().compose(&p);
+        assert_eq!(id2, Permutation::identity(4));
+    }
+
+    #[test]
+    fn permute_vec_and_rows_consistent() {
+        let p = Permutation::from_image(vec![1, 2, 0]);
+        let v = vec![10.0, 20.0, 30.0];
+        assert_eq!(p.permute_vec(&v), vec![30.0, 10.0, 20.0]);
+        let m = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64);
+        let pm = p.permute_rows(&m);
+        assert_eq!(pm.row(1), m.row(0));
+        assert_eq!(pm.row(2), m.row(1));
+        assert_eq!(pm.row(0), m.row(2));
+    }
+
+    #[test]
+    fn permute_cols_moves_columns() {
+        let p = Permutation::from_image(vec![2, 0, 1]);
+        let m = Matrix::from_vec(1, 3, vec![5.0, 6.0, 7.0]);
+        let pm = p.permute_cols(&m);
+        assert_eq!(pm.as_slice(), &[6.0, 7.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_image_panics() {
+        let _ = Permutation::from_image(vec![0, 0, 2]);
+    }
+
+    #[test]
+    fn find_row_permutation_identity_case() {
+        let m = Matrix::from_fn(4, 4, |i, j| ((i * 13 + j * 7) % 11) as f64);
+        let p = find_row_permutation(&m, &m, 1e-12).unwrap();
+        // Greedy matching on identical matrices must succeed (not necessarily
+        // with the identity if rows repeat, but here rows are distinct).
+        assert_eq!(p, Permutation::identity(4));
+    }
+
+    #[test]
+    fn find_row_permutation_detects_permuted() {
+        let m = Matrix::from_fn(4, 4, |i, j| ((i * 13 + j * 7) % 11) as f64);
+        let p = Permutation::from_image(vec![3, 1, 0, 2]);
+        let pm = p.permute_rows(&m);
+        let q = find_row_permutation(&m, &pm, 1e-12).unwrap();
+        assert_eq!(q, p);
+    }
+}

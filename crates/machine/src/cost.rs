@@ -1,0 +1,131 @@
+//! The cost model: counters → modeled time.
+//!
+//! Constants are expressed in nanoseconds per unit with CM-5E-flavoured
+//! *ratios* (what matters for reproducing the paper's orderings is the
+//! relative cost of a CSHIFT invocation vs an off-VU box vs a local copy,
+//! not the absolute clock). Defaults are chosen so that the paper's
+//! measured ratios hold at the paper's problem sizes:
+//!
+//! * linearized unaliased beats direct unaliased by ≈7× (fewer CSHIFTs
+//!   and far less data motion),
+//! * linearized aliased beats direct aliased by ≈1.5× (the 54 small
+//!   region CSHIFTs of the direct scheme pay 54 fixed overheads, the
+//!   linearized whole-subgrid scheme pays 6 at more data moved),
+//! * general-router sends are dominated by the address-computation
+//!   overhead, which scales with the *array size*, not the selected
+//!   elements (Fig. 7).
+
+use crate::counters::Counters;
+
+/// Time model; all values in nanoseconds. `k` (box vector length) scales
+/// per-box transfer and copy costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed overhead per CSHIFT invocation.
+    pub cshift_overhead_ns: f64,
+    /// Per-f64 element cost of an off-VU transfer.
+    pub off_vu_elem_ns: f64,
+    /// Per-f64 element cost of a local copy.
+    pub local_elem_ns: f64,
+    /// Fixed overhead per general-router send.
+    pub send_overhead_ns: f64,
+    /// Per-element cost of scanning an array to compute send addresses.
+    pub send_scan_elem_ns: f64,
+    /// Per-f64 element cost of a routed transfer.
+    pub send_elem_ns: f64,
+    /// Fixed overhead per broadcast stage.
+    pub broadcast_stage_ns: f64,
+    /// Per-f64 element cost per broadcast stage.
+    pub broadcast_elem_ns: f64,
+    /// Time per flop.
+    pub flop_ns: f64,
+}
+
+impl CostModel {
+    /// CM-5E-flavoured defaults (≈33 MHz VUs, fat-tree network, CMRTS
+    /// software overheads).
+    pub fn cm5e() -> Self {
+        CostModel {
+            cshift_overhead_ns: 150_000.0,
+            off_vu_elem_ns: 100.0,
+            local_elem_ns: 15.0,
+            send_overhead_ns: 400_000.0,
+            send_scan_elem_ns: 40.0,
+            send_elem_ns: 150.0,
+            broadcast_stage_ns: 8_000.0,
+            broadcast_elem_ns: 120.0,
+            flop_ns: 8.0,
+        }
+    }
+
+    /// Modeled time of a counter set, for boxes of `k` doubles.
+    pub fn time_ns(&self, c: &Counters, k: usize) -> f64 {
+        let k = k as f64;
+        c.cshifts as f64 * self.cshift_overhead_ns
+            + c.off_vu_boxes as f64 * k * self.off_vu_elem_ns
+            + c.local_box_moves as f64 * k * self.local_elem_ns
+            + c.sends as f64 * self.send_overhead_ns
+            + c.send_address_scans as f64 * self.send_scan_elem_ns
+            + c.broadcast_stages as f64 * self.broadcast_stage_ns
+            + c.broadcast_boxes as f64 * k * self.broadcast_elem_ns
+            + c.flops as f64 * self.flop_ns
+    }
+
+    /// Modeled time in seconds.
+    pub fn time_s(&self, c: &Counters, k: usize) -> f64 {
+        self.time_ns(c, k) * 1e-9
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::cm5e()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cshift_overhead_dominates_small_transfers() {
+        let m = CostModel::cm5e();
+        let many_small = Counters {
+            cshifts: 54,
+            off_vu_boxes: 3584,
+            ..Default::default()
+        };
+        let few_large = Counters {
+            cshifts: 6,
+            off_vu_boxes: 6656,
+            ..Default::default()
+        };
+        // The paper's observation: fewer, larger CSHIFTs win even when
+        // they move more data (≈1.5× there).
+        let t_small = m.time_s(&many_small, 12);
+        let t_large = m.time_s(&few_large, 12);
+        assert!(t_large < t_small, "{} vs {}", t_large, t_small);
+        let ratio = t_small / t_large;
+        assert!(ratio > 1.1 && ratio < 3.0, "ratio {}", ratio);
+    }
+
+    #[test]
+    fn time_scales_with_k() {
+        let m = CostModel::cm5e();
+        let c = Counters {
+            off_vu_boxes: 100,
+            ..Default::default()
+        };
+        assert!(m.time_ns(&c, 72) > m.time_ns(&c, 12) * 5.9);
+    }
+
+    #[test]
+    fn flops_counted() {
+        let m = CostModel::cm5e();
+        let c = Counters {
+            flops: 1_000_000,
+            ..Default::default()
+        };
+        assert!((m.time_s(&c, 1) - 8e-3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+//! Block layout of a 3-D grid over a VU grid (paper Fig. 4).
+//!
+//! On the Connection Machine, both the number of VUs per axis and the
+//! number of boxes per axis are powers of two, so the global address of a
+//! box splits into bit fields: high-order bits select the VU, low-order
+//! bits the location in that VU's local subgrid. All address arithmetic
+//! here is that bit manipulation, round-trip tested.
+
+/// A grid of vector units (the paper's processing elements: 4 VUs per
+/// CM-5E node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VuGrid {
+    /// VUs per axis; each a power of two.
+    pub dims: [usize; 3],
+}
+
+impl VuGrid {
+    pub fn new(dims: [usize; 3]) -> Self {
+        for d in dims {
+            assert!(d.is_power_of_two(), "VU grid dims must be powers of two");
+        }
+        VuGrid { dims }
+    }
+
+    /// Total number of VUs.
+    pub fn len(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Rank of a VU coordinate (x fastest).
+    #[inline]
+    pub fn rank(&self, v: [usize; 3]) -> usize {
+        debug_assert!(v[0] < self.dims[0] && v[1] < self.dims[1] && v[2] < self.dims[2]);
+        (v[2] * self.dims[1] + v[1]) * self.dims[0] + v[0]
+    }
+
+    /// Inverse of [`VuGrid::rank`].
+    #[inline]
+    pub fn coords(&self, rank: usize) -> [usize; 3] {
+        [
+            rank % self.dims[0],
+            (rank / self.dims[0]) % self.dims[1],
+            rank / (self.dims[0] * self.dims[1]),
+        ]
+    }
+}
+
+/// A block layout: global box grid distributed over a VU grid, each VU
+/// holding a contiguous subgrid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Global boxes per axis (powers of two).
+    pub global: [usize; 3],
+    pub vu: VuGrid,
+    /// Local subgrid extents per axis: `global[a] / vu.dims[a]`.
+    pub subgrid: [usize; 3],
+}
+
+impl BlockLayout {
+    pub fn new(global: [usize; 3], vu: VuGrid) -> Self {
+        let mut subgrid = [0; 3];
+        for a in 0..3 {
+            assert!(global[a].is_power_of_two(), "global extents must be powers of two");
+            assert!(
+                global[a] % vu.dims[a] == 0 && global[a] >= vu.dims[a],
+                "axis {}: {} boxes over {} VUs",
+                a,
+                global[a],
+                vu.dims[a]
+            );
+            subgrid[a] = global[a] / vu.dims[a];
+        }
+        BlockLayout { global, vu, subgrid }
+    }
+
+    /// Number of boxes in one VU's subgrid.
+    pub fn boxes_per_vu(&self) -> usize {
+        self.subgrid[0] * self.subgrid[1] * self.subgrid[2]
+    }
+
+    /// Total boxes.
+    pub fn total_boxes(&self) -> usize {
+        self.global[0] * self.global[1] * self.global[2]
+    }
+
+    /// Bits of the VU address per axis.
+    pub fn vu_bits(&self) -> [u32; 3] {
+        [
+            self.vu.dims[0].trailing_zeros(),
+            self.vu.dims[1].trailing_zeros(),
+            self.vu.dims[2].trailing_zeros(),
+        ]
+    }
+
+    /// Bits of the local address per axis.
+    pub fn local_bits(&self) -> [u32; 3] {
+        [
+            self.subgrid[0].trailing_zeros(),
+            self.subgrid[1].trailing_zeros(),
+            self.subgrid[2].trailing_zeros(),
+        ]
+    }
+
+    /// The VU owning a global box coordinate (high-order bits per axis).
+    #[inline]
+    pub fn vu_of(&self, g: [usize; 3]) -> usize {
+        let v = [
+            g[0] >> self.local_bits()[0],
+            g[1] >> self.local_bits()[1],
+            g[2] >> self.local_bits()[2],
+        ];
+        self.vu.rank(v)
+    }
+
+    /// Local coordinate within the owning VU (low-order bits per axis).
+    #[inline]
+    pub fn local_of(&self, g: [usize; 3]) -> [usize; 3] {
+        [
+            g[0] & (self.subgrid[0] - 1),
+            g[1] & (self.subgrid[1] - 1),
+            g[2] & (self.subgrid[2] - 1),
+        ]
+    }
+
+    /// Local linear index (x fastest within the subgrid).
+    #[inline]
+    pub fn local_index(&self, g: [usize; 3]) -> usize {
+        let l = self.local_of(g);
+        (l[2] * self.subgrid[1] + l[1]) * self.subgrid[0] + l[0]
+    }
+
+    /// Rebuild the global coordinate from (vu rank, local index).
+    pub fn global_of(&self, vu_rank: usize, local_index: usize) -> [usize; 3] {
+        let v = self.vu.coords(vu_rank);
+        let l = [
+            local_index % self.subgrid[0],
+            (local_index / self.subgrid[0]) % self.subgrid[1],
+            local_index / (self.subgrid[0] * self.subgrid[1]),
+        ];
+        [
+            (v[0] << self.local_bits()[0]) | l[0],
+            (v[1] << self.local_bits()[1]) | l[1],
+            (v[2] << self.local_bits()[2]) | l[2],
+        ]
+    }
+
+    /// Global linear index (x fastest).
+    #[inline]
+    pub fn global_index(&self, g: [usize; 3]) -> usize {
+        (g[2] * self.global[1] + g[1]) * self.global[0] + g[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout_32node() -> BlockLayout {
+        // The paper's Table-4 machine: 32-node CM-5E = 128 VUs, 8³ local
+        // subgrids.
+        BlockLayout::new([64, 32, 32], VuGrid::new([8, 4, 4]))
+    }
+
+    #[test]
+    fn vu_rank_round_trip() {
+        let vg = VuGrid::new([8, 4, 2]);
+        for r in 0..vg.len() {
+            assert_eq!(vg.rank(vg.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn paper_table4_configuration() {
+        let l = layout_32node();
+        assert_eq!(l.vu.len(), 128);
+        assert_eq!(l.subgrid, [8, 8, 8]);
+        assert_eq!(l.boxes_per_vu(), 512);
+        assert_eq!(l.total_boxes(), 65536);
+    }
+
+    #[test]
+    fn owner_and_local_round_trip() {
+        let l = layout_32node();
+        for &g in &[[0, 0, 0], [7, 7, 7], [8, 0, 0], [63, 31, 31], [17, 9, 25]] {
+            let vu = l.vu_of(g);
+            let li = l.local_index(g);
+            assert_eq!(l.global_of(vu, li), g);
+        }
+    }
+
+    #[test]
+    fn neighbours_within_subgrid_share_vu() {
+        let l = layout_32node();
+        assert_eq!(l.vu_of([0, 0, 0]), l.vu_of([7, 7, 7]));
+        assert_ne!(l.vu_of([7, 0, 0]), l.vu_of([8, 0, 0]));
+    }
+
+    #[test]
+    fn bit_fields_match_extents() {
+        let l = layout_32node();
+        assert_eq!(l.vu_bits(), [3, 2, 2]);
+        assert_eq!(l.local_bits(), [3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_rejected() {
+        let _ = VuGrid::new([3, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_vus_than_boxes_rejected() {
+        let _ = BlockLayout::new([4, 4, 4], VuGrid::new([8, 1, 1]));
+    }
+}

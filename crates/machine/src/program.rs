@@ -1,0 +1,347 @@
+//! Whole-program communication budget of a distributed FMM run.
+//!
+//! The paper's bottom-line communication claims — "the communication time
+//! for large particle systems amounts to about 10–25%, and the overall
+//! efficiency is about 35%" — are budget statements over the five phases
+//! of the method on a block-distributed machine. This module assembles
+//! that budget from the same per-phase counting used by the Table-4 /
+//! Fig.-7 experiments:
+//!
+//! * **sort** — the coordinate sort leaves a (distribution-dependent)
+//!   fraction of particles off their box's VU; those move once through
+//!   the router,
+//! * **P2O / eval** — particle–box interactions are local after the sort,
+//! * **upward / downward parent–child** — local while a level has at
+//!   least one box per VU, a small send above that (the two-step
+//!   Multigrid-embed),
+//! * **interactive field** — one ghost-halo fetch per level (forwarding
+//!   strategy: exact halo volume, 6 CSHIFTs),
+//! * **near field** — 62 unit CSHIFTs of the leaf particle arrays
+//!   (travelling-accumulator symmetry).
+
+use crate::cost::CostModel;
+use crate::counters::Counters;
+use crate::ghost::GHOST_DEPTH;
+use crate::layout::VuGrid;
+
+/// Configuration of a simulated FMM run.
+#[derive(Debug, Clone)]
+pub struct ProgramConfig {
+    /// Hierarchy depth h (leaf level has 8^h boxes).
+    pub depth: u32,
+    /// Sphere integration points per box.
+    pub k: usize,
+    /// Legendre truncation.
+    pub m: usize,
+    /// Mean particles per leaf box.
+    pub particles_per_box: f64,
+    /// The machine.
+    pub vu_grid: VuGrid,
+    /// Supernodes on (189 translations/box) or off (875).
+    pub supernodes: bool,
+    /// Fraction of particles NOT on their box's VU after the coordinate
+    /// sort (0 for uniform distributions, per §3.2).
+    pub sort_miss_fraction: f64,
+}
+
+impl ProgramConfig {
+    /// The paper's large-system configuration: depth-8 hierarchy on a
+    /// 256-node (1024-VU) CM-5E, 100M particles, K = 12.
+    pub fn paper_d5() -> Self {
+        ProgramConfig {
+            depth: 8,
+            k: 12,
+            m: 3,
+            particles_per_box: 100e6 / 8f64.powi(8),
+            vu_grid: VuGrid::new([16, 8, 8]),
+            supernodes: true,
+            sort_miss_fraction: 0.0,
+        }
+    }
+
+    /// The paper's high-accuracy configuration: depth 7, K = 72.
+    pub fn paper_d14() -> Self {
+        ProgramConfig {
+            depth: 7,
+            k: 72,
+            m: 8,
+            particles_per_box: 100e6 / 8f64.powi(7),
+            vu_grid: VuGrid::new([16, 8, 8]),
+            supernodes: true,
+            sort_miss_fraction: 0.0,
+        }
+    }
+
+    /// Total particles.
+    pub fn n_particles(&self) -> f64 {
+        self.particles_per_box * 8f64.powi(self.depth as i32)
+    }
+}
+
+/// One phase of the budget.
+#[derive(Debug, Clone)]
+pub struct PhaseBudget {
+    pub name: &'static str,
+    pub comm: Counters,
+    pub compute_flops: u64,
+}
+
+/// The assembled budget.
+#[derive(Debug, Clone)]
+pub struct ProgramBudget {
+    pub phases: Vec<PhaseBudget>,
+    pub config_k: usize,
+}
+
+impl ProgramBudget {
+    /// Communication seconds under a cost model (flops excluded).
+    pub fn comm_s(&self, cost: &CostModel) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| cost.time_s(&p.comm, self.config_k))
+            .sum()
+    }
+
+    /// Compute seconds under a cost model.
+    pub fn compute_s(&self, cost: &CostModel) -> f64 {
+        self.phases
+            .iter()
+            .map(|p| p.compute_flops as f64 * cost.flop_ns * 1e-9)
+            .sum()
+    }
+
+    /// Fraction of total modeled time spent communicating.
+    pub fn comm_fraction(&self, cost: &CostModel) -> f64 {
+        let c = self.comm_s(cost);
+        let f = self.compute_s(cost);
+        c / (c + f)
+    }
+
+    /// Achieved efficiency against a peak flop time (ns/flop at peak).
+    /// `cost.flop_ns` is the *achieved* per-flop time of real kernels;
+    /// efficiency = (flops · peak_flop_ns) / total_time.
+    pub fn efficiency(&self, cost: &CostModel, peak_flop_ns: f64) -> f64 {
+        let flops: u64 = self.phases.iter().map(|p| p.compute_flops).sum();
+        let total = self.comm_s(cost) + self.compute_s(cost);
+        (flops as f64 * peak_flop_ns * 1e-9) / total
+    }
+
+    pub fn total_flops(&self) -> u64 {
+        self.phases.iter().map(|p| p.compute_flops).sum()
+    }
+}
+
+/// Per-VU subgrid extent (per axis) of level `l` over a VU grid, or `None`
+/// when the level has fewer boxes than VUs along some axis.
+fn subgrid_extent(l: u32, vu: &VuGrid) -> Option<[usize; 3]> {
+    let n = 1usize << l;
+    let mut s = [0; 3];
+    for a in 0..3 {
+        if n < vu.dims[a] {
+            return None;
+        }
+        s[a] = n / vu.dims[a];
+    }
+    Some(s)
+}
+
+/// Assemble the per-phase communication/compute budget.
+pub fn communication_budget(cfg: &ProgramConfig) -> ProgramBudget {
+    let p = cfg.vu_grid.len() as u64;
+    let k = cfg.k as u64;
+    let n = cfg.n_particles();
+    let h = cfg.depth;
+    let leaf_boxes = 1u64 << (3 * h);
+    let mut phases = Vec::new();
+
+    // --- sort -----------------------------------------------------------
+    let misses = (n * cfg.sort_miss_fraction) as u64;
+    phases.push(PhaseBudget {
+        name: "sort",
+        comm: Counters {
+            sends: if misses > 0 { 1 } else { 0 },
+            off_vu_boxes: misses / k.max(1), // particles, scaled to boxes
+            send_address_scans: n as u64,
+            ..Default::default()
+        },
+        compute_flops: (n * (n / p as f64).log2().max(1.0)) as u64, // comparison work
+    });
+
+    // --- P2O (local after the sort) --------------------------------------
+    phases.push(PhaseBudget {
+        name: "p2o",
+        comm: Counters::default(),
+        compute_flops: (n * cfg.k as f64 * 10.0) as u64,
+    });
+
+    // --- upward (T1) ------------------------------------------------------
+    let mut up_comm = Counters::default();
+    let mut up_flops = 0u64;
+    for l in (1..h).rev() {
+        let boxes = 1u64 << (3 * l);
+        up_flops += boxes * 8 * 2 * k * k;
+        if subgrid_extent(l, &cfg.vu_grid).is_none() {
+            // Fewer boxes than VUs: two-step embed/extract, all boxes move.
+            up_comm.sends += 1;
+            up_comm.off_vu_boxes += boxes * 8; // children gathered
+            up_comm.send_address_scans += p;
+        } else {
+            up_comm.local_box_moves += boxes * 8;
+        }
+    }
+    phases.push(PhaseBudget {
+        name: "upward(T1)",
+        comm: up_comm,
+        compute_flops: up_flops,
+    });
+
+    // --- downward (T2 + T3) ----------------------------------------------
+    let translations_per_box = if cfg.supernodes { 189u64 } else { 875 };
+    let mut down_comm = Counters::default();
+    let mut down_flops = 0u64;
+    for l in 2..=h {
+        let boxes = 1u64 << (3 * l);
+        down_flops += boxes * translations_per_box * 2 * k * k; // T2
+        if l >= 3 {
+            down_flops += boxes * 2 * k * k; // T3
+        }
+        match subgrid_extent(l, &cfg.vu_grid) {
+            Some(s) => {
+                // Forwarding halo fetch: exact halo volume, 6 CSHIFTs,
+                // plus local copies for the buffer and the T2 gathers.
+                let g = GHOST_DEPTH;
+                let halo = ((s[0] + 2 * g) * (s[1] + 2 * g) * (s[2] + 2 * g)
+                    - s[0] * s[1] * s[2]) as u64;
+                down_comm.cshifts += 6;
+                down_comm.off_vu_boxes += halo * p;
+                down_comm.local_box_moves += (halo + boxes / p * translations_per_box) * p;
+            }
+            None => {
+                // Near the root: everything moves (tiny levels).
+                down_comm.sends += 1;
+                down_comm.off_vu_boxes += boxes * 27;
+                down_comm.send_address_scans += p;
+            }
+        }
+    }
+    phases.push(PhaseBudget {
+        name: "downward(T2+T3)",
+        comm: down_comm,
+        compute_flops: down_flops,
+    });
+
+    // --- leaf evaluation ---------------------------------------------------
+    phases.push(PhaseBudget {
+        name: "eval",
+        comm: Counters::default(),
+        compute_flops: (n * cfg.k as f64 * (cfg.m as f64 + 1.0) * 6.0) as u64,
+    });
+
+    // --- near field ---------------------------------------------------------
+    let pairs = n * cfg.particles_per_box * 125.0 / 2.0; // symmetric sweep
+    let near_flops = (pairs * 10.0) as u64;
+    let mut near_comm = Counters::default();
+    if let Some(s) = subgrid_extent(h, &cfg.vu_grid) {
+        // 62 unit CSHIFTs of the particle arrays (4 f64 per particle, so
+        // particles_per_box·4/k "boxes" of k doubles per leaf box).
+        let crossing_boxes = 62 * leaf_boxes / s[0] as u64;
+        let particle_box_factor = cfg.particles_per_box * 4.0 / cfg.k as f64;
+        near_comm.cshifts += 62;
+        near_comm.off_vu_boxes += (crossing_boxes as f64 * particle_box_factor) as u64;
+        near_comm.local_box_moves += ((62 * leaf_boxes - crossing_boxes) as f64
+            * particle_box_factor) as u64;
+    }
+    phases.push(PhaseBudget {
+        name: "near",
+        comm: near_comm,
+        compute_flops: near_flops,
+    });
+
+    ProgramBudget {
+        phases,
+        config_k: cfg.k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_hit_the_claimed_comm_band() {
+        let cost = CostModel::cm5e();
+        let d5 = communication_budget(&ProgramConfig::paper_d5());
+        let d14 = communication_budget(&ProgramConfig::paper_d14());
+        let f5 = d5.comm_fraction(&cost);
+        let f14 = d14.comm_fraction(&cost);
+        // Paper: "about 10-25%" (12% for K=12/depth 8 in the traversal,
+        // 25% for K=72/depth 7). Our budget counts *minimal* data motion:
+        // it reproduces the D=5 figure (~9% vs the paper's ~12%) but shows
+        // the K=72 configuration to be compute-bound (~2%) — the paper's
+        // 25% at K=72 reflects CM runtime overheads beyond minimal motion
+        // (whole-subgrid moves, per-call costs); see EXPERIMENTS.md E9.
+        assert!(f5 > 0.05 && f5 < 0.20, "D=5 comm fraction {}", f5);
+        assert!(f14 > 0.005 && f14 < 0.30, "D=14 comm fraction {}", f14);
+        assert!(f14 < f5, "K=72 moves fewer bytes per flop than K=12");
+    }
+
+    #[test]
+    fn supernodes_reduce_compute_not_comm() {
+        let mut cfg = ProgramConfig::paper_d5();
+        cfg.supernodes = false;
+        let plain = communication_budget(&cfg);
+        cfg.supernodes = true;
+        let sup = communication_budget(&cfg);
+        assert!(sup.total_flops() < plain.total_flops());
+        let cost = CostModel::cm5e();
+        // Same halos are fetched either way, so the comm fraction rises
+        // when supernodes cut the compute.
+        assert!(sup.comm_fraction(&cost) >= plain.comm_fraction(&cost) * 0.99);
+    }
+
+    #[test]
+    fn deeper_hierarchy_shrinks_halo_share() {
+        // Bigger subgrids (same machine, deeper tree) have better
+        // surface-to-volume, so the downward phase's comm per flop drops.
+        let cost = CostModel::cm5e();
+        let share = |depth: u32| {
+            let cfg = ProgramConfig {
+                depth,
+                particles_per_box: 10.0,
+                ..ProgramConfig::paper_d5()
+            };
+            let b = communication_budget(&cfg);
+            let down = b
+                .phases
+                .iter()
+                .find(|p| p.name == "downward(T2+T3)")
+                .unwrap();
+            cost.time_s(&down.comm, b.config_k)
+                / (cost.time_s(&down.comm, b.config_k)
+                    + down.compute_flops as f64 * cost.flop_ns * 1e-9)
+        };
+        assert!(share(8) < share(6), "{} vs {}", share(8), share(6));
+    }
+
+    #[test]
+    fn sort_misses_add_router_traffic() {
+        let cost = CostModel::cm5e();
+        let mut cfg = ProgramConfig::paper_d5();
+        cfg.sort_miss_fraction = 0.0;
+        let clean = communication_budget(&cfg).comm_s(&cost);
+        cfg.sort_miss_fraction = 0.5;
+        let dirty = communication_budget(&cfg).comm_s(&cost);
+        assert!(dirty > clean);
+    }
+
+    #[test]
+    fn efficiency_in_papers_ballpark() {
+        // With achieved-kernel flop time 2× the peak flop time (≈50%
+        // arithmetic efficiency, the paper's Table-3 regime), the overall
+        // efficiency should land in the paper's 25–40% band.
+        let cost = CostModel::cm5e();
+        let b = communication_budget(&ProgramConfig::paper_d14());
+        let eff = b.efficiency(&cost, cost.flop_ns / 2.0);
+        assert!(eff > 0.2 && eff < 0.55, "efficiency {}", eff);
+    }
+}

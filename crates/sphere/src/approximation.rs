@@ -1,0 +1,505 @@
+//! Anderson's outer- and inner-sphere approximations.
+//!
+//! The *outer* approximation represents the potential field **outside** a
+//! sphere of radius `a` due to sources inside it, from K samples of the
+//! potential on the sphere (paper eq. (15)):
+//!
+//!   Φ(x) ≈ Σᵢ \[ Σₙ₌₀^M (2n+1)(a/r)ⁿ⁺¹ Pₙ(sᵢ·x̂) \] g(a sᵢ) wᵢ ,  r = |x| > a
+//!
+//! The *inner* approximation represents the potential **inside** the sphere
+//! due to sources far outside it (paper eq. (16); interior Poisson kernel,
+//! exponent n — see the crate docs for the OCR note):
+//!
+//!   Ψ(x) ≈ Σᵢ \[ Σₙ₌₀^M (2n+1)(r/a)ⁿ Pₙ(sᵢ·x̂) \] g(a sᵢ) wᵢ ,  r = |x| < a
+//!
+//! Both are *linear* in the samples g, which is why every translation
+//! operator of the method is a K×K matrix: its (j,i) entry is the kernel
+//! row of destination point j against source point i. This module provides
+//! the kernel rows (and their gradients for force evaluation) plus
+//! convenience wrapper types used by examples and tests.
+
+use crate::legendre::{legendre_all, legendre_all_with_deriv};
+use crate::quadrature::SphereRule;
+use crate::{dot, norm, scale, sub, Vec3};
+
+/// Scratch space for kernel evaluation, reusable across calls to avoid
+/// allocation in hot loops.
+#[derive(Debug, Clone)]
+pub struct KernelScratch {
+    p: Vec<f64>,
+    dp: Vec<f64>,
+    powers: Vec<f64>,
+}
+
+impl KernelScratch {
+    pub fn new(m: usize) -> Self {
+        KernelScratch {
+            p: vec![0.0; m + 1],
+            dp: vec![0.0; m + 1],
+            powers: vec![0.0; m + 2],
+        }
+    }
+}
+
+/// Fill `row[i] = wᵢ Σₙ₌₀^M (2n+1)(a/r)ⁿ⁺¹ Pₙ(sᵢ·x̂)` so that the outer
+/// approximation at `x` (relative to the sphere centre) is `row · g`.
+///
+/// Panics (debug) if `x` is at the centre; callers must guarantee `r > 0`
+/// (the outer element is only ever evaluated in the far field).
+pub fn outer_kernel_row(rule: &SphereRule, m: usize, a: f64, x: Vec3, row: &mut [f64]) {
+    debug_assert_eq!(row.len(), rule.len());
+    let r = norm(x);
+    debug_assert!(r > 0.0, "outer approximation evaluated at the centre");
+    let xhat = scale(x, 1.0 / r);
+    let t = a / r;
+    let mut scratch = KernelScratch::new(m);
+    // powers[n] = t^{n+1}
+    let mut tp = t;
+    for n in 0..=m {
+        scratch.powers[n] = tp;
+        tp *= t;
+    }
+    for (i, (&s, &w)) in rule.points.iter().zip(&rule.weights).enumerate() {
+        let u = dot(s, xhat).clamp(-1.0, 1.0);
+        legendre_all(m, u, &mut scratch.p);
+        let mut acc = 0.0;
+        for n in 0..=m {
+            acc += (2 * n + 1) as f64 * scratch.powers[n] * scratch.p[n];
+        }
+        row[i] = acc * w;
+    }
+}
+
+/// Fill `row[i] = wᵢ Σₙ₌₀^M (2n+1)(r/a)ⁿ Pₙ(sᵢ·x̂)` so that the inner
+/// approximation at `x` (relative to the sphere centre) is `row · g`.
+///
+/// Well-defined at the centre (only the n = 0 term survives: the value at
+/// the centre of a harmonic function is its spherical mean).
+pub fn inner_kernel_row(rule: &SphereRule, m: usize, a: f64, x: Vec3, row: &mut [f64]) {
+    debug_assert_eq!(row.len(), rule.len());
+    let r = norm(x);
+    if r == 0.0 {
+        for (ri, &w) in row.iter_mut().zip(&rule.weights) {
+            *ri = w;
+        }
+        return;
+    }
+    let xhat = scale(x, 1.0 / r);
+    let t = r / a;
+    let mut scratch = KernelScratch::new(m);
+    // powers[n] = t^n
+    let mut tp = 1.0;
+    for n in 0..=m {
+        scratch.powers[n] = tp;
+        tp *= t;
+    }
+    for (i, (&s, &w)) in rule.points.iter().zip(&rule.weights).enumerate() {
+        let u = dot(s, xhat).clamp(-1.0, 1.0);
+        legendre_all(m, u, &mut scratch.p);
+        let mut acc = 0.0;
+        for n in 0..=m {
+            acc += (2 * n + 1) as f64 * scratch.powers[n] * scratch.p[n];
+        }
+        row[i] = acc * w;
+    }
+}
+
+/// Gradient version of [`outer_kernel_row`]: fills `rows[d][i]` with
+/// ∂/∂x_d of the outer kernel, so that ∇Φ(x) = (rows[0]·g, rows[1]·g,
+/// rows[2]·g).
+pub fn outer_kernel_row_grad(
+    rule: &SphereRule,
+    m: usize,
+    a: f64,
+    x: Vec3,
+    rows: &mut [Vec<f64>; 3],
+) {
+    let r = norm(x);
+    debug_assert!(r > 0.0);
+    let xhat = scale(x, 1.0 / r);
+    let t = a / r;
+    let mut scratch = KernelScratch::new(m);
+    let mut tp = t;
+    for n in 0..=m {
+        scratch.powers[n] = tp; // t^{n+1}
+        tp *= t;
+    }
+    for (i, (&s, &w)) in rule.points.iter().zip(&rule.weights).enumerate() {
+        let u = dot(s, xhat).clamp(-1.0, 1.0);
+        legendre_all_with_deriv(m, u, &mut scratch.p, &mut scratch.dp);
+        // dΦ/dx = Σₙ (2n+1) t^{n+1} [ −(n+1)/r Pₙ(u) x̂ + Pₙ'(u)(s − u x̂)/r ]
+        let mut cr = 0.0; // coefficient of x̂ / r
+        let mut cs = 0.0; // coefficient of (s − u x̂) / r
+        for n in 0..=m {
+            let c = (2 * n + 1) as f64 * scratch.powers[n];
+            cr -= c * (n + 1) as f64 * scratch.p[n];
+            cs += c * scratch.dp[n];
+        }
+        for d in 0..3 {
+            rows[d][i] = w * (cr * xhat[d] + cs * (s[d] - u * xhat[d])) / r;
+        }
+    }
+}
+
+/// Gradient version of [`inner_kernel_row`]. Well-defined at the centre
+/// (where only the n = 1 term contributes: ∇ = 3 sᵢ / a).
+pub fn inner_kernel_row_grad(
+    rule: &SphereRule,
+    m: usize,
+    a: f64,
+    x: Vec3,
+    rows: &mut [Vec<f64>; 3],
+) {
+    let r = norm(x);
+    if r == 0.0 {
+        for (i, (&s, &w)) in rule.points.iter().zip(&rule.weights).enumerate() {
+            for d in 0..3 {
+                rows[d][i] = if m >= 1 { w * 3.0 * s[d] / a } else { 0.0 };
+            }
+        }
+        return;
+    }
+    let xhat = scale(x, 1.0 / r);
+    let mut scratch = KernelScratch::new(m);
+    // powers[n] = r^{n-1} / a^n  (for n ≥ 1); n = 0 term has zero gradient.
+    let mut tp = 1.0 / a;
+    for n in 1..=m {
+        scratch.powers[n] = tp;
+        tp *= r / a;
+    }
+    for (i, (&s, &w)) in rule.points.iter().zip(&rule.weights).enumerate() {
+        let u = dot(s, xhat).clamp(-1.0, 1.0);
+        legendre_all_with_deriv(m, u, &mut scratch.p, &mut scratch.dp);
+        // ∇[(r/a)ⁿ Pₙ(u)] = r^{n−1}/aⁿ [ n Pₙ(u) x̂ + Pₙ'(u)(s − u x̂) ]
+        let mut gx = [0.0; 3];
+        for n in 1..=m {
+            let c = (2 * n + 1) as f64 * scratch.powers[n];
+            let cn = c * n as f64 * scratch.p[n];
+            let cd = c * scratch.dp[n];
+            for d in 0..3 {
+                gx[d] += cn * xhat[d] + cd * (s[d] - u * xhat[d]);
+            }
+        }
+        for d in 0..3 {
+            rows[d][i] = w * gx[d];
+        }
+    }
+}
+
+/// An outer (far-field) sphere approximation: centre, radius, and the K
+/// potential samples on the sphere.
+#[derive(Debug, Clone)]
+pub struct OuterApprox {
+    pub center: Vec3,
+    pub radius: f64,
+    pub g: Vec<f64>,
+}
+
+impl OuterApprox {
+    /// Construct from point sources (positions absolute, charges q):
+    /// g_i = Σ_j q_j / |a sᵢ + c − x_j|.
+    pub fn from_particles(
+        rule: &SphereRule,
+        center: Vec3,
+        radius: f64,
+        positions: &[Vec3],
+        charges: &[f64],
+    ) -> Self {
+        assert_eq!(positions.len(), charges.len());
+        let g = rule
+            .points
+            .iter()
+            .map(|&s| {
+                let sp = [
+                    center[0] + radius * s[0],
+                    center[1] + radius * s[1],
+                    center[2] + radius * s[2],
+                ];
+                positions
+                    .iter()
+                    .zip(charges)
+                    .map(|(&x, &q)| q / norm(sub(sp, x)))
+                    .sum()
+            })
+            .collect();
+        OuterApprox {
+            center,
+            radius,
+            g,
+        }
+    }
+
+    /// Evaluate the approximation at an absolute point `x` outside the
+    /// sphere, truncating the Legendre series at `m`.
+    pub fn evaluate(&self, rule: &SphereRule, m: usize, x: Vec3) -> f64 {
+        let mut row = vec![0.0; rule.len()];
+        outer_kernel_row(rule, m, self.radius, sub(x, self.center), &mut row);
+        row.iter().zip(&self.g).map(|(r, g)| r * g).sum()
+    }
+
+    /// Gradient of the approximation at an absolute point `x`.
+    pub fn evaluate_grad(&self, rule: &SphereRule, m: usize, x: Vec3) -> Vec3 {
+        let mut rows = [
+            vec![0.0; rule.len()],
+            vec![0.0; rule.len()],
+            vec![0.0; rule.len()],
+        ];
+        outer_kernel_row_grad(rule, m, self.radius, sub(x, self.center), &mut rows);
+        let mut g = [0.0; 3];
+        for d in 0..3 {
+            g[d] = rows[d].iter().zip(&self.g).map(|(r, gg)| r * gg).sum();
+        }
+        g
+    }
+}
+
+/// An inner (local-field) sphere approximation: centre, radius, and the K
+/// potential samples on the sphere.
+#[derive(Debug, Clone)]
+pub struct InnerApprox {
+    pub center: Vec3,
+    pub radius: f64,
+    pub g: Vec<f64>,
+}
+
+impl InnerApprox {
+    /// Construct from far sources by sampling their exact potential on the
+    /// sphere.
+    pub fn from_particles(
+        rule: &SphereRule,
+        center: Vec3,
+        radius: f64,
+        positions: &[Vec3],
+        charges: &[f64],
+    ) -> Self {
+        let g = rule
+            .points
+            .iter()
+            .map(|&s| {
+                let sp = [
+                    center[0] + radius * s[0],
+                    center[1] + radius * s[1],
+                    center[2] + radius * s[2],
+                ];
+                positions
+                    .iter()
+                    .zip(charges)
+                    .map(|(&x, &q)| q / norm(sub(sp, x)))
+                    .sum()
+            })
+            .collect();
+        InnerApprox {
+            center,
+            radius,
+            g,
+        }
+    }
+
+    /// Evaluate the approximation at an absolute point `x` inside the
+    /// sphere.
+    pub fn evaluate(&self, rule: &SphereRule, m: usize, x: Vec3) -> f64 {
+        let mut row = vec![0.0; rule.len()];
+        inner_kernel_row(rule, m, self.radius, sub(x, self.center), &mut row);
+        row.iter().zip(&self.g).map(|(r, g)| r * g).sum()
+    }
+
+    /// Gradient of the approximation at an absolute point `x`.
+    pub fn evaluate_grad(&self, rule: &SphereRule, m: usize, x: Vec3) -> Vec3 {
+        let mut rows = [
+            vec![0.0; rule.len()],
+            vec![0.0; rule.len()],
+            vec![0.0; rule.len()],
+        ];
+        inner_kernel_row_grad(rule, m, self.radius, sub(x, self.center), &mut rows);
+        let mut g = [0.0; 3];
+        for d in 0..3 {
+            g[d] = rows[d].iter().zip(&self.g).map(|(r, gg)| r * gg).sum();
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::SphereRule;
+
+    #[test]
+    fn point_charge_at_centre_exact() {
+        // g = q/a on the whole sphere; only n = 0 survives and gives q/r
+        // exactly for any rule and any M ≥ 0.
+        let rule = SphereRule::icosahedron();
+        let outer =
+            OuterApprox::from_particles(&rule, [0.0; 3], 1.0, &[[0.0; 3]], &[2.5]);
+        for &r in &[1.5, 2.0, 10.0] {
+            let v = outer.evaluate(&rule, 0, [r, 0.0, 0.0]);
+            assert!((v - 2.5 / r).abs() < 1e-12, "r={} v={}", r, v);
+        }
+    }
+
+    #[test]
+    fn off_centre_charge_converges_with_distance() {
+        // The error decays with distance until it hits the discretization
+        // floor ~ (|p|/a)^(D+1) — Anderson's error analysis, and the reason
+        // the paper's Table 2 tunes the sphere radii per integration order.
+        let rule = SphereRule::icosahedron();
+        let m = 2;
+        let q = 1.0;
+        let p = [0.3, 0.1, -0.2]; // |p| ≈ 0.374, floor ≈ 5e-4
+        let outer = OuterApprox::from_particles(&rule, [0.0; 3], 1.0, &[p], &[q]);
+        let mut last = f64::INFINITY;
+        for &r in &[2.0, 4.0, 8.0] {
+            let x = [r, 0.0, 0.0];
+            let exact = q / norm(sub(x, p));
+            let err = (outer.evaluate(&rule, m, x) - exact).abs() / exact;
+            assert!(err < last * 0.9, "error not decaying: r={} err={}", r, err);
+            last = err;
+        }
+        assert!(last < 2e-3, "far-field error too large: {}", last);
+        // A higher-degree rule lowers the floor at the same geometry.
+        let rule14 = SphereRule::product(14);
+        let outer14 = OuterApprox::from_particles(&rule14, [0.0; 3], 1.0, &[p], &[q]);
+        let x = [8.0, 0.0, 0.0];
+        let exact = q / norm(sub(x, p));
+        let err14 = (outer14.evaluate(&rule14, 7, x) - exact).abs() / exact;
+        assert!(err14 < last / 50.0, "D=14 floor {} not ≪ D=5 floor {}", err14, last);
+    }
+
+    #[test]
+    fn inner_value_at_centre_is_spherical_mean() {
+        let rule = SphereRule::product(8);
+        let sources = [[5.0, 1.0, 0.0], [-4.0, 2.0, 3.0]];
+        let charges = [1.0, -2.0];
+        let inner =
+            InnerApprox::from_particles(&rule, [0.0; 3], 1.0, &sources, &charges);
+        let mean: f64 = inner
+            .g
+            .iter()
+            .zip(&rule.weights)
+            .map(|(g, w)| g * w)
+            .sum();
+        let v = inner.evaluate(&rule, 6, [0.0; 3]);
+        assert!((v - mean).abs() < 1e-13);
+        // And the spherical mean of a harmonic function equals its value at
+        // the centre (mean value property), so this should be close to the
+        // true potential at the origin.
+        let exact: f64 = sources
+            .iter()
+            .zip(&charges)
+            .map(|(&s, &q)| q / norm(s))
+            .sum();
+        assert!((v - exact).abs() < 1e-6, "v={} exact={}", v, exact);
+    }
+
+    #[test]
+    fn inner_reconstructs_far_potential() {
+        let rule = SphereRule::product(10);
+        let sources = [[6.0, -1.0, 2.0], [0.0, 7.0, -3.0], [-5.0, -5.0, 5.0]];
+        let charges = [1.0, 0.5, -1.5];
+        let a = 1.0;
+        let inner = InnerApprox::from_particles(&rule, [0.0; 3], a, &sources, &charges);
+        for x in [[0.2, 0.1, 0.0], [-0.3, 0.3, 0.2], [0.0, 0.0, 0.45]] {
+            let exact: f64 = sources
+                .iter()
+                .zip(&charges)
+                .map(|(&s, &q)| q / norm(sub(x, s)))
+                .sum();
+            let v = inner.evaluate(&rule, 5, x);
+            assert!(
+                (v - exact).abs() < 1e-4 * exact.abs().max(1.0),
+                "x={:?} v={} exact={}",
+                x,
+                v,
+                exact
+            );
+        }
+    }
+
+    #[test]
+    fn outer_gradient_matches_finite_difference() {
+        let rule = SphereRule::icosahedron();
+        let outer = OuterApprox::from_particles(
+            &rule,
+            [0.0; 3],
+            1.0,
+            &[[0.2, -0.1, 0.3], [-0.2, 0.0, 0.1]],
+            &[1.0, 2.0],
+        );
+        let m = 4;
+        let x = [2.0, 1.0, -1.5];
+        let g = outer.evaluate_grad(&rule, m, x);
+        let h = 1e-6;
+        for d in 0..3 {
+            let mut xp = x;
+            xp[d] += h;
+            let mut xm = x;
+            xm[d] -= h;
+            let fd = (outer.evaluate(&rule, m, xp) - outer.evaluate(&rule, m, xm)) / (2.0 * h);
+            assert!((fd - g[d]).abs() < 1e-6, "d={} fd={} an={}", d, fd, g[d]);
+        }
+    }
+
+    #[test]
+    fn inner_gradient_matches_finite_difference() {
+        let rule = SphereRule::product(8);
+        let inner = InnerApprox::from_particles(
+            &rule,
+            [0.0; 3],
+            1.0,
+            &[[5.0, 2.0, -1.0]],
+            &[3.0],
+        );
+        let m = 5;
+        for x in [[0.3, -0.2, 0.1], [0.0, 0.0, 0.0]] {
+            let g = inner.evaluate_grad(&rule, m, x);
+            let h = 1e-6;
+            for d in 0..3 {
+                let mut xp = x;
+                xp[d] += h;
+                let mut xm = x;
+                xm[d] -= h;
+                let fd =
+                    (inner.evaluate(&rule, m, xp) - inner.evaluate(&rule, m, xm)) / (2.0 * h);
+                assert!(
+                    (fd - g[d]).abs() < 1e-5,
+                    "x={:?} d={} fd={} an={}",
+                    x,
+                    d,
+                    fd,
+                    g[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_rows_linear_in_g() {
+        // evaluate(g1 + g2) == evaluate(g1) + evaluate(g2): the element is
+        // linear in the samples, the property that makes translations
+        // matrices.
+        let rule = SphereRule::icosahedron();
+        let x = [3.0, 0.5, 1.0];
+        let mut row = vec![0.0; rule.len()];
+        outer_kernel_row(&rule, 3, 1.0, x, &mut row);
+        let g1: Vec<f64> = (0..rule.len()).map(|i| i as f64).collect();
+        let g2: Vec<f64> = (0..rule.len()).map(|i| (i * i) as f64 * 0.1).collect();
+        let e = |g: &[f64]| -> f64 { row.iter().zip(g).map(|(r, g)| r * g).sum() };
+        let sum: Vec<f64> = g1.iter().zip(&g2).map(|(a, b)| a + b).collect();
+        assert!((e(&sum) - e(&g1) - e(&g2)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn higher_truncation_not_worse_in_far_field() {
+        let rule = SphereRule::product(14);
+        let p = [0.4, -0.3, 0.2];
+        let outer = OuterApprox::from_particles(&rule, [0.0; 3], 1.0, &[p], &[1.0]);
+        let x = [5.0, 2.0, 1.0];
+        let exact = 1.0 / norm(sub(x, p));
+        let err_low = (outer.evaluate(&rule, 1, x) - exact).abs();
+        let err_high = (outer.evaluate(&rule, 7, x) - exact).abs();
+        assert!(err_high < err_low);
+        // M = 7 reaches the D = 14 discretization floor (~8e-6 relative at
+        // this geometry); it cannot do better than the rule's degree allows.
+        assert!(err_high < 1e-4 * exact);
+    }
+}

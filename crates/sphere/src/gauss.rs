@@ -1,0 +1,110 @@
+//! Gauss–Legendre quadrature on [−1, 1].
+//!
+//! Used to build product quadrature rules on the sphere: an `nθ`-point
+//! Gauss rule in cos θ crossed with an equispaced trapezoid rule in φ
+//! integrates spherical polynomials exactly up to degree
+//! min(2·nθ − 1, nφ − 1).
+
+use crate::legendre::legendre_all_with_deriv;
+
+/// Nodes and weights of the `n`-point Gauss–Legendre rule on [−1, 1].
+///
+/// Nodes are roots of Pₙ found by Newton iteration from the Chebyshev-like
+/// initial guess; weights are 2 / ((1 − x²) Pₙ'(x)²). Accurate to ~1e-15
+/// for the modest n (≤ 64) used by sphere rules.
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1, "need at least one node");
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    let mut p = vec![0.0; n + 1];
+    let mut dp = vec![0.0; n + 1];
+    for i in 0..n {
+        // Initial guess (Abramowitz & Stegun 25.4.38-style).
+        let mut x =
+            (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            legendre_all_with_deriv(n, x, &mut p, &mut dp);
+            let dx = p[n] / dp[n];
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        legendre_all_with_deriv(n, x, &mut p, &mut dp);
+        nodes[i] = x;
+        weights[i] = 2.0 / ((1.0 - x * x) * dp[n] * dp[n]);
+    }
+    // Newton converged from the cos ladder gives descending nodes; sort
+    // ascending for a canonical ordering.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| nodes[a].partial_cmp(&nodes[b]).unwrap());
+    let nodes_sorted: Vec<f64> = idx.iter().map(|&i| nodes[i]).collect();
+    let weights_sorted: Vec<f64> = idx.iter().map(|&i| weights[i]).collect();
+    (nodes_sorted, weights_sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn integrate(n: usize, f: impl Fn(f64) -> f64) -> f64 {
+        let (x, w) = gauss_legendre(n);
+        x.iter().zip(&w).map(|(&xi, &wi)| wi * f(xi)).sum()
+    }
+
+    #[test]
+    fn weights_sum_to_two() {
+        for n in 1..40 {
+            let (_, w) = gauss_legendre(n);
+            let s: f64 = w.iter().sum();
+            assert!((s - 2.0).abs() < 1e-13, "n={} sum={}", n, s);
+        }
+    }
+
+    #[test]
+    fn exact_for_polynomials_up_to_2n_minus_1() {
+        for n in 1..12usize {
+            for d in 0..=(2 * n - 1) {
+                let approx = integrate(n, |x| x.powi(d as i32));
+                let exact = if d % 2 == 1 { 0.0 } else { 2.0 / (d as f64 + 1.0) };
+                assert!(
+                    (approx - exact).abs() < 1e-12,
+                    "n={} d={} approx={} exact={}",
+                    n,
+                    d,
+                    approx,
+                    exact
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn not_exact_beyond_degree() {
+        // x^(2n) is not integrated exactly by the n-point rule.
+        let n = 3;
+        let approx = integrate(n, |x| x.powi(2 * n as i32));
+        let exact = 2.0 / (2.0 * n as f64 + 1.0);
+        assert!((approx - exact).abs() > 1e-6);
+    }
+
+    #[test]
+    fn nodes_symmetric_and_sorted() {
+        let (x, w) = gauss_legendre(7);
+        for i in 0..7 {
+            assert!((x[i] + x[6 - i]).abs() < 1e-13);
+            assert!((w[i] - w[6 - i]).abs() < 1e-13);
+        }
+        for i in 1..7 {
+            assert!(x[i] > x[i - 1]);
+        }
+    }
+
+    #[test]
+    fn transcendental_integral_converges() {
+        // ∫_{-1}^{1} e^x dx = e - 1/e.
+        let exact = std::f64::consts::E - 1.0 / std::f64::consts::E;
+        let approx = integrate(12, f64::exp);
+        assert!((approx - exact).abs() < 1e-13);
+    }
+}

@@ -1,0 +1,176 @@
+//! Real spherical and solid harmonics.
+//!
+//! Used for testing: quadrature exactness (a degree-D sphere rule must
+//! annihilate Y_l^m for 1 ≤ l ≤ D) and as analytically-known harmonic
+//! fields for validating the inner/outer sphere approximations.
+
+use crate::Vec3;
+
+/// Associated Legendre P_l^m(t) (no Condon–Shortley phase), m ≥ 0.
+pub fn assoc_legendre(l: usize, m: usize, t: f64) -> f64 {
+    assert!(m <= l);
+    // P_m^m = (2m-1)!! (1-t²)^{m/2}
+    let somx2 = ((1.0 - t) * (1.0 + t)).max(0.0).sqrt();
+    let mut pmm = 1.0;
+    let mut fact = 1.0;
+    for _ in 0..m {
+        pmm *= fact * somx2;
+        fact += 2.0;
+    }
+    if l == m {
+        return pmm;
+    }
+    let mut pmmp1 = t * (2 * m + 1) as f64 * pmm;
+    if l == m + 1 {
+        return pmmp1;
+    }
+    let mut pll = 0.0;
+    for ll in (m + 2)..=l {
+        pll = (t * (2 * ll - 1) as f64 * pmmp1 - (ll + m - 1) as f64 * pmm) / (ll - m) as f64;
+        pmm = pmmp1;
+        pmmp1 = pll;
+    }
+    pll
+}
+
+fn factorial(n: usize) -> f64 {
+    (1..=n).map(|i| i as f64).product::<f64>().max(1.0)
+}
+
+/// Real, fully normalized spherical harmonic Y_l^m evaluated at a unit
+/// vector `p`. `m` ranges over −l..=l; negative m selects the sin(|m|φ)
+/// branch.
+pub fn spherical_harmonic_real(l: usize, m: i64, p: Vec3) -> f64 {
+    let ct = p[2].clamp(-1.0, 1.0);
+    let phi = p[1].atan2(p[0]);
+    let ma = m.unsigned_abs() as usize;
+    assert!(ma <= l);
+    let norm = (((2 * l + 1) as f64 / (4.0 * std::f64::consts::PI))
+        * (factorial(l - ma) / factorial(l + ma)))
+    .sqrt();
+    let plm = assoc_legendre(l, ma, ct);
+    if m == 0 {
+        norm * plm
+    } else if m > 0 {
+        std::f64::consts::SQRT_2 * norm * plm * (ma as f64 * phi).cos()
+    } else {
+        std::f64::consts::SQRT_2 * norm * plm * (ma as f64 * phi).sin()
+    }
+}
+
+/// Number of linearly independent solid harmonics of degree ≤ l: (l+1)².
+pub const fn solid_harmonic_basis_count(l: usize) -> usize {
+    (l + 1) * (l + 1)
+}
+
+/// Regular solid harmonic r^l Y_l^m(x̂) at an arbitrary point — a harmonic
+/// polynomial, finite everywhere (returns the l = 0 value at the origin).
+pub fn regular_solid_harmonic(l: usize, m: i64, x: Vec3) -> f64 {
+    let r = crate::norm(x);
+    if r == 0.0 {
+        return if l == 0 {
+            spherical_harmonic_real(0, 0, [0.0, 0.0, 1.0])
+        } else {
+            0.0
+        };
+    }
+    let u = crate::scale(x, 1.0 / r);
+    r.powi(l as i32) * spherical_harmonic_real(l, m, u)
+}
+
+/// Irregular solid harmonic r^{−(l+1)} Y_l^m(x̂) — harmonic away from the
+/// origin, decaying at infinity. Panics at the origin.
+pub fn irregular_solid_harmonic(l: usize, m: i64, x: Vec3) -> f64 {
+    let r = crate::norm(x);
+    assert!(r > 0.0, "irregular solid harmonic is singular at the origin");
+    let u = crate::scale(x, 1.0 / r);
+    r.powi(-(l as i32) - 1) * spherical_harmonic_real(l, m, u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assoc_legendre_m0_matches_legendre() {
+        for l in 0..8 {
+            for &t in &[-0.9, -0.3, 0.2, 0.8] {
+                assert!(
+                    (assoc_legendre(l, 0, t) - crate::legendre::legendre(l, t)).abs() < 1e-12
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // P_1^1(t) = sqrt(1-t²); P_2^1(t) = 3 t sqrt(1-t²); P_2^2 = 3(1-t²).
+        let t = 0.3;
+        let s = (1.0f64 - t * t).sqrt();
+        assert!((assoc_legendre(1, 1, t) - s).abs() < 1e-13);
+        assert!((assoc_legendre(2, 1, t) - 3.0 * t * s).abs() < 1e-13);
+        assert!((assoc_legendre(2, 2, t) - 3.0 * (1.0 - t * t)).abs() < 1e-13);
+    }
+
+    #[test]
+    fn y00_is_constant() {
+        let v = 1.0 / (4.0 * std::f64::consts::PI).sqrt();
+        for p in [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0], [0.6, 0.0, 0.8]] {
+            assert!((spherical_harmonic_real(0, 0, p) - v).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn orthonormality_under_dense_rule() {
+        // A high-degree product rule should reproduce <Y_lm, Y_l'm'> = δ
+        // (up to the 4π factor from our mean-normalized weights).
+        let rule = crate::SphereRule::product(16);
+        let pairs = [(0i64, 0usize), (1, 1), (-1, 1), (0, 2), (2, 3), (-3, 4)];
+        for (i, &(m1, l1)) in pairs.iter().enumerate() {
+            for &(m2, l2) in &pairs[i..] {
+                let v = rule.integrate(|p| {
+                    spherical_harmonic_real(l1, m1, p) * spherical_harmonic_real(l2, m2, p)
+                }) * 4.0
+                    * std::f64::consts::PI;
+                let expect = if l1 == l2 && m1 == m2 { 1.0 } else { 0.0 };
+                assert!(
+                    (v - expect).abs() < 1e-10,
+                    "<Y_{}^{} , Y_{}^{}> = {}",
+                    l1,
+                    m1,
+                    l2,
+                    m2,
+                    v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regular_solid_harmonic_is_harmonic() {
+        // Laplacian of r^l Y_lm vanishes: check with a 6-point stencil.
+        let h = 1e-3;
+        let x = [0.4, -0.2, 0.7];
+        for (l, m) in [(1usize, 0i64), (2, 1), (3, -2), (4, 4)] {
+            let f = |p: crate::Vec3| regular_solid_harmonic(l, m, p);
+            let mut lap = -6.0 * f(x);
+            for d in 0..3 {
+                let mut xp = x;
+                xp[d] += h;
+                let mut xm = x;
+                xm[d] -= h;
+                lap += f(xp) + f(xm);
+            }
+            lap /= h * h;
+            assert!(lap.abs() < 1e-5, "∆(r^{} Y) = {}", l, lap);
+        }
+    }
+
+    #[test]
+    fn irregular_solid_harmonic_decays() {
+        let l = 2;
+        let v1 = irregular_solid_harmonic(l, 0, [0.0, 0.0, 1.0]).abs();
+        let v2 = irregular_solid_harmonic(l, 0, [0.0, 0.0, 2.0]).abs();
+        assert!((v2 / v1 - 0.5f64.powi(3)).abs() < 1e-12);
+    }
+}

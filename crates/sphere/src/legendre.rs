@@ -1,0 +1,169 @@
+//! Legendre polynomials Pₙ and their derivatives.
+//!
+//! Anderson's Poisson-formula kernels are truncated Legendre series in
+//! cos γ = s·x̂, so the hot evaluation path needs all of P₀..P_M at a point.
+//! The three-term recurrence
+//!
+//!   (n+1) P_{n+1}(t) = (2n+1) t Pₙ(t) − n P_{n−1}(t)
+//!
+//! is numerically stable on [−1, 1].
+
+/// Evaluate Pₙ(t) for a single degree `n`.
+pub fn legendre(n: usize, t: f64) -> f64 {
+    match n {
+        0 => 1.0,
+        1 => t,
+        _ => {
+            let mut pm1 = 1.0;
+            let mut p = t;
+            for k in 1..n {
+                let next = ((2 * k + 1) as f64 * t * p - k as f64 * pm1) / (k + 1) as f64;
+                pm1 = p;
+                p = next;
+            }
+            p
+        }
+    }
+}
+
+/// Fill `out[n] = Pₙ(t)` for `n = 0..=m` (so `out.len() == m + 1`).
+#[inline]
+pub fn legendre_all(m: usize, t: f64, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), m + 1);
+    out[0] = 1.0;
+    if m == 0 {
+        return;
+    }
+    out[1] = t;
+    for k in 1..m {
+        out[k + 1] = ((2 * k + 1) as f64 * t * out[k] - k as f64 * out[k - 1]) / (k + 1) as f64;
+    }
+}
+
+/// Fill `p[n] = Pₙ(t)` and `dp[n] = Pₙ'(t)` for `n = 0..=m`.
+///
+/// Derivatives use the recurrence Pₙ'(t) = P_{n-2}'(t) + (2n−1) P_{n−1}(t),
+/// which is valid for all t including t = ±1 (where the more common
+/// (1−t²)-based formula degenerates).
+#[inline]
+pub fn legendre_all_with_deriv(m: usize, t: f64, p: &mut [f64], dp: &mut [f64]) {
+    debug_assert_eq!(p.len(), m + 1);
+    debug_assert_eq!(dp.len(), m + 1);
+    legendre_all(m, t, p);
+    dp[0] = 0.0;
+    if m >= 1 {
+        dp[1] = 1.0;
+    }
+    for n in 2..=m {
+        dp[n] = dp[n - 2] + (2 * n - 1) as f64 * p[n - 1];
+    }
+}
+
+/// Pₙ'(t) for a single degree.
+pub fn legendre_deriv(n: usize, t: f64) -> f64 {
+    let mut p = vec![0.0; n + 1];
+    let mut dp = vec![0.0; n + 1];
+    legendre_all_with_deriv(n, t, &mut p, &mut dp);
+    dp[n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed_forms(t: f64) -> [f64; 6] {
+        [
+            1.0,
+            t,
+            0.5 * (3.0 * t * t - 1.0),
+            0.5 * (5.0 * t * t * t - 3.0 * t),
+            0.125 * (35.0 * t.powi(4) - 30.0 * t * t + 3.0),
+            0.125 * (63.0 * t.powi(5) - 70.0 * t.powi(3) + 15.0 * t),
+        ]
+    }
+
+    #[test]
+    fn matches_closed_forms() {
+        for &t in &[-1.0, -0.7, -0.3, 0.0, 0.25, 0.9, 1.0] {
+            let cf = closed_forms(t);
+            for n in 0..6 {
+                assert!(
+                    (legendre(n, t) - cf[n]).abs() < 1e-13,
+                    "P_{}({}) = {} vs {}",
+                    n,
+                    t,
+                    legendre(n, t),
+                    cf[n]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_matches_single() {
+        let t = 0.437;
+        let mut out = vec![0.0; 11];
+        legendre_all(10, t, &mut out);
+        for n in 0..=10 {
+            assert!((out[n] - legendre(n, t)).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn value_at_one_is_one() {
+        let mut out = vec![0.0; 21];
+        legendre_all(20, 1.0, &mut out);
+        for v in out {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn value_at_minus_one_alternates() {
+        let mut out = vec![0.0; 16];
+        legendre_all(15, -1.0, &mut out);
+        for (n, v) in out.iter().enumerate() {
+            let expect = if n % 2 == 0 { 1.0 } else { -1.0 };
+            assert!((v - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for &t in &[-0.8, -0.2, 0.0, 0.5, 0.95] {
+            for n in 0..10 {
+                let fd = (legendre(n, t + h) - legendre(n, t - h)) / (2.0 * h);
+                let an = legendre_deriv(n, t);
+                assert!(
+                    (fd - an).abs() < 1e-6 * (1.0 + an.abs()),
+                    "P'_{}({}) fd={} an={}",
+                    n,
+                    t,
+                    fd,
+                    an
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_at_one() {
+        // Pₙ'(1) = n(n+1)/2.
+        for n in 0..12usize {
+            let expect = (n * (n + 1)) as f64 / 2.0;
+            assert!((legendre_deriv(n, 1.0) - expect).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bonnet_recurrence_consistency() {
+        // (2n+1) t Pn = (n+1) P_{n+1} + n P_{n-1}
+        let t = -0.613;
+        for n in 1..15usize {
+            let lhs = (2 * n + 1) as f64 * t * legendre(n, t);
+            let rhs = (n + 1) as f64 * legendre(n + 1, t) + n as f64 * legendre(n - 1, t);
+            assert!((lhs - rhs).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cubic domain geometry: mapping boxes to centres and side lengths.
+
+use crate::coords::BoxCoord;
+
+/// The (cubic) computational domain. Anderson's method extends to
+/// parallelepipeds; the paper and this reproduction use cubes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    /// Minimum corner.
+    pub min: [f64; 3],
+    /// Side length of the whole domain (level-0 box).
+    pub size: f64,
+}
+
+impl Domain {
+    /// Unit cube [0,1)³.
+    pub fn unit() -> Self {
+        Domain { min: [0.0; 3], size: 1.0 }
+    }
+
+    /// The smallest axis-aligned cube containing all points, expanded by a
+    /// small margin so that points on the max face still bin inside.
+    pub fn bounding(points: &[[f64; 3]]) -> Self {
+        assert!(!points.is_empty(), "bounding box of no points");
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for p in points {
+            for d in 0..3 {
+                lo[d] = lo[d].min(p[d]);
+                hi[d] = hi[d].max(p[d]);
+            }
+        }
+        let size = (0..3).map(|d| hi[d] - lo[d]).fold(0.0, f64::max);
+        let size = if size > 0.0 { size * (1.0 + 1e-12) } else { 1.0 };
+        // Centre the cube on the data.
+        let mut min = [0.0; 3];
+        for d in 0..3 {
+            let mid = 0.5 * (lo[d] + hi[d]);
+            min[d] = mid - 0.5 * size;
+        }
+        Domain { min, size }
+    }
+
+    /// Side length of a box at `level`.
+    #[inline]
+    pub fn box_side(&self, level: u32) -> f64 {
+        self.size / (1u64 << level) as f64
+    }
+
+    /// Centre of a box.
+    #[inline]
+    pub fn box_center(&self, b: BoxCoord) -> [f64; 3] {
+        let s = self.box_side(b.level);
+        [
+            self.min[0] + (b.x as f64 + 0.5) * s,
+            self.min[1] + (b.y as f64 + 0.5) * s,
+            self.min[2] + (b.z as f64 + 0.5) * s,
+        ]
+    }
+
+    /// The leaf box containing `p` at the given level, clamped to the
+    /// domain (points exactly on the max face bin into the last box).
+    #[inline]
+    pub fn locate(&self, p: [f64; 3], level: u32) -> BoxCoord {
+        let n = 1u32 << level;
+        let inv = n as f64 / self.size;
+        let clampf = |v: f64, d: usize| -> u32 {
+            let i = ((v - self.min[d]) * inv).floor();
+            (i.max(0.0) as u32).min(n - 1)
+        };
+        BoxCoord {
+            level,
+            x: clampf(p[0], 0),
+            y: clampf(p[1], 1),
+            z: clampf(p[2], 2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_domain_centres() {
+        let d = Domain::unit();
+        let b = BoxCoord { level: 1, x: 1, y: 0, z: 1 };
+        assert_eq!(d.box_center(b), [0.75, 0.25, 0.75]);
+        assert_eq!(d.box_side(3), 0.125);
+    }
+
+    #[test]
+    fn locate_is_inverse_of_center() {
+        let d = Domain { min: [-2.0, 1.0, 0.5], size: 4.0 };
+        for level in 0..5 {
+            let n = 1u32 << level;
+            for &(x, y, z) in &[(0, 0, 0), (n - 1, n / 2, 0), (n - 1, n - 1, n - 1)] {
+                let b = BoxCoord { level, x, y, z };
+                assert_eq!(d.locate(d.box_center(b), level), b);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_clamps_boundary() {
+        let d = Domain::unit();
+        let b = d.locate([1.0, 1.0, 1.0], 3);
+        assert_eq!((b.x, b.y, b.z), (7, 7, 7));
+        let b = d.locate([-0.1, 0.5, 2.0], 2);
+        assert_eq!((b.x, b.y, b.z), (0, 2, 3));
+    }
+
+    #[test]
+    fn bounding_contains_all_points() {
+        let pts = vec![[0.1, 0.2, 0.3], [0.9, -0.5, 0.0], [0.4, 0.4, 1.7]];
+        let d = Domain::bounding(&pts);
+        for p in &pts {
+            for dim in 0..3 {
+                assert!(p[dim] >= d.min[dim] - 1e-9);
+                assert!(p[dim] <= d.min[dim] + d.size + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_degenerate_point_cloud() {
+        let pts = vec![[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]];
+        let d = Domain::bounding(&pts);
+        assert!(d.size > 0.0);
+        let b = d.locate(pts[0], 4);
+        assert!(b.x < 16 && b.y < 16 && b.z < 16);
+    }
+}

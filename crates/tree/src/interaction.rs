@@ -1,0 +1,341 @@
+//! Near-field and interactive-field offset lists, and supernodes.
+//!
+//! With *d-separation* (paper §2.1) the near field of a box is the
+//! (2d+1)³−1 boxes within d steps in every axis; the *interactive field*
+//! of a box at level l is the part of its parent's near field (refined to
+//! level l) outside its own near field. In 3-D with two-separation that is
+//! 10³ − 5³ = 875 boxes per box, and the union over the eight siblings is
+//! 11³ − 5³ = 1206 distinct offsets (the paper allocates the full 11³ =
+//! 1331 cube of translation matrices for easy indexing).
+//!
+//! The *supernode* optimization (§2.3): a parent-level box all of whose
+//! eight children lie in the interactive field can be translated once from
+//! its parent-level outer approximation, reducing the effective number of
+//! translations per box from 875 to 189 (98 supernodes + 91 leftover
+//! children) — "a dramatic improvement in the overall performance, at the
+//! cost of slightly decreased accuracy".
+
+/// Near-field separation: the paper's "one separation" (3³ neighbourhood,
+/// Greengard–Rokhlin original) or "two separation" (5³, assumed throughout
+/// the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Separation {
+    One,
+    Two,
+}
+
+impl Separation {
+    /// The d in d-separation.
+    #[inline]
+    pub fn d(self) -> i32 {
+        match self {
+            Separation::One => 1,
+            Separation::Two => 2,
+        }
+    }
+
+    /// Boxes in the near field, excluding the box itself: (2d+1)³ − 1.
+    pub fn near_field_size(self) -> usize {
+        let w = (2 * self.d() + 1) as usize;
+        w * w * w - 1
+    }
+
+    /// Interactive-field boxes for an interior box: 7·(2d+1)³.
+    pub fn interactive_field_size(self) -> usize {
+        let w = (2 * self.d() + 1) as usize;
+        7 * w * w * w
+    }
+}
+
+/// Offsets of the near field (excluding `[0,0,0]`) for d-separation:
+/// 124 offsets for two-separation, 26 for one-separation.
+pub fn near_field_offsets(sep: Separation) -> Vec<[i32; 3]> {
+    let d = sep.d();
+    let mut out = Vec::with_capacity(sep.near_field_size());
+    for dz in -d..=d {
+        for dy in -d..=d {
+            for dx in -d..=d {
+                if dx != 0 || dy != 0 || dz != 0 {
+                    out.push([dx, dy, dz]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn in_near(o: [i32; 3], d: i32) -> bool {
+    o[0].abs() <= d && o[1].abs() <= d && o[2].abs() <= d
+}
+
+/// Offsets of the interactive field of a box whose octant within its
+/// parent is `octant` (each component 0 or 1). The offsets are in units of
+/// the box's own level.
+///
+/// Derivation: the parent's near field consists of parents at offsets
+/// P ∈ [−d,d]³; their children sit at child-level offsets 2P + e − octant
+/// for e ∈ {0,1}³; the box's own near field [−d,d]³ (and itself) are
+/// excluded. For two-separation this yields 875 offsets spanning
+/// [−(2d+1)+oct, 2d+(1−oct)] per axis — the paper's [−5+i, 4+i] range.
+pub fn interactive_field_offsets(octant: [i32; 3], sep: Separation) -> Vec<[i32; 3]> {
+    let d = sep.d();
+    let mut out = Vec::with_capacity(sep.interactive_field_size());
+    for pz in -d..=d {
+        for py in -d..=d {
+            for px in -d..=d {
+                for e in 0..8 {
+                    let o = [
+                        2 * px + (e & 1) - octant[0],
+                        2 * py + ((e >> 1) & 1) - octant[1],
+                        2 * pz + ((e >> 2) & 1) - octant[2],
+                    ];
+                    if !in_near(o, d) {
+                        out.push(o);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The union of interactive-field offsets over all eight octants:
+/// [−(2d+1), 2d+1]³ minus the near field — 1206 offsets for
+/// two-separation.
+pub fn interactive_field_union(sep: Separation) -> Vec<[i32; 3]> {
+    let d = sep.d();
+    let w = 2 * d + 1;
+    let mut out = Vec::new();
+    for dz in -w..=w {
+        for dy in -w..=w {
+            for dx in -w..=w {
+                let o = [dx, dy, dz];
+                if !in_near(o, d) {
+                    out.push(o);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A supernode source: a parent-level box acting as a single T2 source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SupernodeOffset {
+    /// Offset of the source *parent* box relative to the target's parent,
+    /// in parent-level units.
+    pub parent_offset: [i32; 3],
+    /// Offset of the source parent's *centre* relative to the target box's
+    /// centre, in **half** target-box units (so it is integral: the true
+    /// offset is `center_offset_half / 2` target-box sides per axis).
+    pub center_offset_half: [i32; 3],
+}
+
+/// The supernode decomposition of one octant's interactive field.
+#[derive(Debug, Clone)]
+pub struct SupernodeDecomposition {
+    /// Whole parents translated once from their parent-level outer
+    /// approximation.
+    pub parents: Vec<SupernodeOffset>,
+    /// Leftover child-level offsets translated individually.
+    pub children: Vec<[i32; 3]>,
+}
+
+impl SupernodeDecomposition {
+    /// Effective number of T2 translations (the paper's N_int = 189 for
+    /// two-separation).
+    pub fn translation_count(&self) -> usize {
+        self.parents.len() + self.children.len()
+    }
+
+    /// Child-level boxes covered (must equal the plain interactive field).
+    pub fn covered_boxes(&self) -> usize {
+        self.parents.len() * 8 + self.children.len()
+    }
+}
+
+/// Compute the supernode decomposition for a box of the given octant.
+///
+/// A parent at offset P (parent-level units, relative to the target's
+/// parent) is a supernode iff all eight of its children fall outside the
+/// target's near field. Child-level offsets of P's children are
+/// 2P + e − octant, and the parent centre sits at child-level offset
+/// 2P − octant + ½ per axis (stored doubled to stay integral).
+pub fn supernode_decomposition(octant: [i32; 3], sep: Separation) -> SupernodeDecomposition {
+    let d = sep.d();
+    let mut parents = Vec::new();
+    let mut children = Vec::new();
+    for pz in -d..=d {
+        for py in -d..=d {
+            for px in -d..=d {
+                let p = [px, py, pz];
+                let child_offsets: Vec<[i32; 3]> = (0..8)
+                    .map(|e| {
+                        [
+                            2 * px + (e & 1) - octant[0],
+                            2 * py + ((e >> 1) & 1) - octant[1],
+                            2 * pz + ((e >> 2) & 1) - octant[2],
+                        ]
+                    })
+                    .collect();
+                let inside: Vec<&[i32; 3]> =
+                    child_offsets.iter().filter(|o| !in_near(**o, d)).collect();
+                if inside.len() == 8 {
+                    parents.push(SupernodeOffset {
+                        parent_offset: p,
+                        center_offset_half: [
+                            4 * px - 2 * octant[0] + 1,
+                            4 * py - 2 * octant[1] + 1,
+                            4 * pz - 2 * octant[2] + 1,
+                        ],
+                    });
+                } else {
+                    children.extend(inside.into_iter().copied());
+                }
+            }
+        }
+    }
+    SupernodeDecomposition { parents, children }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn near_field_sizes() {
+        assert_eq!(near_field_offsets(Separation::One).len(), 26);
+        assert_eq!(near_field_offsets(Separation::Two).len(), 124);
+        assert_eq!(Separation::Two.near_field_size(), 124);
+    }
+
+    #[test]
+    fn interactive_field_size_is_875_for_two_separation() {
+        for oct in 0..8 {
+            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            let f = interactive_field_offsets(o, Separation::Two);
+            assert_eq!(f.len(), 875, "octant {:?}", o);
+            // No duplicates.
+            let set: HashSet<_> = f.iter().collect();
+            assert_eq!(set.len(), 875);
+        }
+    }
+
+    #[test]
+    fn interactive_field_size_one_separation() {
+        // 6³ − 3³ = 189 boxes for one-separation (the original GR scheme
+        // has 875 with two-separation; see paper §2.1: 7(2d+1)³ for
+        // interior boxes of an infinite grid, i.e. (4d+2)³−(2d+1)³ here).
+        let f = interactive_field_offsets([0, 0, 0], Separation::One);
+        assert_eq!(f.len(), 6 * 6 * 6 - 27);
+    }
+
+    #[test]
+    fn interactive_field_range_matches_paper() {
+        // Paper: offsets span [−5+i, 4+i] per axis with i ∈ {0,1}
+        // (sign convention: our octant o gives [−4−o, 5−o]... verify both
+        // bounds concretely for two-separation).
+        for oct in 0..8 {
+            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            let f = interactive_field_offsets(o, Separation::Two);
+            for axis in 0..3 {
+                let lo = f.iter().map(|v| v[axis]).min().unwrap();
+                let hi = f.iter().map(|v| v[axis]).max().unwrap();
+                assert_eq!(lo, -4 - o[axis]);
+                assert_eq!(hi, 5 - o[axis]);
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_1206() {
+        let u = interactive_field_union(Separation::Two);
+        assert_eq!(u.len(), 1331 - 125);
+        // And it is exactly the union over octants.
+        let mut seen = HashSet::new();
+        for oct in 0..8 {
+            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            seen.extend(interactive_field_offsets(o, Separation::Two));
+        }
+        let u_set: HashSet<_> = u.into_iter().collect();
+        assert_eq!(seen, u_set);
+    }
+
+    #[test]
+    fn interactive_and_near_disjoint_and_cover_parent_neighbourhood() {
+        let sep = Separation::Two;
+        let near: HashSet<[i32; 3]> = near_field_offsets(sep).into_iter().collect();
+        for oct in 0..8 {
+            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            let inter: HashSet<[i32; 3]> =
+                interactive_field_offsets(o, sep).into_iter().collect();
+            assert!(inter.is_disjoint(&near));
+            assert!(!inter.contains(&[0, 0, 0]));
+            // near ∪ interactive ∪ {self} covers all children of the
+            // parent's near-field parents: 10³ = 1000 boxes.
+            assert_eq!(inter.len() + near.len() + 1, 1000);
+        }
+    }
+
+    #[test]
+    fn supernode_decomposition_gives_189_translations() {
+        // The paper's headline: supernodes reduce N_int from 875 to 189.
+        for oct in 0..8 {
+            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            let sd = supernode_decomposition(o, Separation::Two);
+            assert_eq!(sd.covered_boxes(), 875, "octant {:?}", o);
+            assert_eq!(sd.translation_count(), 189, "octant {:?}", o);
+            assert_eq!(sd.parents.len(), 98);
+            assert_eq!(sd.children.len(), 91);
+        }
+    }
+
+    #[test]
+    fn supernode_children_are_in_interactive_field() {
+        let o = [1, 0, 1];
+        let sd = supernode_decomposition(o, Separation::Two);
+        let inter: HashSet<[i32; 3]> =
+            interactive_field_offsets(o, Separation::Two).into_iter().collect();
+        for c in &sd.children {
+            assert!(inter.contains(c));
+        }
+        // Parents' children are in the interactive field too, and the
+        // parent centre offsets are consistent: centre = mean of children.
+        for p in &sd.parents {
+            let mut sum = [0i32; 3];
+            for e in 0..8 {
+                let c = [
+                    2 * p.parent_offset[0] + (e & 1) - o[0],
+                    2 * p.parent_offset[1] + ((e >> 1) & 1) - o[1],
+                    2 * p.parent_offset[2] + ((e >> 2) & 1) - o[2],
+                ];
+                assert!(inter.contains(&c));
+                for a in 0..3 {
+                    sum[a] += 2 * c[a]; // doubled child-centre offset
+                }
+            }
+            for a in 0..3 {
+                // The mean of the doubled child-centre offsets is the
+                // doubled parent-centre offset: (32P + 8 − 16o)/8 = 4P −
+                // 2o + 1.
+                assert_eq!(sum[a], 8 * p.center_offset_half[a]);
+            }
+        }
+    }
+
+    #[test]
+    fn supernode_parents_farther_than_one_parent_box() {
+        // Supernode sources must be well separated: each has some axis
+        // with |parent_offset| ≥ 2 for two-separation.
+        let sd = supernode_decomposition([0, 0, 0], Separation::Two);
+        for p in &sd.parents {
+            assert!(
+                p.parent_offset.iter().any(|v| v.abs() >= 2),
+                "{:?} too close",
+                p.parent_offset
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Morton (Z-order) encoding: bit interleaving of box coordinates.
+//!
+//! The paper's storage-to-sequence mapping manipulates the address bits of
+//! box coordinates directly (Figs. 4–5); Morton codes are the standard
+//! shared-memory analogue and are also used as sort keys when no VU layout
+//! is imposed.
+
+/// Spread the low 21 bits of `v` so that bit i lands at bit 3i.
+#[inline]
+pub fn spread_bits(v: u32) -> u64 {
+    let mut x = (v as u64) & 0x1f_ffff;
+    x = (x | (x << 32)) & 0x1f00000000ffff;
+    x = (x | (x << 16)) & 0x1f0000ff0000ff;
+    x = (x | (x << 8)) & 0x100f00f00f00f00f;
+    x = (x | (x << 4)) & 0x10c30c30c30c30c3;
+    x = (x | (x << 2)) & 0x1249249249249249;
+    x
+}
+
+/// Inverse of [`spread_bits`].
+#[inline]
+pub fn compact_bits(x: u64) -> u32 {
+    let mut x = x & 0x1249249249249249;
+    x = (x | (x >> 2)) & 0x10c30c30c30c30c3;
+    x = (x | (x >> 4)) & 0x100f00f00f00f00f;
+    x = (x | (x >> 8)) & 0x1f0000ff0000ff;
+    x = (x | (x >> 16)) & 0x1f00000000ffff;
+    x = (x | (x >> 32)) & 0x1f_ffff;
+    x as u32
+}
+
+/// Morton code of (x, y, z): x bits at positions 3i, y at 3i+1, z at 3i+2.
+#[inline]
+pub fn morton_encode(x: u32, y: u32, z: u32) -> u64 {
+    spread_bits(x) | (spread_bits(y) << 1) | (spread_bits(z) << 2)
+}
+
+/// Inverse of [`morton_encode`].
+#[inline]
+pub fn morton_decode(code: u64) -> (u32, u32, u32) {
+    (
+        compact_bits(code),
+        compact_bits(code >> 1),
+        compact_bits(code >> 2),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exhaustive_small() {
+        for x in 0..16 {
+            for y in 0..16 {
+                for z in 0..16 {
+                    let code = morton_encode(x, y, z);
+                    assert_eq!(morton_decode(code), (x, y, z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_large_values() {
+        for &(x, y, z) in &[
+            (0x1f_ffff, 0, 0),
+            (0, 0x1f_ffff, 0x15_5555),
+            (123456, 654321, 999999),
+        ] {
+            assert_eq!(morton_decode(morton_encode(x, y, z)), (x, y, z));
+        }
+    }
+
+    #[test]
+    fn ordering_groups_octants() {
+        // Children of one parent occupy 8 consecutive Morton codes.
+        let parent = (3u32, 5u32, 2u32);
+        let base = morton_encode(parent.0 << 1, parent.1 << 1, parent.2 << 1);
+        for oct in 0..8u32 {
+            let c = morton_encode(
+                (parent.0 << 1) | (oct & 1),
+                (parent.1 << 1) | ((oct >> 1) & 1),
+                (parent.2 << 1) | ((oct >> 2) & 1),
+            );
+            assert_eq!(c, base + oct as u64);
+        }
+    }
+
+    #[test]
+    fn spread_compact_inverse() {
+        for v in [0u32, 1, 2, 0xffff, 0x1f_ffff] {
+            assert_eq!(compact_bits(spread_bits(v)), v);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: evaluate the potential of a uniform particle system with
+//! Anderson's O(N) hierarchical method and compare against direct
+//! summation.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use anderson_fmm::fmm_core::{relative_error_stats, Fmm, FmmConfig};
+use anderson_fmm::fmm_direct;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // 1. A particle system: positions anywhere, charges (or masses) per
+    //    particle. Here: 20,000 uniform points in the unit cube.
+    let n = 20_000;
+    let mut rng = SmallRng::seed_from_u64(7);
+    let positions: Vec<[f64; 3]> = (0..n)
+        .map(|_| [rng.gen(), rng.gen(), rng.gen()])
+        .collect();
+    let charges = vec![1.0f64; n];
+
+    // 2. Configure the method: integration order D = 5 is the paper's
+    //    "four digits" configuration (K = 12 icosahedral rule); the depth,
+    //    truncation and sphere radii default to calibrated values.
+    let fmm = Fmm::new(FmmConfig::order(5)).expect("valid configuration");
+
+    // 3. Evaluate potentials at every particle in O(N).
+    let out = fmm.evaluate(&positions, &charges).expect("evaluation");
+    println!(
+        "evaluated {} particles at hierarchy depth {}",
+        out.potentials.len(),
+        out.depth
+    );
+    println!("{}", out.profile.table());
+
+    // 4. Check against the O(N²) direct sum.
+    let reference = fmm_direct::potentials(&positions, &charges);
+    let stats = relative_error_stats(&out.potentials, &reference);
+    println!(
+        "accuracy vs direct: rms_rel = {:.3e} ({:.2} digits), max_rel = {:.3e}",
+        stats.rms_rel,
+        stats.digits(),
+        stats.max_rel
+    );
+    assert!(stats.rms_rel < 1e-3, "expected ~4 digits");
+}

@@ -1,0 +1,31 @@
+//! # anderson-fmm — reproduction of Hu & Johnsson, SC'96
+//!
+//! *A Data-Parallel Implementation of O(N) Hierarchical N-body Methods*:
+//! Anderson's variant of the fast multipole method, its BLAS-aggregated
+//! hierarchy traversal, the supernode optimization, the coordinate sort,
+//! and an instrumented data-parallel machine model reproducing the paper's
+//! communication experiments.
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`fmm_core`] — the method itself ([`Fmm`], [`FmmConfig`]),
+//! * [`fmm_sphere`] — sphere quadrature and Anderson's computational
+//!   elements,
+//! * [`fmm_tree`] — the uniform hierarchy, interaction lists, supernodes,
+//! * [`fmm_linalg`] — the small dense-BLAS substrate,
+//! * [`fmm_machine`] — the CM-5-like data-parallel machine simulator,
+//! * [`fmm_direct`] / [`fmm_bh`] — O(N²) and Barnes–Hut baselines,
+//! * [`fmm2d`] — the two-dimensional (log-kernel) variant of the method.
+//!
+//! See `examples/quickstart.rs` for a five-line end-to-end use.
+
+pub use fmm_bh;
+pub use fmm_core;
+pub use fmm_direct;
+pub use fmm_linalg;
+pub use fmm_machine;
+pub use fmm_sphere;
+pub use fmm_tree;
+pub use fmm2d;
+
+pub use fmm_core::{DepthPolicy, EvalOutput, Fmm, FmmConfig, FmmError};
