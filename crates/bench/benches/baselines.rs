@@ -39,9 +39,13 @@ fn bench_bh_theta(c: &mut Criterion) {
     let mut group = c.benchmark_group("barnes_hut_theta");
     group.sample_size(10);
     for theta in [0.3f64, 0.6, 1.0] {
-        group.bench_with_input(BenchmarkId::new("theta", format!("{}", theta)), &theta, |b, &t| {
-            b.iter(|| bh.potentials(t, false));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("theta", format!("{}", theta)),
+            &theta,
+            |b, &t| {
+                b.iter(|| bh.potentials(t, false));
+            },
+        );
     }
     group.finish();
 }

@@ -48,5 +48,10 @@ fn bench_apply_t2(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_build_all, bench_build_with_supernodes, bench_apply_t2);
+criterion_group!(
+    benches,
+    bench_build_all,
+    bench_build_with_supernodes,
+    bench_apply_t2
+);
 criterion_main!(benches);

@@ -4,14 +4,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fmm_core::field::FieldHierarchy;
+use fmm_core::plan::TraversalPlan;
 use fmm_core::translations::TranslationSet;
 use fmm_core::traversal::{downward_pass, upward_pass, Aggregation};
 use fmm_sphere::SphereRule;
 use fmm_tree::{Hierarchy, Separation};
 
-fn setup(depth: u32) -> (FieldHierarchy, TranslationSet) {
+fn setup(depth: u32) -> (FieldHierarchy, TranslationSet, TraversalPlan) {
     let rule = SphereRule::for_order(5);
     let ts = TranslationSet::build(&rule, 3, 1.6, 1.0, Separation::Two, true);
+    let plan = TraversalPlan::build(depth, Separation::Two);
     let mut fh = FieldHierarchy::new(Hierarchy::new(depth), rule.len());
     let mut state = 5u64;
     let d = depth as usize;
@@ -21,13 +23,13 @@ fn setup(depth: u32) -> (FieldHierarchy, TranslationSet) {
             .wrapping_add(1442695040888963407);
         *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
     }
-    upward_pass(&mut fh, &ts, Aggregation::Gemm, false);
-    (fh, ts)
+    upward_pass(&mut fh, &ts, &plan, Aggregation::Gemm, false);
+    (fh, ts, plan)
 }
 
 fn bench_traversal(c: &mut Criterion) {
     let depth = 4;
-    let (fh, ts) = setup(depth);
+    let (fh, ts, plan) = setup(depth);
 
     let mut group = c.benchmark_group("downward_pass_depth4");
     group.sample_size(10);
@@ -35,48 +37,48 @@ fn bench_traversal(c: &mut Criterion) {
     group.bench_function("gemm_seq", |b| {
         b.iter(|| {
             let mut f = fh.clone();
-            downward_pass(&mut f, &ts, false, Aggregation::Gemm, false)
+            downward_pass(&mut f, &ts, &plan, false, Aggregation::Gemm, false)
         });
     });
     group.bench_function("gemv_seq", |b| {
         b.iter(|| {
             let mut f = fh.clone();
-            downward_pass(&mut f, &ts, false, Aggregation::Gemv, false)
+            downward_pass(&mut f, &ts, &plan, false, Aggregation::Gemv, false)
         });
     });
     group.bench_function("gemm_par", |b| {
         b.iter(|| {
             let mut f = fh.clone();
-            downward_pass(&mut f, &ts, false, Aggregation::Gemm, true)
+            downward_pass(&mut f, &ts, &plan, false, Aggregation::Gemm, true)
         });
     });
     group.bench_function("supernodes_seq", |b| {
         b.iter(|| {
             let mut f = fh.clone();
-            downward_pass(&mut f, &ts, true, Aggregation::Gemm, false)
+            downward_pass(&mut f, &ts, &plan, true, Aggregation::Gemm, false)
         });
     });
     group.bench_function("supernodes_par", |b| {
         b.iter(|| {
             let mut f = fh.clone();
-            downward_pass(&mut f, &ts, true, Aggregation::Gemm, true)
+            downward_pass(&mut f, &ts, &plan, true, Aggregation::Gemm, true)
         });
     });
     group.finish();
 
     let mut group = c.benchmark_group("upward_pass_depth5");
     group.sample_size(10);
-    let (fh5, ts5) = setup(5);
+    let (fh5, ts5, plan5) = setup(5);
     group.bench_function("gemm_seq", |b| {
         b.iter(|| {
             let mut f = fh5.clone();
-            upward_pass(&mut f, &ts5, Aggregation::Gemm, false)
+            upward_pass(&mut f, &ts5, &plan5, Aggregation::Gemm, false)
         });
     });
     group.bench_function("gemm_par", |b| {
         b.iter(|| {
             let mut f = fh5.clone();
-            upward_pass(&mut f, &ts5, Aggregation::Gemm, true)
+            upward_pass(&mut f, &ts5, &plan5, Aggregation::Gemm, true)
         });
     });
     group.finish();

@@ -18,7 +18,10 @@ fn main() {
     let k = 12;
     let dest = 1usize << 24; // leaf-level layer of the 5-D potential array
     let cost = CostModel::cm5e();
-    println!("machine: {} VUs, destination array {} boxes, K = {}\n", n_vus, dest, k);
+    println!(
+        "machine: {} VUs, destination array {} boxes, K = {}\n",
+        n_vus, dest, k
+    );
     println!(
         "{:>12} {:>14} {:>14} {:>12} {:>8}",
         "temp boxes", "send (s)", "ours (s)", "method", "speedup"

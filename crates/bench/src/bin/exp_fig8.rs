@@ -18,10 +18,24 @@ fn main() {
     let cost = CostModel::cm5e();
     println!(
         "{:>4} {:>3} {:>14} {:>14} {:>14} {:>16} {:>16}",
-        "K", "M", "all-redundant", "par+replicate", "par+rep(grp 8)", "rep share(all)", "rep share(grp)"
+        "K",
+        "M",
+        "all-redundant",
+        "par+replicate",
+        "par+rep(grp 8)",
+        "rep share(all)",
+        "rep share(grp)"
     );
     for (k, m) in [(12usize, 3usize), (24, 4), (32, 4), (50, 5), (72, 8)] {
-        let red = precompute_cost(n_mat, k, m, n_vus, ReplicationStrategy::ComputeAllRedundant, 0, &cost);
+        let red = precompute_cost(
+            n_mat,
+            k,
+            m,
+            n_vus,
+            ReplicationStrategy::ComputeAllRedundant,
+            0,
+            &cost,
+        );
         let rep = precompute_cost(
             n_mat,
             k,

@@ -25,8 +25,15 @@ fn main() {
         "K", "M", "all-redundant", "par+replicate", "ratio"
     );
     for (k, m) in [(12usize, 3usize), (24, 4), (32, 4), (50, 5), (72, 8)] {
-        let red =
-            precompute_cost(N_MAT, k, m, 1024, ReplicationStrategy::ComputeAllRedundant, 0, &cost);
+        let red = precompute_cost(
+            N_MAT,
+            k,
+            m,
+            1024,
+            ReplicationStrategy::ComputeAllRedundant,
+            0,
+            &cost,
+        );
         let rep = precompute_cost(
             N_MAT,
             k,

@@ -6,7 +6,9 @@
 
 use fmm_bench::util::header;
 use fmm_bench::workloads::{clustered, jittered_grid, uniform};
-use fmm_tree::{analyze_balance, assign_boxes, bin_particles, CoordinateSortKey, Domain, Separation};
+use fmm_tree::{
+    analyze_balance, assign_boxes, bin_particles, CoordinateSortKey, Domain, Separation,
+};
 
 fn main() {
     header("Load balance of the non-adaptive decomposition (§3.5)");

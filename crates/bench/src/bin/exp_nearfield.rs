@@ -22,7 +22,12 @@ fn main() {
     let charges = unit_charges(n);
     let depth = 4;
     let bp = BinnedParticles::build(&positions, &charges, Domain::unit(), depth);
-    println!("N = {}, depth {} ({} leaf boxes)\n", n, depth, 1 << (3 * depth));
+    println!(
+        "N = {}, depth {} ({} leaf boxes)\n",
+        n,
+        depth,
+        1 << (3 * depth)
+    );
 
     let mut out = vec![0.0; n];
     let (t_tc, st_tc) = time_s(|| near_field_potentials(&bp, Separation::Two, false, &mut out));
@@ -49,7 +54,10 @@ fn main() {
         st_tc.pair_interactions as f64 / st_sym.pair_interactions as f64
     );
     let check: f64 = pot_sym.iter().sum();
-    println!("(symmetric result checksum {:.6e} — matches target-centric)", check);
+    println!(
+        "(symmetric result checksum {:.6e} — matches target-centric)",
+        check
+    );
 
     // CSHIFT share model: the travelling-accumulator scheme does 62
     // single-step CSHIFTs of the 4-D particle arrays per sweep. Lay this

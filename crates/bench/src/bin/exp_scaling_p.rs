@@ -25,9 +25,14 @@ fn main() {
     header("Scaling in P — rayon threads on one host");
     let positions = uniform(n, 4242);
     let charges = unit_charges(n);
-    let ncpu = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
+    let ncpu = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
     println!("N = {}, host cores: {}", n, ncpu);
-    println!("{:>8} {:>10} {:>9} {:>11}", "threads", "time (s)", "speedup", "efficiency");
+    println!(
+        "{:>8} {:>10} {:>9} {:>11}",
+        "threads", "time (s)", "speedup", "efficiency"
+    );
     let mut t1 = 0.0;
     let mut threads = 1;
     while threads <= ncpu {
@@ -61,12 +66,13 @@ fn main() {
     );
     for (level, sub) in [(8u32, 16usize), (7, 8), (6, 4)] {
         let vu = VuGrid::new([16, 8, 8]); // 1024 VUs
-        let layout = BlockLayout::new(
-            [16 * sub, 8 * sub, 8 * sub],
-            vu,
-        );
+        let layout = BlockLayout::new([16 * sub, 8 * sub, 8 * sub], vu);
         let grid = DistGrid::from_fn(layout, 1, |_, _| 0.0);
-        let r = fetch(&grid, FetchStrategy::LinearizedAliased, &interactive_field_union(Separation::Two));
+        let r = fetch(
+            &grid,
+            FetchStrategy::LinearizedAliased,
+            &interactive_field_union(Separation::Two),
+        );
         let comm = cost.time_s(&r.counters, k);
         // Per-VU T2 compute: boxes_per_vu × 875 × 2K² flops.
         let t2_flops = layout.boxes_per_vu() as u64 * 875 * 2 * (k * k) as u64;

@@ -40,18 +40,11 @@ fn main() {
         let fmm = Fmm::new(FmmConfig::order(5).depth(4).supernodes(sup)).unwrap();
         let (t, out) = time_s(|| fmm.evaluate(&positions, &charges).unwrap());
         let t2 = out.profile.phase_time(Phase::Interactive).as_secs_f64();
-        let acc_out = fmm
-            .evaluate(ref_pos, ref_q)
-            .unwrap();
+        let acc_out = fmm.evaluate(ref_pos, ref_q).unwrap();
         let (rms, digits) = rms_digits(&acc_out.potentials, &reference);
         println!(
             "{:>11} {:>10.3} {:>14.3} {:>14.2e} {:>12.3e} {:>7.2}",
-            sup,
-            t,
-            t2,
-            out.traversal_flops.t2 as f64,
-            rms,
-            digits
+            sup, t, t2, out.traversal_flops.t2 as f64, rms, digits
         );
     }
     println!(

@@ -19,7 +19,9 @@ fn main() {
     let positions = uniform(n, 1996);
     let charges = unit_charges(n);
     let ghz = 3.0;
-    let ncpu = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(4);
+    let ncpu = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(4);
     let peak = peak_gemm_gflops() * ncpu as f64; // crude machine peak
     println!(
         "N = {}, cores = {}, est. machine peak ≈ {:.1} Gflop/s\n",
@@ -39,7 +41,9 @@ fn main() {
         let fmm = Fmm::new(FmmConfig::order(d)).unwrap();
         let (t, out) = time_s(|| fmm.evaluate(&positions, &charges).unwrap());
         let flops = out.profile.total_flops() as f64;
-        let acc = fmm.evaluate(&positions[..n_ref], &charges[..n_ref]).unwrap();
+        let acc = fmm
+            .evaluate(&positions[..n_ref], &charges[..n_ref])
+            .unwrap();
         let (_, digits) = rms_digits(&acc.potentials, &reference);
         println!(
             "{:<26} {:>10.3} {:>12.2} {:>14.0} {:>10.1} {:>7.2}",

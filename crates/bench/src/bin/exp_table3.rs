@@ -13,6 +13,7 @@
 
 use fmm_bench::util::{best_of, header, peak_gemm_gflops};
 use fmm_core::field::FieldHierarchy;
+use fmm_core::plan::TraversalPlan;
 use fmm_core::translations::TranslationSet;
 use fmm_core::traversal::{downward_pass, upward_pass, Aggregation};
 use fmm_core::SphereRule;
@@ -30,6 +31,7 @@ fn run_case(d: usize, depth: u32, peak: f64) {
         Separation::Two,
         false,
     );
+    let plan = TraversalPlan::build(depth, Separation::Two);
     let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
     // Pseudo-random leaf potentials.
     let mut state = 99u64;
@@ -41,27 +43,30 @@ fn run_case(d: usize, depth: u32, peak: f64) {
     }
 
     println!("-- D={} (K={}), depth {} --", d, k, depth);
-    for (label, agg) in [("GEMV (level-2 BLAS)", Aggregation::Gemv), ("GEMM (level-3 BLAS)", Aggregation::Gemm)] {
+    for (label, agg) in [
+        ("GEMV (level-2 BLAS)", Aggregation::Gemv),
+        ("GEMM (level-3 BLAS)", Aggregation::Gemm),
+    ] {
         let mut up_flops = 0;
         let (t_up, _) = best_of(3, || {
             let mut f = fh.clone();
-            let fl = upward_pass(&mut f, &ts, agg, false);
+            let fl = upward_pass(&mut f, &ts, &plan, agg, false);
             up_flops = fl.t1;
         });
         let mut down = Default::default();
         let (t_down, _) = best_of(3, || {
             let mut f = fh.clone();
-            upward_pass(&mut f, &ts, Aggregation::Gemm, false);
+            upward_pass(&mut f, &ts, &plan, Aggregation::Gemm, false);
             let t0 = std::time::Instant::now();
-            down = downward_pass(&mut f, &ts, false, agg, false);
+            down = downward_pass(&mut f, &ts, &plan, false, agg, false);
             t0.elapsed().as_secs_f64()
         });
         // t_down includes the upward pre-pass; re-time just the downward.
         let mut f = fh.clone();
-        upward_pass(&mut f, &ts, Aggregation::Gemm, false);
+        upward_pass(&mut f, &ts, &plan, Aggregation::Gemm, false);
         let (t_down_only, _) = best_of(3, || {
             let mut g = f.clone();
-            downward_pass(&mut g, &ts, false, agg, false)
+            downward_pass(&mut g, &ts, &plan, false, agg, false)
         });
         let _ = (t_down, t_up);
         let gf_up = up_flops as f64 / t_up / 1e9;

@@ -35,8 +35,8 @@ impl Moments {
         ];
         let d2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
         self.q += q;
-        for a in 0..3 {
-            self.dipole[a] += q * d[a];
+        for (da, &dv) in self.dipole.iter_mut().zip(&d) {
+            *da += q * dv;
         }
         self.quad[0] += q * (3.0 * d[0] * d[0] - d2);
         self.quad[1] += q * (3.0 * d[1] * d[1] - d2);
@@ -57,13 +57,15 @@ impl Moments {
         let inv_r = 1.0 / r2.sqrt();
         let inv_r3 = inv_r * inv_r * inv_r;
         let mono = self.q * inv_r;
-        let dip = (self.dipole[0] * r[0] + self.dipole[1] * r[1] + self.dipole[2] * r[2])
-            * inv_r3;
+        let dip = (self.dipole[0] * r[0] + self.dipole[1] * r[1] + self.dipole[2] * r[2]) * inv_r3;
         // x̂ᵀ𝑸x̂/(2r³) = rᵀ𝑸r/(2r⁵)
         let rqr = self.quad[0] * r[0] * r[0]
             + self.quad[1] * r[1] * r[1]
             + self.quad[2] * r[2] * r[2]
-            + 2.0 * (self.quad[3] * r[0] * r[1] + self.quad[4] * r[0] * r[2] + self.quad[5] * r[1] * r[2]);
+            + 2.0
+                * (self.quad[3] * r[0] * r[1]
+                    + self.quad[4] * r[0] * r[2]
+                    + self.quad[5] * r[1] * r[2]);
         let quad = 0.5 * rqr * inv_r3 * inv_r * inv_r;
         mono + dip + quad
     }
@@ -119,7 +121,14 @@ impl Moments {
         // quad'_ab = quad_ab + 3(D_a d_b + D_b d_a) − 2(D·d)δ_ab
         //            + Q(3 d_a d_b − d² δ_ab)
         let dd = other.dipole[0] * d[0] + other.dipole[1] * d[1] + other.dipole[2] * d[2];
-        let pairs = [(0, 0, 0), (1, 1, 1), (2, 2, 2), (3, 0, 1), (4, 0, 2), (5, 1, 2)];
+        let pairs = [
+            (0, 0, 0),
+            (1, 1, 1),
+            (2, 2, 2),
+            (3, 0, 1),
+            (4, 0, 2),
+            (5, 1, 2),
+        ];
         for &(idx, a, b) in &pairs {
             let delta = if a == b { 1.0 } else { 0.0 };
             self.quad[idx] += other.quad[idx]
@@ -127,8 +136,8 @@ impl Moments {
                 - 2.0 * dd * delta
                 + other.q * (3.0 * d[a] * d[b] - d2 * delta);
         }
-        for a in 0..3 {
-            self.dipole[a] += other.dipole[a] + other.q * d[a];
+        for ((da, &oa), &dv) in self.dipole.iter_mut().zip(&other.dipole).zip(&d) {
+            *da += oa + other.q * dv;
         }
         self.q += other.q;
     }

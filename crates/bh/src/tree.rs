@@ -55,7 +55,10 @@ impl BarnesHut {
                 hi[a] = hi[a].max(p[a]);
             }
         }
-        let size = (0..3).map(|a| hi[a] - lo[a]).fold(0.0f64, f64::max).max(1e-12);
+        let size = (0..3)
+            .map(|a| hi[a] - lo[a])
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
         let center = [
             0.5 * (lo[0] + hi[0]),
             0.5 * (lo[1] + hi[1]),
@@ -209,13 +212,13 @@ impl BarnesHut {
             ];
             let dist2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
             let s = 2.0 * node.half; // cell side
-            // MAC: s / dist < θ (θ = 0 never accepts), guarded by the
-            // particle radius: never accept a node whose particles could
-            // be as close as the evaluation distance.
-            // The radius guard requires dist > 2·bmax; for θ ≤ 1 this is
-            // already implied by the cell-based MAC whenever the cell
-            // geometry is consistent (bmax ≤ (√3/2)s), so it only bites in
-            // the degenerate rounding case.
+                                     // MAC: s / dist < θ (θ = 0 never accepts), guarded by the
+                                     // particle radius: never accept a node whose particles could
+                                     // be as close as the evaluation distance.
+                                     // The radius guard requires dist > 2·bmax; for θ ≤ 1 this is
+                                     // already implied by the cell-based MAC whenever the cell
+                                     // geometry is consistent (bmax ≤ (√3/2)s), so it only bites in
+                                     // the degenerate rounding case.
             if !node.is_leaf && s * s < theta * theta * dist2 && 4.0 * node.bmax2 < dist2 {
                 pot += node.moments.potential(x);
                 if with_field {

@@ -232,7 +232,8 @@ mod tests {
     fn default_config_valid() {
         for d in [2, 3, 5, 7, 14] {
             let cfg = FmmConfig::order(d);
-            cfg.validate().unwrap_or_else(|e| panic!("order {}: {}", d, e));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("order {}: {}", d, e));
         }
     }
 

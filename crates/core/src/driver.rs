@@ -4,17 +4,19 @@
 
 use crate::config::FmmConfig;
 use crate::field::FieldHierarchy;
-use crate::near::{near_field_forces_softened, near_field_potentials_softened, NearFieldStats};
+use crate::near::{near_field_forces_softened, near_field_symmetric_colored, NearFieldStats};
 use crate::particles::BinnedParticles;
+use crate::plan::TraversalPlan;
 use crate::stats::{Phase, Profile};
 use crate::translations::TranslationSet;
 use crate::traversal::{downward_pass, upward_pass, Aggregation, TraversalFlops};
-use fmm_sphere::{
-    inner_kernel_row, inner_kernel_row_grad, norm, SphereRule,
-};
+use fmm_sphere::{inner_kernel_row, inner_kernel_row_grad, norm, SphereRule};
 use fmm_tree::{BoxCoord, Domain, Hierarchy};
 use rayon::prelude::*;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Errors from building or running an [`Fmm`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +64,12 @@ pub struct Fmm {
     cfg: FmmConfig,
     rule: SphereRule,
     translations: TranslationSet,
+    /// Traversal plans, cached per hierarchy depth (separation and K are
+    /// fixed per instance). Interior mutability keeps `evaluate(&self)`
+    /// shareable across threads.
+    plan_cache: Mutex<HashMap<u32, Arc<TraversalPlan>>>,
+    /// How many plans have been built (cache misses); diagnostics only.
+    plan_builds: AtomicU64,
 }
 
 impl Fmm {
@@ -82,7 +90,29 @@ impl Fmm {
             cfg,
             rule,
             translations,
+            plan_cache: Mutex::new(HashMap::new()),
+            plan_builds: AtomicU64::new(0),
         })
+    }
+
+    /// The traversal plan for `depth`, building and caching it on first
+    /// use. Repeated evaluations at the same depth reuse the cached plan
+    /// and pay only for the GEMMs and particle work.
+    fn plan_for(&self, depth: u32) -> Arc<TraversalPlan> {
+        let mut cache = self.plan_cache.lock().unwrap();
+        cache
+            .entry(depth)
+            .or_insert_with(|| {
+                self.plan_builds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(TraversalPlan::build(depth, self.cfg.separation))
+            })
+            .clone()
+    }
+
+    /// Number of traversal plans built so far (i.e. plan-cache misses).
+    /// Repeated evaluations at the same depth must not increase this.
+    pub fn plan_builds(&self) -> u64 {
+        self.plan_builds.load(Ordering::Relaxed)
     }
 
     pub fn config(&self) -> &FmmConfig {
@@ -104,7 +134,11 @@ impl Fmm {
 
     /// Evaluate potentials with the domain inferred from the particles'
     /// bounding cube.
-    pub fn evaluate(&self, positions: &[[f64; 3]], charges: &[f64]) -> Result<EvalOutput, FmmError> {
+    pub fn evaluate(
+        &self,
+        positions: &[[f64; 3]],
+        charges: &[f64],
+    ) -> Result<EvalOutput, FmmError> {
         if positions.is_empty() {
             return Err(FmmError::BadInput("no particles".into()));
         }
@@ -153,7 +187,9 @@ impl Fmm {
             return Err(FmmError::BadInput("no particles".into()));
         }
         if positions.len() != charges.len() {
-            return Err(FmmError::BadInput("positions/charges length mismatch".into()));
+            return Err(FmmError::BadInput(
+                "positions/charges length mismatch".into(),
+            ));
         }
         // The domain must cover sources and targets.
         let mut all: Vec<[f64; 3]> = Vec::with_capacity(positions.len() + targets.len());
@@ -165,15 +201,24 @@ impl Fmm {
         let depth = self.cfg.depth.resolve(positions.len());
         let k = self.k();
         let par = self.cfg.parallel;
+        let plan = self.plan_for(depth);
         let bp = BinnedParticles::build(positions, charges, domain, depth);
         let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
         let leaf_side = domain.box_side(depth);
         let a_leaf = self.cfg.outer_ratio * leaf_side;
-        p2o(&bp, &self.rule, a_leaf, depth, par, &mut fh.far[depth as usize]);
-        upward_pass(&mut fh, &self.translations, Aggregation::Gemm, par);
+        p2o(
+            &bp,
+            &self.rule,
+            a_leaf,
+            depth,
+            par,
+            &mut fh.far[depth as usize],
+        );
+        upward_pass(&mut fh, &self.translations, &plan, Aggregation::Gemm, par);
         downward_pass(
             &mut fh,
             &self.translations,
+            &plan,
             self.cfg.supernodes,
             Aggregation::Gemm,
             par,
@@ -244,6 +289,7 @@ impl Fmm {
         let depth = self.cfg.depth.resolve(positions.len());
         let k = self.k();
         let par = self.cfg.parallel;
+        let plan = self.plan_for(depth);
         let mut profile = Profile::new();
 
         // Step 0: coordinate sort / binning (paper §3.2).
@@ -256,14 +302,21 @@ impl Fmm {
         let leaf_side = domain.box_side(depth);
         let a_leaf = self.cfg.outer_ratio * leaf_side;
         let p2o_flops = profile.time(Phase::P2O, || {
-            p2o(&bp, &self.rule, a_leaf, depth, par, &mut fh.far[depth as usize])
+            p2o(
+                &bp,
+                &self.rule,
+                a_leaf,
+                depth,
+                par,
+                &mut fh.far[depth as usize],
+            )
         });
         profile.add_flops(Phase::P2O, p2o_flops);
 
         // Step 2: upward pass.
         let mut tflops = TraversalFlops::default();
         let up = profile.time(Phase::Upward, || {
-            upward_pass(&mut fh, &self.translations, Aggregation::Gemm, par)
+            upward_pass(&mut fh, &self.translations, &plan, Aggregation::Gemm, par)
         });
         profile.add_flops(Phase::Upward, up.t1);
         tflops.t1 = up.t1;
@@ -274,6 +327,7 @@ impl Fmm {
             downward_pass(
                 &mut fh,
                 &self.translations,
+                &plan,
                 self.cfg.supernodes,
                 Aggregation::Gemm,
                 par,
@@ -331,10 +385,16 @@ impl Fmm {
             }
             st
         } else {
+            // Potentials use the symmetric colored sweep: Newton's third
+            // law halves the pair work, and the 8-color block schedule
+            // keeps the parallel scatter conflict-free. Its stats report
+            // third-law-halved counts, identical to the sequential
+            // symmetric sweep.
             profile.time(Phase::Near, || {
-                near_field_potentials_softened(
+                near_field_symmetric_colored(
                     &bp,
                     self.cfg.separation,
+                    &plan.near_schedule,
                     par,
                     self.cfg.softening,
                     &mut near_pot,
@@ -380,7 +440,11 @@ fn p2o(
         }
         let c = domain.box_center(BoxCoord::from_index(depth, b));
         for (i, &s) in rule.points.iter().enumerate() {
-            let sp = [c[0] + a_leaf * s[0], c[1] + a_leaf * s[1], c[2] + a_leaf * s[2]];
+            let sp = [
+                c[0] + a_leaf * s[0],
+                c[1] + a_leaf * s[1],
+                c[2] + a_leaf * s[2],
+            ];
             let mut acc = 0.0;
             for j in range.clone() {
                 let d = [sp[0] - bp.x[j], sp[1] - bp.y[j], sp[2] - bp.z[j]];
@@ -391,11 +455,7 @@ fn p2o(
         (range.len() * k) as u64 * 10
     };
     if parallel {
-        far_leaf
-            .par_chunks_mut(k)
-            .enumerate()
-            .map(work)
-            .sum()
+        far_leaf.par_chunks_mut(k).enumerate().map(work).sum()
     } else {
         far_leaf.chunks_mut(k).enumerate().map(work).sum()
     }
@@ -441,6 +501,7 @@ fn eval_local(
         None => field_slices.resize_with(n_boxes, || None),
     }
 
+    #[allow(clippy::type_complexity)]
     let work = |(b, (po, fo)): (usize, (&mut &mut [f64], &mut Option<&mut [[f64; 3]]>))| -> u64 {
         let range = bp.range(b);
         if range.is_empty() {
@@ -458,8 +519,11 @@ fn eval_local(
                 inner_kernel_row_grad(rule, m, b_leaf, x, &mut grad_rows);
                 for d in 0..3 {
                     // field is −∇Φ
-                    f[idx][d] -=
-                        grad_rows[d].iter().zip(g).map(|(r, gg)| r * gg).sum::<f64>();
+                    f[idx][d] -= grad_rows[d]
+                        .iter()
+                        .zip(g)
+                        .map(|(r, gg)| r * gg)
+                        .sum::<f64>();
                 }
             }
         }
@@ -582,7 +646,11 @@ mod tests {
         let stats = crate::error::relative_error_stats(&p2, &p1);
         // Slight accuracy cost is expected (paper §2.3), but results must
         // agree to within the method's own accuracy scale.
-        assert!(stats.rms_rel < 2e-3, "supernode deviation {:.2e}", stats.rms_rel);
+        assert!(
+            stats.rms_rel < 2e-3,
+            "supernode deviation {:.2e}",
+            stats.rms_rel
+        );
     }
 
     #[test]
@@ -663,7 +731,11 @@ mod tests {
         let targets: Vec<[f64; 3]> = (0..50)
             .map(|i| {
                 let f = i as f64 / 50.0;
-                [0.1 + 0.8 * f, 0.5 + 0.3 * (f * 9.0).sin() * 0.5, 0.3 + 0.5 * f]
+                [
+                    0.1 + 0.8 * f,
+                    0.5 + 0.3 * (f * 9.0).sin() * 0.5,
+                    0.3 + 0.5 * f,
+                ]
             })
             .collect();
         let approx = fmm.evaluate_at(&targets, &pts, &q).unwrap();
@@ -700,12 +772,42 @@ mod tests {
     }
 
     #[test]
+    fn repeated_evaluate_reuses_plan_and_is_bitwise_identical() {
+        let (pts, q) = pseudo_system(900, 41);
+        let fmm = Fmm::new(FmmConfig::order(3).depth(3)).unwrap();
+        assert_eq!(fmm.plan_builds(), 0);
+        let first = fmm.evaluate(&pts, &q).unwrap();
+        assert_eq!(fmm.plan_builds(), 1);
+        let second = fmm.evaluate(&pts, &q).unwrap();
+        assert_eq!(
+            fmm.plan_builds(),
+            1,
+            "second evaluate must reuse the cached traversal plan"
+        );
+        for (x, y) in first.potentials.iter().zip(&second.potentials) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
+        }
+        assert_eq!(first.near_stats, second.near_stats);
+    }
+
+    #[test]
+    fn near_stats_report_halved_symmetric_counts() {
+        // The driver's potentials path uses the symmetric sweep, whose
+        // pair counter records each interaction once (Newton's third law),
+        // matching the sequential symmetric oracle exactly.
+        let (pts, q) = pseudo_system(700, 43);
+        let domain = Domain::bounding(&pts);
+        let fmm = Fmm::new(FmmConfig::order(3).depth(2)).unwrap();
+        let out = fmm.evaluate_in(&pts, &q, domain).unwrap();
+        let bp = BinnedParticles::build(&pts, &q, domain, 2);
+        let (_, sym) = crate::near::near_field_symmetric(&bp, fmm.config().separation);
+        assert_eq!(out.near_stats, sym);
+    }
+
+    #[test]
     fn input_validation() {
         let fmm = Fmm::new(FmmConfig::order(3)).unwrap();
-        assert!(matches!(
-            fmm.evaluate(&[], &[]),
-            Err(FmmError::BadInput(_))
-        ));
+        assert!(matches!(fmm.evaluate(&[], &[]), Err(FmmError::BadInput(_))));
         assert!(matches!(
             fmm.evaluate(&[[0.0; 3]], &[1.0, 2.0]),
             Err(FmmError::BadInput(_))

@@ -53,7 +53,8 @@ impl FieldHierarchy {
     /// far-field potentials for all levels, local fields per level in
     /// flight).
     pub fn len(&self) -> usize {
-        self.far.iter().map(Vec::len).sum::<usize>() + self.local.iter().map(Vec::len).sum::<usize>()
+        self.far.iter().map(Vec::len).sum::<usize>()
+            + self.local.iter().map(Vec::len).sum::<usize>()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -49,6 +49,7 @@ pub mod error;
 pub mod field;
 pub mod near;
 pub mod particles;
+pub mod plan;
 pub mod stats;
 pub mod translations;
 pub mod traversal;
@@ -56,7 +57,11 @@ pub mod traversal;
 pub use config::{DepthPolicy, FmmConfig};
 pub use driver::{EvalOutput, Fmm, FmmError};
 pub use error::{relative_error_stats, ErrorStats};
-pub use near::{near_field_potentials, near_field_symmetric, NearFieldStats};
+pub use near::{
+    near_field_potentials, near_field_symmetric, near_field_symmetric_colored, ColorSchedule,
+    NearFieldStats,
+};
+pub use plan::TraversalPlan;
 pub use stats::{Phase, Profile};
 pub use translations::TranslationSet;
 

@@ -23,12 +23,7 @@ pub struct BinnedParticles {
 
 impl BinnedParticles {
     /// Sort particles of a cubic `domain` into leaf boxes at `level`.
-    pub fn build(
-        positions: &[[f64; 3]],
-        charges: &[f64],
-        domain: Domain,
-        level: u32,
-    ) -> Self {
+    pub fn build(positions: &[[f64; 3]], charges: &[f64], domain: Domain, level: u32) -> Self {
         assert_eq!(positions.len(), charges.len());
         let ids = assign_boxes(positions, &domain, level);
         let n_boxes = 1usize << (3 * level);
@@ -76,7 +71,10 @@ impl BinnedParticles {
     /// Mean/max leaf occupancy — the load-balance numbers of §3.5.
     pub fn occupancy(&self) -> (f64, usize) {
         let n_boxes = self.binning.starts.len() - 1;
-        let max = (0..n_boxes).map(|b| self.binning.count(b)).max().unwrap_or(0);
+        let max = (0..n_boxes)
+            .map(|b| self.binning.count(b))
+            .max()
+            .unwrap_or(0);
         (self.len() as f64 / n_boxes as f64, max)
     }
 }

@@ -1,0 +1,255 @@
+//! Reusable traversal plan.
+//!
+//! `Fmm::evaluate` used to recompute, on every call, a family of values
+//! that depend only on the hierarchy depth and the separation parameter:
+//! the per-octant interactive-field offset lists, the supernode
+//! decompositions, the T2 matrix lookups, the slab decomposition of every
+//! level, and the child gather/scatter index lists that turn panels of
+//! parents into panels of children. None of this depends on the particles.
+//!
+//! A [`TraversalPlan`] hoists all of it into a one-time build, cached on
+//! the driver per depth (the separation and rule size K are fixed per
+//! `Fmm`). Repeated evaluations — the common case in a time-stepping
+//! N-body loop, and the regime the paper's timings in §4 assume once the
+//! translation matrices are precomputed (§3.3.4, Figs. 8–9) — then pay
+//! only for the GEMMs and the particle work, not for re-deriving the
+//! traversal's index structure.
+
+use crate::near::ColorSchedule;
+use crate::translations::TranslationSet;
+use fmm_tree::{interactive_field_offsets, supernode_decomposition, BoxCoord, Separation};
+
+/// Children of one level's parents along one octant: for parent `p` (in
+/// row-major box order), `idx[p]` is the child's box index at the child
+/// level and `coord[p]` its (x, y, z) coordinate. These drive the T1/T3
+/// panel gathers and scatters and the T2 source-offset arithmetic without
+/// any per-row index decoding.
+#[derive(Debug, Clone)]
+pub struct ChildMap {
+    pub idx: Vec<u32>,
+    pub coord: Vec<[i32; 3]>,
+}
+
+/// Precomputed structure for one parent level.
+#[derive(Debug, Clone)]
+pub struct LevelPlan {
+    /// The parent level this entry describes.
+    pub parent_level: u32,
+    /// Slab decomposition: ranges of parent box indices, one z-plane each,
+    /// whose children occupy disjoint contiguous ranges of the child level.
+    pub slabs: Vec<(usize, usize)>,
+    /// Per octant (index 0..8): the parents' children along that octant.
+    pub children: Vec<ChildMap>,
+}
+
+/// Precomputed interaction structure for one child octant.
+#[derive(Debug, Clone)]
+pub struct OctantPlan {
+    /// Plain interactive-field offsets (source − target, child-box units).
+    pub offsets: Vec<[i32; 3]>,
+    /// Dense-cube index of each offset's T2 matrix in
+    /// [`TranslationSet::t2t`], parallel to `offsets`.
+    pub t2_idx: Vec<u32>,
+    /// Supernode parent-source offsets (parent-box units, applied to the
+    /// target's parent coordinate).
+    pub sn_parent_offsets: Vec<[i32; 3]>,
+    /// Keys into [`TranslationSet::t2t_super`], parallel to
+    /// `sn_parent_offsets`.
+    pub sn_parent_keys: Vec<[i32; 3]>,
+    /// Leftover child-level offsets of the supernode decomposition.
+    pub sn_child_offsets: Vec<[i32; 3]>,
+    /// Dense-cube T2 indices parallel to `sn_child_offsets`.
+    pub sn_child_idx: Vec<u32>,
+    /// Total translations per box under supernodes (parents + children).
+    pub sn_translation_count: usize,
+}
+
+/// Everything the upward/downward passes and the near-field sweep need
+/// that depends only on `(depth, separation)`. Built once, reused across
+/// evaluations; see the module docs.
+#[derive(Debug, Clone)]
+pub struct TraversalPlan {
+    pub depth: u32,
+    pub separation: Separation,
+    /// Per child octant (0..8).
+    pub octants: Vec<OctantPlan>,
+    /// Parent levels 1..depth, indexed by `parent_level − 1`.
+    pub levels: Vec<LevelPlan>,
+    /// Colored block schedule for the symmetric near-field sweep at the
+    /// leaf level.
+    pub near_schedule: ColorSchedule,
+}
+
+impl TraversalPlan {
+    /// Build the plan for a hierarchy of `depth` levels at `separation`.
+    pub fn build(depth: u32, separation: Separation) -> Self {
+        let octants = (0..8usize)
+            .map(|oct| {
+                let o = [
+                    (oct & 1) as i32,
+                    ((oct >> 1) & 1) as i32,
+                    ((oct >> 2) & 1) as i32,
+                ];
+                let offsets = interactive_field_offsets(o, separation);
+                let t2_idx = offsets
+                    .iter()
+                    .map(|&off| TranslationSet::t2_index_for(separation, off) as u32)
+                    .collect();
+                let sd = supernode_decomposition(o, separation);
+                let sn_translation_count = sd.translation_count();
+                let sn_parent_offsets = sd.parents.iter().map(|p| p.parent_offset).collect();
+                let sn_parent_keys = sd.parents.iter().map(|p| p.center_offset_half).collect();
+                let sn_child_idx = sd
+                    .children
+                    .iter()
+                    .map(|&off| TranslationSet::t2_index_for(separation, off) as u32)
+                    .collect();
+                OctantPlan {
+                    offsets,
+                    t2_idx,
+                    sn_parent_offsets,
+                    sn_parent_keys,
+                    sn_child_offsets: sd.children,
+                    sn_child_idx,
+                    sn_translation_count,
+                }
+            })
+            .collect();
+
+        let levels = (1..depth.max(1))
+            .map(|lp| {
+                let n = 1usize << (3 * lp);
+                let children = (0..8usize)
+                    .map(|oct| {
+                        let mut idx = Vec::with_capacity(n);
+                        let mut coord = Vec::with_capacity(n);
+                        for pi in 0..n {
+                            let c = BoxCoord::from_index(lp, pi).child(oct);
+                            idx.push(c.index() as u32);
+                            coord.push([c.x as i32, c.y as i32, c.z as i32]);
+                        }
+                        ChildMap { idx, coord }
+                    })
+                    .collect();
+                LevelPlan {
+                    parent_level: lp,
+                    slabs: parent_slabs(lp),
+                    children,
+                }
+            })
+            .collect();
+
+        TraversalPlan {
+            depth,
+            separation,
+            octants,
+            levels,
+            near_schedule: ColorSchedule::build(depth),
+        }
+    }
+
+    /// The [`LevelPlan`] for a parent level (1 ≤ `parent_level` < depth).
+    #[inline]
+    pub fn level(&self, parent_level: u32) -> &LevelPlan {
+        &self.levels[(parent_level - 1) as usize]
+    }
+
+    /// Approximate heap footprint in bytes (for diagnostics).
+    pub fn memory_bytes(&self) -> usize {
+        let per_oct: usize = self
+            .octants
+            .iter()
+            .map(|o| {
+                (o.offsets.len() + o.sn_parent_offsets.len() * 2 + o.sn_child_offsets.len()) * 12
+                    + (o.t2_idx.len() + o.sn_child_idx.len()) * 4
+            })
+            .sum();
+        let per_level: usize = self
+            .levels
+            .iter()
+            .map(|l| {
+                l.slabs.len() * 16
+                    + l.children
+                        .iter()
+                        .map(|c| c.idx.len() * 4 + c.coord.len() * 12)
+                        .sum::<usize>()
+            })
+            .sum();
+        per_oct + per_level
+    }
+}
+
+/// Slab decomposition of a parent level: ranges of parent box indices, one
+/// z-plane each, whose children occupy disjoint contiguous ranges of the
+/// child level.
+fn parent_slabs(l_parent: u32) -> Vec<(usize, usize)> {
+    let n = 1usize << l_parent; // parents per axis
+    let plane = n * n;
+    (0..n).map(|z| (z * plane, (z + 1) * plane)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn child_maps_match_box_arithmetic() {
+        let plan = TraversalPlan::build(3, Separation::Two);
+        for lp in 1..3u32 {
+            let lvl = plan.level(lp);
+            assert_eq!(lvl.parent_level, lp);
+            let n = 1usize << (3 * lp);
+            for oct in 0..8 {
+                let cm = &lvl.children[oct];
+                assert_eq!(cm.idx.len(), n);
+                for pi in (0..n).step_by(5) {
+                    let c = BoxCoord::from_index(lp, pi).child(oct);
+                    assert_eq!(cm.idx[pi] as usize, c.index());
+                    assert_eq!(cm.coord[pi], [c.x as i32, c.y as i32, c.z as i32]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slabs_tile_each_level() {
+        let plan = TraversalPlan::build(4, Separation::One);
+        for lp in 1..4u32 {
+            let lvl = plan.level(lp);
+            let mut next = 0usize;
+            for &(a, b) in &lvl.slabs {
+                assert_eq!(a, next);
+                assert!(b > a);
+                next = b;
+            }
+            assert_eq!(next, 1usize << (3 * lp));
+        }
+    }
+
+    #[test]
+    fn octant_plans_are_consistent_with_tree_queries() {
+        for sep in [Separation::One, Separation::Two] {
+            let plan = TraversalPlan::build(2, sep);
+            for (oct, op) in plan.octants.iter().enumerate() {
+                let o = [
+                    (oct & 1) as i32,
+                    ((oct >> 1) & 1) as i32,
+                    ((oct >> 2) & 1) as i32,
+                ];
+                assert_eq!(op.offsets, interactive_field_offsets(o, sep));
+                assert_eq!(op.offsets.len(), op.t2_idx.len());
+                let sd = supernode_decomposition(o, sep);
+                assert_eq!(op.sn_translation_count, sd.translation_count());
+                assert_eq!(op.sn_child_offsets, sd.children);
+                assert_eq!(op.sn_parent_offsets.len(), op.sn_parent_keys.len());
+            }
+        }
+    }
+
+    #[test]
+    fn near_schedule_is_for_leaf_level() {
+        let plan = TraversalPlan::build(3, Separation::Two);
+        assert_eq!(plan.near_schedule.level, 3);
+        assert!(plan.memory_bytes() > 0);
+    }
+}

@@ -126,8 +126,12 @@ impl Profile {
     pub fn table(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        writeln!(s, "{:<16} {:>10} {:>14} {:>9}", "phase", "time(ms)", "flops", "Gflop/s")
-            .unwrap();
+        writeln!(
+            s,
+            "{:<16} {:>10} {:>14} {:>9}",
+            "phase", "time(ms)", "flops", "Gflop/s"
+        )
+        .unwrap();
         for p in Phase::ALL {
             writeln!(
                 s,

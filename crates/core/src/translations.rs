@@ -145,30 +145,24 @@ impl TranslationSet {
         let mut t2t_super = HashMap::new();
         if with_supernodes {
             for oct in 0..8 {
-                let o = [
-                    (oct & 1) as i32,
-                    ((oct >> 1) & 1) as i32,
-                    ((oct >> 2) & 1) as i32,
-                ];
+                let o = [oct & 1, (oct >> 1) & 1, (oct >> 2) & 1];
                 for p in supernode_decomposition(o, separation).parents {
-                    t2t_super
-                        .entry(p.center_offset_half)
-                        .or_insert_with(|| {
-                            let mut mt = Matrix::zeros(k, k);
-                            for j in 0..k {
-                                let s = rule.points[j];
-                                let x = [
-                                    b_child * s[0] - p.center_offset_half[0] as f64 / 2.0,
-                                    b_child * s[1] - p.center_offset_half[1] as f64 / 2.0,
-                                    b_child * s[2] - p.center_offset_half[2] as f64 / 2.0,
-                                ];
-                                outer_kernel_row(rule, m, a_parent, x, &mut row);
-                                for i in 0..k {
-                                    mt[(i, j)] = row[i];
-                                }
+                    t2t_super.entry(p.center_offset_half).or_insert_with(|| {
+                        let mut mt = Matrix::zeros(k, k);
+                        for j in 0..k {
+                            let s = rule.points[j];
+                            let x = [
+                                b_child * s[0] - p.center_offset_half[0] as f64 / 2.0,
+                                b_child * s[1] - p.center_offset_half[1] as f64 / 2.0,
+                                b_child * s[2] - p.center_offset_half[2] as f64 / 2.0,
+                            ];
+                            outer_kernel_row(rule, m, a_parent, x, &mut row);
+                            for i in 0..k {
+                                mt[(i, j)] = row[i];
                             }
-                            mt
-                        });
+                        }
+                        mt
+                    });
                 }
             }
         }
@@ -244,10 +238,7 @@ mod tests {
     }
 
     /// Build one translation matrix (transposed) from a kernel-row closure.
-    fn single_matrix(
-        rule: &SphereRule,
-        mut row_for: impl FnMut(usize, &mut [f64]),
-    ) -> Matrix {
+    fn single_matrix(rule: &SphereRule, mut row_for: impl FnMut(usize, &mut [f64])) -> Matrix {
         let k = rule.len();
         let mut mt = Matrix::zeros(k, k);
         let mut row = vec![0.0; k];

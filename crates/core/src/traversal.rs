@@ -10,13 +10,18 @@
 //! range of the level's output buffer, so there are no write conflicts.
 //! Levels are sequential, as in the paper.
 //!
+//! All index structure — slab ranges, child gather/scatter lists, offset
+//! lists and resolved T2 matrix positions — comes from a precomputed
+//! [`TraversalPlan`], so a pass does no per-box index decoding and no
+//! hash-map lookups; it only gathers panels and runs GEMMs.
+//!
 //! Both the aggregated (GEMM) path and a per-box GEMV path are provided;
 //! their ratio is the paper's Table 3 experiment.
 
 use crate::field::FieldHierarchy;
+use crate::plan::TraversalPlan;
 use crate::translations::TranslationSet;
-use fmm_linalg::{gemm_acc, gemm_flops, multi_gemm_acc, MultiGemmPlan};
-use fmm_tree::{interactive_field_offsets, supernode_decomposition, BoxCoord};
+use fmm_linalg::{gemm_acc, gemm_flops, multi_gemm_acc, Matrix, MultiGemmPlan};
 use rayon::prelude::*;
 
 /// Flop counters from a traversal.
@@ -44,46 +49,37 @@ pub enum Aggregation {
     MultiGemm,
 }
 
-#[inline]
-fn child_index(parent: BoxCoord, oct: usize) -> usize {
-    parent.child(oct).index()
-}
-
-/// Gather the octant-`oct` children of parents `p0..p1` (row-major parent
-/// indices at level `l`) into a `(p1-p0) × k` panel.
+/// Gather the children `cidx[p0..p1]` (one octant of parents `p0..p1`)
+/// into a `(p1-p0) × k` panel.
 fn gather_children(
     src_child_level: &[f64],
-    l_parent: u32,
+    cidx: &[u32],
     p0: usize,
     p1: usize,
-    oct: usize,
     k: usize,
     panel: &mut [f64],
 ) {
     debug_assert_eq!(panel.len(), (p1 - p0) * k);
     for (row, pi) in (p0..p1).enumerate() {
-        let parent = BoxCoord::from_index(l_parent, pi);
-        let ci = child_index(parent, oct);
+        let ci = cidx[pi] as usize;
         panel[row * k..(row + 1) * k].copy_from_slice(&src_child_level[ci * k..(ci + 1) * k]);
     }
 }
 
-/// Scatter-add a `(p1-p0) × k` panel into the octant-`oct` children of
-/// parents `p0..p1`, where `dst` is the slice of the child level starting
-/// at child box index `dst_base`.
+/// Scatter-add a `(p1-p0) × k` panel into the children `cidx[p0..p1]`,
+/// where `dst` is the slice of the child level starting at child box index
+/// `dst_base`.
 fn scatter_add_children(
     dst: &mut [f64],
     dst_base: usize,
-    l_parent: u32,
+    cidx: &[u32],
     p0: usize,
     p1: usize,
-    oct: usize,
     k: usize,
     panel: &[f64],
 ) {
     for (row, pi) in (p0..p1).enumerate() {
-        let parent = BoxCoord::from_index(l_parent, pi);
-        let ci = child_index(parent, oct) - dst_base;
+        let ci = cidx[pi] as usize - dst_base;
         let d = &mut dst[ci * k..(ci + 1) * k];
         for (dj, sj) in d.iter_mut().zip(&panel[row * k..(row + 1) * k]) {
             *dj += sj;
@@ -91,25 +87,18 @@ fn scatter_add_children(
     }
 }
 
-/// Slab decomposition of a parent level: ranges of parent box indices, one
-/// z-plane (or more for small levels) each, whose children occupy disjoint
-/// contiguous ranges of the child level.
-fn parent_slabs(l_parent: u32) -> Vec<(usize, usize)> {
-    let n = 1usize << l_parent; // parents per axis
-    let plane = n * n;
-    (0..n).map(|z| (z * plane, (z + 1) * plane)).collect()
-}
-
 /// Upward pass: for levels l = depth−1 … 2 combine children's outer
 /// samples into parents' (T1). Returns flop counters.
 pub fn upward_pass(
     fh: &mut FieldHierarchy,
     ts: &TranslationSet,
+    plan: &TraversalPlan,
     agg: Aggregation,
     parallel: bool,
 ) -> TraversalFlops {
     let k = fh.k;
     let depth = fh.hierarchy.depth;
+    debug_assert_eq!(plan.depth, depth);
     let mut flops = TraversalFlops::default();
     if depth < 3 {
         return flops;
@@ -122,7 +111,8 @@ pub fn upward_pass(
         let (lo, hi) = fh.far.split_at_mut(l as usize + 1);
         let parents = &mut lo[l as usize];
         let children = &hi[0];
-        let slabs = parent_slabs(l);
+        let lvl = plan.level(l);
+        let slabs = &lvl.slabs;
         let plane = slabs[0].1 - slabs[0].0;
 
         let do_slab = |(slab, out): (&(usize, usize), &mut [f64])| {
@@ -131,7 +121,8 @@ pub fn upward_pass(
                 Aggregation::Gemm => {
                     let mut panel = vec![0.0; (p1 - p0) * k];
                     for oct in 0..8 {
-                        gather_children(children, l, p0, p1, oct, k, &mut panel);
+                        let cidx = &lvl.children[oct].idx;
+                        gather_children(children, cidx, p0, p1, k, &mut panel);
                         gemm_acc(p1 - p0, k, k, &panel, ts.t1t[oct].as_slice(), out);
                     }
                 }
@@ -143,23 +134,23 @@ pub fn upward_pass(
                     let n_rows = (p1 - p0) / row_len;
                     let mut panel = vec![0.0; (p1 - p0) * k];
                     for oct in 0..8 {
-                        gather_children(children, l, p0, p1, oct, k, &mut panel);
-                        let mut plan = MultiGemmPlan::new(row_len, k, k);
+                        let cidx = &lvl.children[oct].idx;
+                        gather_children(children, cidx, p0, p1, k, &mut panel);
+                        let mut mplan = MultiGemmPlan::new(row_len, k, k);
                         for r in 0..n_rows {
                             // A = the row's gathered child panel, B = the
                             // shared transposed T1 matrix, C = the row's
                             // parents.
-                            plan.push(r * row_len * k, 0, r * row_len * k);
+                            mplan.push(r * row_len * k, 0, r * row_len * k);
                         }
-                        multi_gemm_acc(&plan, &panel, ts.t1t[oct].as_slice(), out);
+                        multi_gemm_acc(&mplan, &panel, ts.t1t[oct].as_slice(), out);
                     }
                 }
                 Aggregation::Gemv => {
                     let mut xt = vec![0.0; k];
                     for (row, pi) in (p0..p1).enumerate() {
-                        let parent = BoxCoord::from_index(l, pi);
                         for oct in 0..8 {
-                            let ci = child_index(parent, oct);
+                            let ci = lvl.children[oct].idx[pi] as usize;
                             let g = &children[ci * k..(ci + 1) * k];
                             // out_j += Σ_i g_i Tᵗ[i][j] — apply the
                             // transposed matrix to a row vector via GEMV on
@@ -169,10 +160,8 @@ pub fn upward_pass(
                             xt.copy_from_slice(g);
                             let t = &ts.t1t[oct];
                             let dst = &mut out[row * k..(row + 1) * k];
-                            for i in 0..k {
-                                let gi = xt[i];
-                                let trow = t.row(i);
-                                for (dj, tj) in dst.iter_mut().zip(trow) {
+                            for (i, &gi) in xt.iter().enumerate() {
+                                for (dj, tj) in dst.iter_mut().zip(t.row(i)) {
                                     *dj += gi * tj;
                                 }
                             }
@@ -198,53 +187,75 @@ pub fn upward_pass(
     flops
 }
 
+/// Per-octant translation matrices, resolved once per pass from the plan's
+/// stored indices/keys (no hash lookups inside the slab loops).
+struct OctantMatrices<'a> {
+    plain: Vec<&'a Matrix>,
+    sn_parent: Vec<&'a Matrix>,
+    sn_child: Vec<&'a Matrix>,
+}
+
+fn resolve_octant_matrices<'a>(
+    ts: &'a TranslationSet,
+    plan: &TraversalPlan,
+    supernodes: bool,
+) -> Vec<OctantMatrices<'a>> {
+    let t2_at =
+        |i: &u32| -> &'a Matrix { ts.t2t[*i as usize].as_ref().expect("interactive offset") };
+    plan.octants
+        .iter()
+        .map(|op| {
+            if supernodes {
+                OctantMatrices {
+                    plain: Vec::new(),
+                    sn_parent: op
+                        .sn_parent_keys
+                        .iter()
+                        .map(|key| &ts.t2t_super[key])
+                        .collect(),
+                    sn_child: op.sn_child_idx.iter().map(t2_at).collect(),
+                }
+            } else {
+                OctantMatrices {
+                    plain: op.t2_idx.iter().map(t2_at).collect(),
+                    sn_parent: Vec::new(),
+                    sn_child: Vec::new(),
+                }
+            }
+        })
+        .collect()
+}
+
 /// Downward pass: for levels l = 2 … depth, convert interactive-field
 /// outer samples to inner samples (T2, optionally with supernodes) and add
 /// the parent's shifted inner samples (T3).
 pub fn downward_pass(
     fh: &mut FieldHierarchy,
     ts: &TranslationSet,
+    plan: &TraversalPlan,
     supernodes: bool,
     agg: Aggregation,
     parallel: bool,
 ) -> TraversalFlops {
     let k = fh.k;
     let depth = fh.hierarchy.depth;
-    let sep = ts.separation;
+    debug_assert_eq!(plan.depth, depth);
     let mut flops = TraversalFlops::default();
 
-    // Precompute per-octant interactive lists and supernode decompositions.
-    let octant_offsets: Vec<Vec<[i32; 3]>> = (0..8)
-        .map(|oct| {
-            let o = [
-                (oct & 1) as i32,
-                ((oct >> 1) & 1) as i32,
-                ((oct >> 2) & 1) as i32,
-            ];
-            interactive_field_offsets(o, sep)
-        })
-        .collect();
-    let octant_supernodes: Vec<_> = (0..8)
-        .map(|oct| {
-            let o = [
-                (oct & 1) as i32,
-                ((oct >> 1) & 1) as i32,
-                ((oct >> 2) & 1) as i32,
-            ];
-            supernode_decomposition(o, sep)
-        })
-        .collect();
+    // Resolve every translation matrix reference once, up front.
+    let oct_mats = resolve_octant_matrices(ts, plan, supernodes);
 
     for l in 2..=depth {
         let n_boxes = fh.hierarchy.boxes_at_level(l);
         let l_parent = l - 1;
+        let lvl = plan.level(l_parent);
         let (local_lo, local_hi) = fh.local.split_at_mut(l as usize);
         let local_parent: &[f64] = &local_lo[l_parent as usize];
         let local_cur = &mut local_hi[0];
         local_cur.iter_mut().for_each(|x| *x = 0.0);
         let far_cur: &[f64] = &fh.far[l as usize];
         let far_parent: &[f64] = &fh.far[l_parent as usize];
-        let slabs = parent_slabs(l_parent);
+        let slabs = &lvl.slabs;
         let parent_plane = slabs[0].1 - slabs[0].0;
         let child_chunk = parent_plane * 8 * k; // children of one parent plane
 
@@ -256,7 +267,7 @@ pub fn downward_pass(
             let dst_base = p0 * 8; // first child box index of the slab
             let mut src_panel = vec![0.0; np * k];
             let mut acc_panel = vec![0.0; np * k];
-            for oct in 0..8 {
+            for (oct, mats) in oct_mats.iter().enumerate() {
                 acc_panel.iter_mut().for_each(|x| *x = 0.0);
 
                 // ---- T3: parent inner → child inner -------------------
@@ -277,8 +288,7 @@ pub fn downward_pass(
                                 let g = &local_parent[(p0 + row) * k..(p0 + row + 1) * k];
                                 let t = &ts.t3t[oct];
                                 let dst = &mut acc_panel[row * k..(row + 1) * k];
-                                for i in 0..k {
-                                    let gi = g[i];
+                                for (i, &gi) in g.iter().enumerate() {
                                     for (dj, tj) in dst.iter_mut().zip(t.row(i)) {
                                         *dj += gi * tj;
                                     }
@@ -290,26 +300,22 @@ pub fn downward_pass(
 
                 // ---- T2: interactive field ----------------------------
                 // Targets: the octant-`oct` children of parents p0..p1, in
-                // parent order (rows of the panels).
+                // parent order (rows of the panels); their coordinates come
+                // straight from the plan's child map.
                 let n_axis = 1i64 << l;
-                let target_coord = |row: usize| -> [i64; 3] {
-                    let parent = BoxCoord::from_index(l_parent, p0 + row);
-                    let c = parent.child(oct);
-                    [c.x as i64, c.y as i64, c.z as i64]
-                };
+                let coords = &lvl.children[oct].coord;
 
                 let mut run_offset_list =
                     |offsets: &[[i32; 3]],
-                     matrices: &[&fmm_linalg::Matrix],
+                     matrices: &[&Matrix],
                      source: &[f64],
                      src_axis: i64,
-                     to_src: &dyn Fn([i64; 3], [i32; 3]) -> [i64; 3]| {
+                     to_src: &dyn Fn([i32; 3], [i32; 3]) -> [i64; 3]| {
                         for (&off, &m) in offsets.iter().zip(matrices) {
                             // Gather sources; out-of-domain sources are zero.
                             let mut any = false;
                             for row in 0..np {
-                                let t = target_coord(row);
-                                let s = to_src(t, off);
+                                let s = to_src(coords[p0 + row], off);
                                 let dst = &mut src_panel[row * k..(row + 1) * k];
                                 if s[0] >= 0
                                     && s[1] >= 0
@@ -318,8 +324,7 @@ pub fn downward_pass(
                                     && s[1] < src_axis
                                     && s[2] < src_axis
                                 {
-                                    let si =
-                                        ((s[2] * src_axis + s[1]) * src_axis + s[0]) as usize;
+                                    let si = ((s[2] * src_axis + s[1]) * src_axis + s[0]) as usize;
                                     dst.copy_from_slice(&source[si * k..(si + 1) * k]);
                                     any = true;
                                 } else {
@@ -337,8 +342,7 @@ pub fn downward_pass(
                                     for row in 0..np {
                                         let g = &src_panel[row * k..(row + 1) * k];
                                         let dst = &mut acc_panel[row * k..(row + 1) * k];
-                                        for i in 0..k {
-                                            let gi = g[i];
+                                        for (i, &gi) in g.iter().enumerate() {
                                             if gi == 0.0 {
                                                 continue;
                                             }
@@ -352,61 +356,44 @@ pub fn downward_pass(
                         }
                     };
 
-                let same_level =
-                    |t: [i64; 3], off: [i32; 3]| -> [i64; 3] {
-                        [
-                            t[0] + off[0] as i64,
-                            t[1] + off[1] as i64,
-                            t[2] + off[2] as i64,
-                        ]
-                    };
+                let same_level = |t: [i32; 3], off: [i32; 3]| -> [i64; 3] {
+                    [
+                        (t[0] + off[0]) as i64,
+                        (t[1] + off[1]) as i64,
+                        (t[2] + off[2]) as i64,
+                    ]
+                };
+                let op = &plan.octants[oct];
                 if supernodes {
-                    let sd = &octant_supernodes[oct];
                     // Parent-level supernode sources.
                     let parent_axis = 1i64 << l_parent;
-                    let sn_offsets: Vec<[i32; 3]> =
-                        sd.parents.iter().map(|p| p.parent_offset).collect();
-                    let sn_matrices: Vec<&fmm_linalg::Matrix> = sd
-                        .parents
-                        .iter()
-                        .map(|p| &ts.t2t_super[&p.center_offset_half])
-                        .collect();
                     run_offset_list(
-                        &sn_offsets,
-                        &sn_matrices,
+                        &op.sn_parent_offsets,
+                        &mats.sn_parent,
                         far_parent,
                         parent_axis,
                         &|t, off| {
                             [
-                                (t[0] >> 1) + off[0] as i64,
-                                (t[1] >> 1) + off[1] as i64,
-                                (t[2] >> 1) + off[2] as i64,
+                                ((t[0] >> 1) + off[0]) as i64,
+                                ((t[1] >> 1) + off[1]) as i64,
+                                ((t[2] >> 1) + off[2]) as i64,
                             ]
                         },
                     );
                     // Leftover child-level sources.
-                    let ch_matrices: Vec<&fmm_linalg::Matrix> = sd
-                        .children
-                        .iter()
-                        .map(|&off| ts.t2(off).expect("interactive offset"))
-                        .collect();
-                    run_offset_list(&sd.children, &ch_matrices, far_cur, n_axis, &same_level);
-                } else {
-                    let matrices: Vec<&fmm_linalg::Matrix> = octant_offsets[oct]
-                        .iter()
-                        .map(|&off| ts.t2(off).expect("interactive offset"))
-                        .collect();
                     run_offset_list(
-                        &octant_offsets[oct],
-                        &matrices,
+                        &op.sn_child_offsets,
+                        &mats.sn_child,
                         far_cur,
                         n_axis,
                         &same_level,
                     );
+                } else {
+                    run_offset_list(&op.offsets, &mats.plain, far_cur, n_axis, &same_level);
                 }
 
                 // Scatter the accumulated panel into the children.
-                scatter_add_children(out, dst_base, l_parent, p0, p1, oct, k, &acc_panel);
+                scatter_add_children(out, dst_base, &lvl.children[oct].idx, p0, p1, k, &acc_panel);
             }
         };
 
@@ -423,9 +410,9 @@ pub fn downward_pass(
 
         // Flop accounting (interior-box counts; boundary boxes do less).
         let per_box_t2 = if supernodes {
-            octant_supernodes[0].translation_count() as u64
+            plan.octants[0].sn_translation_count as u64
         } else {
-            octant_offsets[0].len() as u64
+            plan.octants[0].offsets.len() as u64
         };
         flops.t2 += per_box_t2 * gemm_flops(n_boxes, k, k);
         if apply_t3 {
@@ -442,11 +429,12 @@ mod tests {
     use fmm_sphere::SphereRule;
     use fmm_tree::{Hierarchy, Separation};
 
-    fn small_setup(depth: u32) -> (FieldHierarchy, TranslationSet) {
+    fn small_setup(depth: u32) -> (FieldHierarchy, TranslationSet, TraversalPlan) {
         let rule = SphereRule::for_order(3);
         let ts = TranslationSet::build(&rule, 4, 1.0, 1.0, Separation::Two, true);
         let fh = FieldHierarchy::new(Hierarchy::new(depth), rule.len());
-        (fh, ts)
+        let plan = TraversalPlan::build(depth, Separation::Two);
+        (fh, ts, plan)
     }
 
     fn fill_pseudo(fh: &mut FieldHierarchy) {
@@ -462,11 +450,11 @@ mod tests {
 
     #[test]
     fn upward_parallel_matches_sequential() {
-        let (mut a, ts) = small_setup(4);
+        let (mut a, ts, plan) = small_setup(4);
         fill_pseudo(&mut a);
         let mut b = a.clone();
-        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
-        upward_pass(&mut b, &ts, Aggregation::Gemm, true);
+        upward_pass(&mut a, &ts, &plan, Aggregation::Gemm, false);
+        upward_pass(&mut b, &ts, &plan, Aggregation::Gemm, true);
         for l in 2..=4usize {
             for (x, y) in a.far[l].iter().zip(&b.far[l]) {
                 assert!((x - y).abs() < 1e-12);
@@ -476,11 +464,11 @@ mod tests {
 
     #[test]
     fn upward_multigemm_matches_gemm() {
-        let (mut a, ts) = small_setup(4);
+        let (mut a, ts, plan) = small_setup(4);
         fill_pseudo(&mut a);
         let mut b = a.clone();
-        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
-        upward_pass(&mut b, &ts, Aggregation::MultiGemm, false);
+        upward_pass(&mut a, &ts, &plan, Aggregation::Gemm, false);
+        upward_pass(&mut b, &ts, &plan, Aggregation::MultiGemm, false);
         for l in 1..=4usize {
             for (x, y) in a.far[l].iter().zip(&b.far[l]) {
                 assert!((x - y).abs() < 1e-12);
@@ -490,11 +478,11 @@ mod tests {
 
     #[test]
     fn upward_gemv_matches_gemm() {
-        let (mut a, ts) = small_setup(3);
+        let (mut a, ts, plan) = small_setup(3);
         fill_pseudo(&mut a);
         let mut b = a.clone();
-        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
-        upward_pass(&mut b, &ts, Aggregation::Gemv, false);
+        upward_pass(&mut a, &ts, &plan, Aggregation::Gemm, false);
+        upward_pass(&mut b, &ts, &plan, Aggregation::Gemv, false);
         for l in 2..3usize {
             for (x, y) in a.far[l].iter().zip(&b.far[l]) {
                 assert!((x - y).abs() < 1e-10);
@@ -504,12 +492,12 @@ mod tests {
 
     #[test]
     fn downward_parallel_matches_sequential() {
-        let (mut a, ts) = small_setup(3);
+        let (mut a, ts, plan) = small_setup(3);
         fill_pseudo(&mut a);
-        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        upward_pass(&mut a, &ts, &plan, Aggregation::Gemm, false);
         let mut b = a.clone();
-        downward_pass(&mut a, &ts, false, Aggregation::Gemm, false);
-        downward_pass(&mut b, &ts, false, Aggregation::Gemm, true);
+        downward_pass(&mut a, &ts, &plan, false, Aggregation::Gemm, false);
+        downward_pass(&mut b, &ts, &plan, false, Aggregation::Gemm, true);
         for l in 2..=3usize {
             for (x, y) in a.local[l].iter().zip(&b.local[l]) {
                 assert!((x - y).abs() < 1e-12);
@@ -519,22 +507,38 @@ mod tests {
 
     #[test]
     fn downward_gemv_matches_gemm() {
-        let (mut a, ts) = small_setup(3);
+        let (mut a, ts, plan) = small_setup(3);
         fill_pseudo(&mut a);
-        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        upward_pass(&mut a, &ts, &plan, Aggregation::Gemm, false);
         let mut b = a.clone();
-        downward_pass(&mut a, &ts, false, Aggregation::Gemm, false);
-        downward_pass(&mut b, &ts, false, Aggregation::Gemv, false);
+        downward_pass(&mut a, &ts, &plan, false, Aggregation::Gemm, false);
+        downward_pass(&mut b, &ts, &plan, false, Aggregation::Gemv, false);
         for (x, y) in a.local[3].iter().zip(&b.local[3]) {
             assert!((x - y).abs() < 1e-10);
         }
     }
 
     #[test]
-    fn upward_flops_counted() {
-        let (mut a, ts) = small_setup(4);
+    fn downward_supernodes_use_plan_matrices() {
+        // The supernode path resolves its matrices through the plan's
+        // stored keys/indices; make sure that machinery runs and counts
+        // fewer translations than the plain path (the end-to-end accuracy
+        // check on physical data lives in the driver tests).
+        let (mut a, ts, plan) = small_setup(3);
         fill_pseudo(&mut a);
-        let f = upward_pass(&mut a, &ts, Aggregation::Gemm, false);
+        upward_pass(&mut a, &ts, &plan, Aggregation::Gemm, false);
+        let mut b = a.clone();
+        let plain = downward_pass(&mut a, &ts, &plan, false, Aggregation::Gemm, false);
+        let sup = downward_pass(&mut b, &ts, &plan, true, Aggregation::Gemm, false);
+        assert!(sup.t2 < plain.t2, "{} !< {}", sup.t2, plain.t2);
+        assert!(b.local[3].iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn upward_flops_counted() {
+        let (mut a, ts, plan) = small_setup(4);
+        fill_pseudo(&mut a);
+        let f = upward_pass(&mut a, &ts, &plan, Aggregation::Gemm, false);
         // Levels 3, 2 and 1 are computed: 8·2K²·(8³ + 8² + 8) with K = 6.
         let k = 6u64;
         assert_eq!(f.t1, 8 * 2 * k * k * (512 + 64 + 8));
@@ -542,9 +546,9 @@ mod tests {
 
     #[test]
     fn empty_far_field_stays_zero() {
-        let (mut a, ts) = small_setup(3);
-        upward_pass(&mut a, &ts, Aggregation::Gemm, false);
-        downward_pass(&mut a, &ts, false, Aggregation::Gemm, false);
+        let (mut a, ts, plan) = small_setup(3);
+        upward_pass(&mut a, &ts, &plan, Aggregation::Gemm, false);
+        downward_pass(&mut a, &ts, &plan, false, Aggregation::Gemm, false);
         assert!(a.local[3].iter().all(|&x| x == 0.0));
     }
 }

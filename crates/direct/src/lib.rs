@@ -43,10 +43,7 @@ pub fn potentials(positions: &[[f64; 3]], charges: &[f64]) -> Vec<f64> {
 }
 
 /// Potentials and fields (−∇Φ) for all particles.
-pub fn potentials_and_fields(
-    positions: &[[f64; 3]],
-    charges: &[f64],
-) -> (Vec<f64>, Vec<[f64; 3]>) {
+pub fn potentials_and_fields(positions: &[[f64; 3]], charges: &[f64]) -> (Vec<f64>, Vec<[f64; 3]>) {
     assert_eq!(positions.len(), charges.len());
     let n = positions.len();
     let xs: Vec<f64> = positions.iter().map(|p| p[0]).collect();
@@ -82,20 +79,14 @@ pub fn potentials_and_fields(
                     f_acc[2] += qr3 * dz;
                 }
                 pc[i] = p_acc;
-                for a in 0..3 {
-                    fc[i][a] = f_acc[a];
-                }
+                fc[i] = f_acc;
             }
         });
     (pot, field)
 }
 
 /// Potential at arbitrary evaluation points (not necessarily particles).
-pub fn potentials_at(
-    targets: &[[f64; 3]],
-    positions: &[[f64; 3]],
-    charges: &[f64],
-) -> Vec<f64> {
+pub fn potentials_at(targets: &[[f64; 3]], positions: &[[f64; 3]], charges: &[f64]) -> Vec<f64> {
     assert_eq!(positions.len(), charges.len());
     targets
         .par_iter()
@@ -149,9 +140,14 @@ mod tests {
         ];
         let q = [1.0, -2.0, 0.5, 1.5];
         let (_, f) = potentials_and_fields(&pos, &q);
-        for a in 0..3 {
-            let total: f64 = (0..4).map(|i| q[i] * f[i][a]).sum();
-            assert!(total.abs() < 1e-12, "axis {}: {}", a, total);
+        let mut total = [0.0f64; 3];
+        for (qi, fi) in q.iter().zip(&f) {
+            for (ta, fa) in total.iter_mut().zip(fi) {
+                *ta += qi * fa;
+            }
+        }
+        for (a, t) in total.iter().enumerate() {
+            assert!(t.abs() < 1e-12, "axis {}: {}", a, t);
         }
     }
 

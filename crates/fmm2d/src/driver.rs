@@ -2,9 +2,7 @@
 
 use crate::element::{element_len, inner_row, outer_from_particles, Circle};
 use crate::translations::{apply_t, t2_index, LevelSet};
-use crate::tree2d::{
-    interactive_field_offsets_2d, near_field_offsets_2d, BoxCoord2d,
-};
+use crate::tree2d::{interactive_field_offsets_2d, near_field_offsets_2d, BoxCoord2d};
 use rayon::prelude::*;
 
 /// Configuration of the 2-D method.
@@ -78,7 +76,11 @@ impl Fmm2d {
                 LevelSet::build(&circle, cfg.m, cfg.outer_ratio, cfg.inner_ratio, side)
             })
             .collect();
-        Ok(Fmm2d { cfg, circle, levels })
+        Ok(Fmm2d {
+            cfg,
+            circle,
+            levels,
+        })
     }
 
     pub fn k(&self) -> usize {

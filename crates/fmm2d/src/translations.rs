@@ -30,10 +30,7 @@ pub fn t2_index(o: [i32; 2]) -> usize {
 }
 
 fn quad_center_offset(quad: usize) -> [f64; 2] {
-    [
-        (quad & 1) as f64 - 0.5,
-        ((quad >> 1) & 1) as f64 - 0.5,
-    ]
+    [(quad & 1) as f64 - 0.5, ((quad >> 1) & 1) as f64 - 0.5]
 }
 
 impl LevelSet {
@@ -155,7 +152,10 @@ mod tests {
         let pos = [[src_c[0] + 0.3, src_c[1] - 0.1]];
         let q = [1.0];
         let e = ls.e;
-        let rel: Vec<[f64; 2]> = pos.iter().map(|p| [p[0] - src_c[0], p[1] - src_c[1]]).collect();
+        let rel: Vec<[f64; 2]> = pos
+            .iter()
+            .map(|p| [p[0] - src_c[0], p[1] - src_c[1]])
+            .collect();
         let mut src = vec![0.0; e];
         outer_from_particles(&circle, 1.4, &rel, &q, &mut src);
         let mut inner = vec![0.0; e];

@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn interactive_field_is_75_for_two_separation() {
         for q in 0..4 {
-            let quad = [(q & 1) as i32, ((q >> 1) & 1) as i32];
+            let quad = [q & 1, (q >> 1) & 1];
             let f = interactive_field_offsets_2d(quad, 2);
             assert_eq!(f.len(), 100 - 25, "quad {:?}", quad);
             let set: HashSet<_> = f.iter().collect();
@@ -151,7 +151,11 @@ mod tests {
 
     #[test]
     fn parent_child_round_trip_2d() {
-        let c = BoxCoord2d { level: 4, x: 11, y: 6 };
+        let c = BoxCoord2d {
+            level: 4,
+            x: 11,
+            y: 6,
+        };
         let p = c.parent().unwrap();
         assert_eq!(p.child(c.quadrant()), c);
         assert_eq!(BoxCoord2d::from_index(4, c.index()), c);
@@ -159,7 +163,11 @@ mod tests {
 
     #[test]
     fn offsets_clip_at_boundary() {
-        let c = BoxCoord2d { level: 2, x: 0, y: 3 };
+        let c = BoxCoord2d {
+            level: 2,
+            x: 0,
+            y: 3,
+        };
         assert_eq!(c.offset([-1, 0]), None);
         assert_eq!(c.offset([0, 1]), None);
         assert!(c.offset([1, -1]).is_some());

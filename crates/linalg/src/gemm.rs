@@ -1,83 +1,31 @@
-//! GEMV / GEMM kernels.
+//! GEMV / GEMM entry points.
 //!
 //! The hot path of the hierarchy traversal is `C += A * B` where `A` is a
 //! `K × K` translation matrix and `B` a gathered `K × n` panel of potential
 //! vectors (K is 12–120, n is the number of aggregated boxes, often
-//! hundreds to thousands). The kernel below uses the classic i-k-j loop
-//! order so the innermost loop runs unit-stride over a row of `B` and a row
-//! of `C`, which LLVM auto-vectorizes, and blocks over `k` to keep the
-//! panel rows in cache.
+//! hundreds to thousands). These wrappers dispatch to the microkernels in
+//! [`crate::kernel`] — an explicit AVX2+FMA register-tiled kernel when the
+//! CPU supports it, the blocked scalar loop otherwise.
+
+use crate::kernel::{gemm_acc_with, gemv_with, Kernel};
 
 /// `y = A * x` where `A` is row-major `m × k`.
 #[inline]
 pub fn gemv(m: usize, k: usize, a: &[f64], x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(x.len(), k);
-    debug_assert_eq!(y.len(), m);
-    for (i, yi) in y.iter_mut().enumerate() {
-        let row = &a[i * k..(i + 1) * k];
-        let mut acc = 0.0;
-        for (aij, xj) in row.iter().zip(x) {
-            acc += aij * xj;
-        }
-        *yi = acc;
-    }
+    gemv_with(Kernel::detect(), m, k, a, x, y, false);
 }
 
 /// `y += A * x` where `A` is row-major `m × k`.
 #[inline]
 pub fn gemv_acc(m: usize, k: usize, a: &[f64], x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(x.len(), k);
-    debug_assert_eq!(y.len(), m);
-    for (i, yi) in y.iter_mut().enumerate() {
-        let row = &a[i * k..(i + 1) * k];
-        let mut acc = 0.0;
-        for (aij, xj) in row.iter().zip(x) {
-            acc += aij * xj;
-        }
-        *yi += acc;
-    }
+    gemv_with(Kernel::detect(), m, k, a, x, y, true);
 }
 
 /// `C += A * B`, all row-major; `A` is `m × k`, `B` is `k × n`, `C` is `m × n`.
 ///
-/// i-k-j loop order: the inner loop is an axpy over contiguous rows, which
-/// vectorizes. This is the workhorse behind aggregated translations.
+/// This is the workhorse behind aggregated translations.
 pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
-    assert_eq!(a.len(), m * k, "A shape mismatch");
-    assert_eq!(b.len(), k * n, "B shape mismatch");
-    assert_eq!(c.len(), m * n, "C shape mismatch");
-    // Block over k so that the `KB` rows of B being streamed stay in L1/L2.
-    const KB: usize = 64;
-    let mut k0 = 0;
-    while k0 < k {
-        let kb = KB.min(k - k0);
-        for i in 0..m {
-            let arow = &a[i * k + k0..i * k + k0 + kb];
-            let crow = &mut c[i * n..(i + 1) * n];
-            // Unroll pairs of rank-1 updates to expose more ILP.
-            let mut p = 0;
-            while p + 1 < kb {
-                let a0 = arow[p];
-                let a1 = arow[p + 1];
-                let b0 = &b[(k0 + p) * n..(k0 + p) * n + n];
-                let b1 = &b[(k0 + p + 1) * n..(k0 + p + 1) * n + n];
-                for ((cj, b0j), b1j) in crow.iter_mut().zip(b0).zip(b1) {
-                    *cj += a0 * b0j + a1 * b1j;
-                }
-                p += 2;
-            }
-            if p < kb {
-                let a0 = arow[p];
-                let b0 = &b[(k0 + p) * n..(k0 + p) * n + n];
-                for (cj, b0j) in crow.iter_mut().zip(b0) {
-                    *cj += a0 * b0j;
-                }
-            }
-        }
-        k0 += kb;
-    }
+    gemm_acc_with(Kernel::detect(), m, k, n, a, b, c);
 }
 
 /// Reference triple-loop GEMM (`C += A * B`) used to validate `gemm_acc`.
@@ -105,7 +53,9 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..len)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
             })
             .collect()
@@ -132,7 +82,13 @@ mod tests {
 
     #[test]
     fn gemm_matches_naive_various_shapes() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (12, 12, 8), (72, 72, 4), (13, 129, 33)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (12, 12, 8),
+            (72, 72, 4),
+            (13, 129, 33),
+        ] {
             let a = pseudo(1 + m as u64, m * k);
             let b = pseudo(2 + n as u64, k * n);
             let mut c1 = pseudo(3, m * n);

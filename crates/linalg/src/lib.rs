@@ -17,11 +17,13 @@
 //! hot loops.
 
 pub mod gemm;
+pub mod kernel;
 pub mod matrix;
 pub mod multi;
 pub mod perm;
 
 pub use gemm::{gemm_acc, gemm_naive, gemv, gemv_acc};
+pub use kernel::{gemm_acc_scalar, gemm_acc_with, gemv_with, Kernel};
 pub use matrix::Matrix;
 pub use multi::{multi_gemm_acc, MultiGemmPlan};
 pub use perm::Permutation;

@@ -39,7 +39,11 @@ impl MultiGemmPlan {
 
     /// Add an instance with the given operand offsets.
     pub fn push(&mut self, a_off: usize, b_off: usize, c_off: usize) {
-        self.instances.push(Instance { a_off, b_off, c_off });
+        self.instances.push(Instance {
+            a_off,
+            b_off,
+            c_off,
+        });
     }
 
     /// A plan with regular strides: instance `i` uses offsets
@@ -91,7 +95,14 @@ mod tests {
     fn strided_plan_offsets() {
         let plan = MultiGemmPlan::strided(2, 2, 3, 4, 0, 6, 6);
         assert_eq!(plan.instances.len(), 4);
-        assert_eq!(plan.instances[2], Instance { a_off: 0, b_off: 12, c_off: 12 });
+        assert_eq!(
+            plan.instances[2],
+            Instance {
+                a_off: 0,
+                b_off: 12,
+                c_off: 12
+            }
+        );
     }
 
     #[test]
@@ -133,7 +144,7 @@ mod tests {
         plan.push(0, k * n, m * n);
         multi_gemm_acc(&plan, &a, &b, &mut c);
         // Second instance: rows of B scaled by diag(1,2,3).
-        assert_eq!(c[m * n + 0], 6.0); // 1 * b[6]
+        assert_eq!(c[m * n], 6.0); // 1 * b[6]
         assert_eq!(c[m * n + 2], 2.0 * 8.0);
         assert_eq!(c[m * n + 4], 3.0 * 10.0);
     }

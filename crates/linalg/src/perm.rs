@@ -115,21 +115,21 @@ pub fn find_row_permutation(a: &Matrix, b: &Matrix, tol: f64) -> Option<Permutat
     let n = a.rows();
     let mut image = vec![usize::MAX; n];
     let mut used = vec![false; n];
-    for i in 0..n {
+    for (i, im) in image.iter_mut().enumerate() {
         // Sorted row signature comparison: row i of a must equal some row of b
         // up to a column permutation, so compare multisets of entries.
         let mut sa: Vec<f64> = a.row(i).to_vec();
         sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
         let mut found = false;
-        for j in 0..n {
-            if used[j] {
+        for (j, uj) in used.iter_mut().enumerate() {
+            if *uj {
                 continue;
             }
             let mut sb: Vec<f64> = b.row(j).to_vec();
             sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
             if sa.iter().zip(&sb).all(|(x, y)| (x - y).abs() <= tol) {
-                image[i] = j;
-                used[j] = true;
+                *im = j;
+                *uj = true;
                 found = true;
                 break;
             }

@@ -165,13 +165,13 @@ pub fn fetch_direct_unaliased(grid: &DistGrid, offsets: &[[i32; 3]]) -> GhostRes
 /// Count the motion of a multi-axis CSHIFT without performing it.
 fn count_cshift3(layout: BlockLayout, off: [i32; 3], c: &mut Counters) {
     let total = layout.total_boxes() as u64;
-    for axis in 0..3 {
-        if off[axis] == 0 {
+    for (axis, &off_a) in off.iter().enumerate() {
+        if off_a == 0 {
             continue;
         }
         c.cshifts += 1;
         let n = layout.global[axis];
-        let o = (off[axis].rem_euclid(n as i32)) as usize;
+        let o = (off_a.rem_euclid(n as i32)) as usize;
         let s = layout.subgrid[axis];
         let eff = o.min(n - o).min(s);
         let crossing = if layout.vu.dims[axis] == 1 {
@@ -201,10 +201,11 @@ pub fn fetch_linearized_unaliased(grid: &DistGrid, offsets: &[[i32; 3]]) -> Ghos
     // Move to the cube's corner, then snake: x fastest, turning in y,
     // then z — every unit step is one CSHIFT of the whole array.
     let mut cur = [0i32; 3];
-    let step = |work: &mut DistGrid, axis: usize, dir: i32, cur: &mut [i32; 3], c: &mut Counters| {
-        work.cshift(axis, dir as i64, c);
-        cur[axis] += dir;
-    };
+    let step =
+        |work: &mut DistGrid, axis: usize, dir: i32, cur: &mut [i32; 3], c: &mut Counters| {
+            work.cshift(axis, dir as i64, c);
+            cur[axis] += dir;
+        };
     for a in 0..3 {
         while cur[a] > lo[a] {
             step(&mut work, a, -1, &mut cur, &mut counters);

@@ -31,7 +31,11 @@ impl DistGrid {
     }
 
     /// Build with `f(global_coord, component)`.
-    pub fn from_fn(layout: BlockLayout, k: usize, mut f: impl FnMut([usize; 3], usize) -> f64) -> Self {
+    pub fn from_fn(
+        layout: BlockLayout,
+        k: usize,
+        mut f: impl FnMut([usize; 3], usize) -> f64,
+    ) -> Self {
         let mut g = DistGrid::new(layout, k);
         for z in 0..layout.global[2] {
             for y in 0..layout.global[1] {
@@ -108,9 +112,9 @@ impl DistGrid {
     /// Shift by a 3-D offset (a sequence of per-axis CSHIFTs, as the CM
     /// runtime implements multi-axis shifts).
     pub fn cshift3(&mut self, offset: [i64; 3], counters: &mut Counters) {
-        for axis in 0..3 {
-            if offset[axis] != 0 {
-                self.cshift(axis, offset[axis], counters);
+        for (axis, &off_a) in offset.iter().enumerate() {
+            if off_a != 0 {
+                self.cshift(axis, off_a, counters);
             }
         }
     }

@@ -64,9 +64,12 @@ impl BlockLayout {
     pub fn new(global: [usize; 3], vu: VuGrid) -> Self {
         let mut subgrid = [0; 3];
         for a in 0..3 {
-            assert!(global[a].is_power_of_two(), "global extents must be powers of two");
             assert!(
-                global[a] % vu.dims[a] == 0 && global[a] >= vu.dims[a],
+                global[a].is_power_of_two(),
+                "global extents must be powers of two"
+            );
+            assert!(
+                global[a].is_multiple_of(vu.dims[a]) && global[a] >= vu.dims[a],
                 "axis {}: {} boxes over {} VUs",
                 a,
                 global[a],
@@ -74,7 +77,11 @@ impl BlockLayout {
             );
             subgrid[a] = global[a] / vu.dims[a];
         }
-        BlockLayout { global, vu, subgrid }
+        BlockLayout {
+            global,
+            vu,
+            subgrid,
+        }
     }
 
     /// Number of boxes in one VU's subgrid.

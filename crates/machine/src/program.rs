@@ -136,11 +136,11 @@ impl ProgramBudget {
 fn subgrid_extent(l: u32, vu: &VuGrid) -> Option<[usize; 3]> {
     let n = 1usize << l;
     let mut s = [0; 3];
-    for a in 0..3 {
-        if n < vu.dims[a] {
+    for (sa, &d) in s.iter_mut().zip(&vu.dims) {
+        if n < d {
             return None;
         }
-        s[a] = n / vu.dims[a];
+        *sa = n / d;
     }
     Some(s)
 }
@@ -210,8 +210,8 @@ pub fn communication_budget(cfg: &ProgramConfig) -> ProgramBudget {
                 // Forwarding halo fetch: exact halo volume, 6 CSHIFTs,
                 // plus local copies for the buffer and the T2 gathers.
                 let g = GHOST_DEPTH;
-                let halo = ((s[0] + 2 * g) * (s[1] + 2 * g) * (s[2] + 2 * g)
-                    - s[0] * s[1] * s[2]) as u64;
+                let halo =
+                    ((s[0] + 2 * g) * (s[1] + 2 * g) * (s[2] + 2 * g) - s[0] * s[1] * s[2]) as u64;
                 down_comm.cshifts += 6;
                 down_comm.off_vu_boxes += halo * p;
                 down_comm.local_box_moves += (halo + boxes / p * translations_per_box) * p;
@@ -248,8 +248,8 @@ pub fn communication_budget(cfg: &ProgramConfig) -> ProgramBudget {
         let particle_box_factor = cfg.particles_per_box * 4.0 / cfg.k as f64;
         near_comm.cshifts += 62;
         near_comm.off_vu_boxes += (crossing_boxes as f64 * particle_box_factor) as u64;
-        near_comm.local_box_moves += ((62 * leaf_boxes - crossing_boxes) as f64
-            * particle_box_factor) as u64;
+        near_comm.local_box_moves +=
+            ((62 * leaf_boxes - crossing_boxes) as f64 * particle_box_factor) as u64;
     }
     phases.push(PhaseBudget {
         name: "near",

@@ -110,7 +110,15 @@ mod tests {
         // replicate is up to an order of magnitude faster.
         let c = cm5e();
         for (k, m) in [(12, 3), (32, 4), (72, 8)] {
-            let red = precompute_cost(1331, k, m, 1024, ReplicationStrategy::ComputeAllRedundant, 0, &c);
+            let red = precompute_cost(
+                1331,
+                k,
+                m,
+                1024,
+                ReplicationStrategy::ComputeAllRedundant,
+                0,
+                &c,
+            );
             let rep = precompute_cost(
                 1331,
                 k,
@@ -187,7 +195,15 @@ mod tests {
     #[test]
     fn compute_all_has_no_replication() {
         let c = cm5e();
-        let r = precompute_cost(100, 12, 3, 64, ReplicationStrategy::ComputeAllRedundant, 0, &c);
+        let r = precompute_cost(
+            100,
+            12,
+            3,
+            64,
+            ReplicationStrategy::ComputeAllRedundant,
+            0,
+            &c,
+        );
         assert_eq!(r.replicate_s, 0.0);
         assert!(r.compute_s > 0.0);
     }

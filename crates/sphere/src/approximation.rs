@@ -222,11 +222,7 @@ impl OuterApprox {
                     .sum()
             })
             .collect();
-        OuterApprox {
-            center,
-            radius,
-            g,
-        }
+        OuterApprox { center, radius, g }
     }
 
     /// Evaluate the approximation at an absolute point `x` outside the
@@ -288,11 +284,7 @@ impl InnerApprox {
                     .sum()
             })
             .collect();
-        InnerApprox {
-            center,
-            radius,
-            g,
-        }
+        InnerApprox { center, radius, g }
     }
 
     /// Evaluate the approximation at an absolute point `x` inside the
@@ -329,8 +321,7 @@ mod tests {
         // g = q/a on the whole sphere; only n = 0 survives and gives q/r
         // exactly for any rule and any M ≥ 0.
         let rule = SphereRule::icosahedron();
-        let outer =
-            OuterApprox::from_particles(&rule, [0.0; 3], 1.0, &[[0.0; 3]], &[2.5]);
+        let outer = OuterApprox::from_particles(&rule, [0.0; 3], 1.0, &[[0.0; 3]], &[2.5]);
         for &r in &[1.5, 2.0, 10.0] {
             let v = outer.evaluate(&rule, 0, [r, 0.0, 0.0]);
             assert!((v - 2.5 / r).abs() < 1e-12, "r={} v={}", r, v);
@@ -362,7 +353,12 @@ mod tests {
         let x = [8.0, 0.0, 0.0];
         let exact = q / norm(sub(x, p));
         let err14 = (outer14.evaluate(&rule14, 7, x) - exact).abs() / exact;
-        assert!(err14 < last / 50.0, "D=14 floor {} not ≪ D=5 floor {}", err14, last);
+        assert!(
+            err14 < last / 50.0,
+            "D=14 floor {} not ≪ D=5 floor {}",
+            err14,
+            last
+        );
     }
 
     #[test]
@@ -370,14 +366,8 @@ mod tests {
         let rule = SphereRule::product(8);
         let sources = [[5.0, 1.0, 0.0], [-4.0, 2.0, 3.0]];
         let charges = [1.0, -2.0];
-        let inner =
-            InnerApprox::from_particles(&rule, [0.0; 3], 1.0, &sources, &charges);
-        let mean: f64 = inner
-            .g
-            .iter()
-            .zip(&rule.weights)
-            .map(|(g, w)| g * w)
-            .sum();
+        let inner = InnerApprox::from_particles(&rule, [0.0; 3], 1.0, &sources, &charges);
+        let mean: f64 = inner.g.iter().zip(&rule.weights).map(|(g, w)| g * w).sum();
         let v = inner.evaluate(&rule, 6, [0.0; 3]);
         assert!((v - mean).abs() < 1e-13);
         // And the spherical mean of a harmonic function equals its value at
@@ -442,13 +432,7 @@ mod tests {
     #[test]
     fn inner_gradient_matches_finite_difference() {
         let rule = SphereRule::product(8);
-        let inner = InnerApprox::from_particles(
-            &rule,
-            [0.0; 3],
-            1.0,
-            &[[5.0, 2.0, -1.0]],
-            &[3.0],
-        );
+        let inner = InnerApprox::from_particles(&rule, [0.0; 3], 1.0, &[[5.0, 2.0, -1.0]], &[3.0]);
         let m = 5;
         for x in [[0.3, -0.2, 0.1], [0.0, 0.0, 0.0]] {
             let g = inner.evaluate_grad(&rule, m, x);
@@ -458,8 +442,7 @@ mod tests {
                 xp[d] += h;
                 let mut xm = x;
                 xm[d] -= h;
-                let fd =
-                    (inner.evaluate(&rule, m, xp) - inner.evaluate(&rule, m, xm)) / (2.0 * h);
+                let fd = (inner.evaluate(&rule, m, xp) - inner.evaluate(&rule, m, xm)) / (2.0 * h);
                 assert!(
                     (fd - g[d]).abs() < 1e-5,
                     "x={:?} d={} fd={} an={}",

@@ -20,8 +20,7 @@ pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
     let mut dp = vec![0.0; n + 1];
     for i in 0..n {
         // Initial guess (Abramowitz & Stegun 25.4.38-style).
-        let mut x =
-            (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
         for _ in 0..100 {
             legendre_all_with_deriv(n, x, &mut p, &mut dp);
             let dx = p[n] / dp[n];
@@ -66,7 +65,11 @@ mod tests {
         for n in 1..12usize {
             for d in 0..=(2 * n - 1) {
                 let approx = integrate(n, |x| x.powi(d as i32));
-                let exact = if d % 2 == 1 { 0.0 } else { 2.0 / (d as f64 + 1.0) };
+                let exact = if d % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (d as f64 + 1.0)
+                };
                 assert!(
                     (approx - exact).abs() < 1e-12,
                     "n={} d={} approx={} exact={}",

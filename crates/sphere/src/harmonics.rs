@@ -82,7 +82,10 @@ pub fn regular_solid_harmonic(l: usize, m: i64, x: Vec3) -> f64 {
 /// origin, decaying at infinity. Panics at the origin.
 pub fn irregular_solid_harmonic(l: usize, m: i64, x: Vec3) -> f64 {
     let r = crate::norm(x);
-    assert!(r > 0.0, "irregular solid harmonic is singular at the origin");
+    assert!(
+        r > 0.0,
+        "irregular solid harmonic is singular at the origin"
+    );
     let u = crate::scale(x, 1.0 / r);
     r.powi(-(l as i32) - 1) * spherical_harmonic_real(l, m, u)
 }
@@ -95,9 +98,7 @@ mod tests {
     fn assoc_legendre_m0_matches_legendre() {
         for l in 0..8 {
             for &t in &[-0.9, -0.3, 0.2, 0.8] {
-                assert!(
-                    (assoc_legendre(l, 0, t) - crate::legendre::legendre(l, t)).abs() < 1e-12
-                );
+                assert!((assoc_legendre(l, 0, t) - crate::legendre::legendre(l, t)).abs() < 1e-12);
             }
         }
     }

@@ -86,7 +86,7 @@ mod tests {
     fn matches_closed_forms() {
         for &t in &[-1.0, -0.7, -0.3, 0.0, 0.25, 0.9, 1.0] {
             let cf = closed_forms(t);
-            for n in 0..6 {
+            for (n, _) in cf.iter().enumerate() {
                 assert!(
                     (legendre(n, t) - cf[n]).abs() < 1e-13,
                     "P_{}({}) = {} vs {}",
@@ -104,8 +104,8 @@ mod tests {
         let t = 0.437;
         let mut out = vec![0.0; 11];
         legendre_all(10, t, &mut out);
-        for n in 0..=10 {
-            assert!((out[n] - legendre(n, t)).abs() < 1e-13);
+        for (n, o) in out.iter().enumerate() {
+            assert!((o - legendre(n, t)).abs() < 1e-13);
         }
     }
 

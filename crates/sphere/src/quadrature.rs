@@ -65,12 +65,7 @@ impl SphereRule {
     /// The regular tetrahedron rule: K = 4, degree 2.
     pub fn tetrahedron() -> Self {
         let s = 1.0 / 3f64.sqrt();
-        let points = vec![
-            [s, s, s],
-            [s, -s, -s],
-            [-s, s, -s],
-            [-s, -s, s],
-        ];
+        let points = vec![[s, s, s], [s, -s, -s], [-s, s, -s], [-s, -s, s]];
         let weights = vec![0.25; 4];
         SphereRule {
             kind: SphereRuleKind::Tetrahedron,

@@ -70,7 +70,12 @@ pub struct BoxCoord {
 
 impl BoxCoord {
     /// The root box.
-    pub const ROOT: BoxCoord = BoxCoord { level: 0, x: 0, y: 0, z: 0 };
+    pub const ROOT: BoxCoord = BoxCoord {
+        level: 0,
+        x: 0,
+        y: 0,
+        z: 0,
+    };
 
     /// Row-major index within the level (x fastest).
     #[inline]
@@ -120,7 +125,11 @@ impl BoxCoord {
     /// Octant as a 0/1 triple `(ox, oy, oz)`.
     #[inline]
     pub fn octant_coords(&self) -> [i32; 3] {
-        [(self.x & 1) as i32, (self.y & 1) as i32, (self.z & 1) as i32]
+        [
+            (self.x & 1) as i32,
+            (self.y & 1) as i32,
+            (self.z & 1) as i32,
+        ]
     }
 
     /// The eight children, ordered by octant index.
@@ -197,16 +206,34 @@ mod tests {
 
     #[test]
     fn parent_child_round_trip() {
-        let c = BoxCoord { level: 4, x: 11, y: 6, z: 13 };
+        let c = BoxCoord {
+            level: 4,
+            x: 11,
+            y: 6,
+            z: 13,
+        };
         let p = c.parent().unwrap();
-        assert_eq!(p, BoxCoord { level: 3, x: 5, y: 3, z: 6 });
+        assert_eq!(
+            p,
+            BoxCoord {
+                level: 3,
+                x: 5,
+                y: 3,
+                z: 6
+            }
+        );
         let back = p.child(c.octant());
         assert_eq!(back, c);
     }
 
     #[test]
     fn children_have_distinct_octants() {
-        let p = BoxCoord { level: 2, x: 1, y: 3, z: 2 };
+        let p = BoxCoord {
+            level: 2,
+            x: 1,
+            y: 3,
+            z: 2,
+        };
         let kids = p.children();
         for (oct, k) in kids.iter().enumerate() {
             assert_eq!(k.octant(), oct);
@@ -221,12 +248,22 @@ mod tests {
 
     #[test]
     fn offset_respects_bounds() {
-        let c = BoxCoord { level: 2, x: 0, y: 3, z: 1 };
+        let c = BoxCoord {
+            level: 2,
+            x: 0,
+            y: 3,
+            z: 1,
+        };
         assert_eq!(c.offset([-1, 0, 0]), None);
         assert_eq!(c.offset([0, 1, 0]), None); // y = 4 out of range at level 2
         assert_eq!(
             c.offset([1, -1, 0]),
-            Some(BoxCoord { level: 2, x: 1, y: 2, z: 1 })
+            Some(BoxCoord {
+                level: 2,
+                x: 1,
+                y: 2,
+                z: 1
+            })
         );
     }
 

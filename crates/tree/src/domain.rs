@@ -15,7 +15,10 @@ pub struct Domain {
 impl Domain {
     /// Unit cube [0,1)³.
     pub fn unit() -> Self {
-        Domain { min: [0.0; 3], size: 1.0 }
+        Domain {
+            min: [0.0; 3],
+            size: 1.0,
+        }
     }
 
     /// The smallest axis-aligned cube containing all points, expanded by a
@@ -31,7 +34,11 @@ impl Domain {
             }
         }
         let size = (0..3).map(|d| hi[d] - lo[d]).fold(0.0, f64::max);
-        let size = if size > 0.0 { size * (1.0 + 1e-12) } else { 1.0 };
+        let size = if size > 0.0 {
+            size * (1.0 + 1e-12)
+        } else {
+            1.0
+        };
         // Centre the cube on the data.
         let mut min = [0.0; 3];
         for d in 0..3 {
@@ -84,14 +91,22 @@ mod tests {
     #[test]
     fn unit_domain_centres() {
         let d = Domain::unit();
-        let b = BoxCoord { level: 1, x: 1, y: 0, z: 1 };
+        let b = BoxCoord {
+            level: 1,
+            x: 1,
+            y: 0,
+            z: 1,
+        };
         assert_eq!(d.box_center(b), [0.75, 0.25, 0.75]);
         assert_eq!(d.box_side(3), 0.125);
     }
 
     #[test]
     fn locate_is_inverse_of_center() {
-        let d = Domain { min: [-2.0, 1.0, 0.5], size: 4.0 };
+        let d = Domain {
+            min: [-2.0, 1.0, 0.5],
+            size: 4.0,
+        };
         for level in 0..5 {
             let n = 1u32 << level;
             for &(x, y, z) in &[(0, 0, 0), (n - 1, n / 2, 0), (n - 1, n - 1, n - 1)] {
@@ -115,9 +130,9 @@ mod tests {
         let pts = vec![[0.1, 0.2, 0.3], [0.9, -0.5, 0.0], [0.4, 0.4, 1.7]];
         let d = Domain::bounding(&pts);
         for p in &pts {
-            for dim in 0..3 {
-                assert!(p[dim] >= d.min[dim] - 1e-9);
-                assert!(p[dim] <= d.min[dim] + d.size + 1e-9);
+            for (pa, &mina) in p.iter().zip(&d.min) {
+                assert!(*pa >= mina - 1e-9);
+                assert!(*pa <= mina + d.size + 1e-9);
             }
         }
     }

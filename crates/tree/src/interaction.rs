@@ -214,7 +214,7 @@ mod tests {
     #[test]
     fn interactive_field_size_is_875_for_two_separation() {
         for oct in 0..8 {
-            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            let o = [oct & 1, (oct >> 1) & 1, (oct >> 2) & 1];
             let f = interactive_field_offsets(o, Separation::Two);
             assert_eq!(f.len(), 875, "octant {:?}", o);
             // No duplicates.
@@ -238,7 +238,7 @@ mod tests {
         // (sign convention: our octant o gives [−4−o, 5−o]... verify both
         // bounds concretely for two-separation).
         for oct in 0..8 {
-            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            let o = [oct & 1, (oct >> 1) & 1, (oct >> 2) & 1];
             let f = interactive_field_offsets(o, Separation::Two);
             for axis in 0..3 {
                 let lo = f.iter().map(|v| v[axis]).min().unwrap();
@@ -256,7 +256,7 @@ mod tests {
         // And it is exactly the union over octants.
         let mut seen = HashSet::new();
         for oct in 0..8 {
-            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            let o = [oct & 1, (oct >> 1) & 1, (oct >> 2) & 1];
             seen.extend(interactive_field_offsets(o, Separation::Two));
         }
         let u_set: HashSet<_> = u.into_iter().collect();
@@ -268,9 +268,8 @@ mod tests {
         let sep = Separation::Two;
         let near: HashSet<[i32; 3]> = near_field_offsets(sep).into_iter().collect();
         for oct in 0..8 {
-            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
-            let inter: HashSet<[i32; 3]> =
-                interactive_field_offsets(o, sep).into_iter().collect();
+            let o = [oct & 1, (oct >> 1) & 1, (oct >> 2) & 1];
+            let inter: HashSet<[i32; 3]> = interactive_field_offsets(o, sep).into_iter().collect();
             assert!(inter.is_disjoint(&near));
             assert!(!inter.contains(&[0, 0, 0]));
             // near ∪ interactive ∪ {self} covers all children of the
@@ -283,7 +282,7 @@ mod tests {
     fn supernode_decomposition_gives_189_translations() {
         // The paper's headline: supernodes reduce N_int from 875 to 189.
         for oct in 0..8 {
-            let o = [(oct & 1) as i32, ((oct >> 1) & 1) as i32, ((oct >> 2) & 1) as i32];
+            let o = [oct & 1, (oct >> 1) & 1, (oct >> 2) & 1];
             let sd = supernode_decomposition(o, Separation::Two);
             assert_eq!(sd.covered_boxes(), 875, "octant {:?}", o);
             assert_eq!(sd.translation_count(), 189, "octant {:?}", o);
@@ -296,8 +295,9 @@ mod tests {
     fn supernode_children_are_in_interactive_field() {
         let o = [1, 0, 1];
         let sd = supernode_decomposition(o, Separation::Two);
-        let inter: HashSet<[i32; 3]> =
-            interactive_field_offsets(o, Separation::Two).into_iter().collect();
+        let inter: HashSet<[i32; 3]> = interactive_field_offsets(o, Separation::Two)
+            .into_iter()
+            .collect();
         for c in &sd.children {
             assert!(inter.contains(c));
         }
@@ -312,15 +312,15 @@ mod tests {
                     2 * p.parent_offset[2] + ((e >> 2) & 1) - o[2],
                 ];
                 assert!(inter.contains(&c));
-                for a in 0..3 {
-                    sum[a] += 2 * c[a]; // doubled child-centre offset
+                for (sa, &ca) in sum.iter_mut().zip(&c) {
+                    *sa += 2 * ca; // doubled child-centre offset
                 }
             }
-            for a in 0..3 {
+            for (sa, pa) in sum.iter().zip(&p.center_offset_half) {
                 // The mean of the doubled child-centre offsets is the
                 // doubled parent-centre offset: (32P + 8 − 16o)/8 = 4P −
                 // 2o + 1.
-                assert_eq!(sum[a], 8 * p.center_offset_half[a]);
+                assert_eq!(*sa, 8 * pa);
             }
         }
     }

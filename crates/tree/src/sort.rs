@@ -38,13 +38,19 @@ impl CoordinateSortKey {
         let mut vu_bits = [0u32; 3];
         let mut local_bits = [0u32; 3];
         for a in 0..3 {
-            assert!(vu_grid[a].is_power_of_two(), "VU grid must be powers of two");
+            assert!(
+                vu_grid[a].is_power_of_two(),
+                "VU grid must be powers of two"
+            );
             let vb = vu_grid[a].trailing_zeros();
             assert!(vb <= level, "more VUs than boxes along axis {}", a);
             vu_bits[a] = vb;
             local_bits[a] = level - vb;
         }
-        CoordinateSortKey { vu_bits, local_bits }
+        CoordinateSortKey {
+            vu_bits,
+            local_bits,
+        }
     }
 
     /// The sort key of a box: VU-address bits (z,y,x) concatenated above
@@ -196,8 +202,18 @@ mod tests {
         // have contiguous keys.
         let layout = CoordinateSortKey::for_vu_grid(3, [2, 2, 2]);
         assert_eq!(layout.vu_count(), 8);
-        let b_lo = BoxCoord { level: 3, x: 3, y: 3, z: 3 }; // VU (0,0,0)
-        let b_hi = BoxCoord { level: 3, x: 4, y: 0, z: 0 }; // VU (1,0,0)
+        let b_lo = BoxCoord {
+            level: 3,
+            x: 3,
+            y: 3,
+            z: 3,
+        }; // VU (0,0,0)
+        let b_hi = BoxCoord {
+            level: 3,
+            x: 4,
+            y: 0,
+            z: 0,
+        }; // VU (1,0,0)
         assert!(layout.key(b_lo) < layout.key(b_hi));
         assert_eq!(layout.vu_of(b_lo), 0);
         assert_eq!(layout.vu_of(b_hi), 1);

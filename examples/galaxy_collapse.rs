@@ -56,14 +56,8 @@ fn energies(sys: &System, pot: &[f64], field_scale: f64) -> (f64, f64) {
         .zip(&sys.mass)
         .map(|(v, m)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
         .sum();
-    let potential: f64 = -0.5
-        * field_scale
-        * sys
-            .mass
-            .iter()
-            .zip(pot)
-            .map(|(m, p)| m * p)
-            .sum::<f64>();
+    let potential: f64 =
+        -0.5 * field_scale * sys.mass.iter().zip(pot).map(|(m, p)| m * p).sum::<f64>();
     (kinetic, potential)
 }
 
@@ -80,8 +74,7 @@ fn main() {
     let softening = 0.01;
 
     let mut sys = cold_sphere(n, 11);
-    let fmm = Fmm::new(FmmConfig::order(5).auto_depth(48.0).softening(softening))
-        .expect("config");
+    let fmm = Fmm::new(FmmConfig::order(5).auto_depth(48.0).softening(softening)).expect("config");
     println!(
         "cold-sphere collapse: N = {}, dt = {}, {} steps, D = 5 (K = {})",
         n,
@@ -98,23 +91,26 @@ fn main() {
         "{:>5} {:>12} {:>12} {:>12} {:>10}",
         "step", "kinetic", "potential", "total E", "|ΔE/E₀|"
     );
-    println!("{:>5} {:>12.6} {:>12.6} {:>12.6} {:>10}", 0, ke0, pe0, e0, "-");
+    println!(
+        "{:>5} {:>12.6} {:>12.6} {:>12.6} {:>10}",
+        0, ke0, pe0, e0, "-"
+    );
 
     for step in 1..=steps {
         // Kick-drift-kick leapfrog. The FMM's Φ = Σ m/r is the Coulomb
         // convention, under which like charges repel along −∇Φ = field;
         // gravity *attracts*, so the acceleration is −G · field.
-        for i in 0..n {
-            for a in 0..3 {
-                sys.vel[i][a] -= 0.5 * dt * g * field[i][a];
-                sys.pos[i][a] += dt * sys.vel[i][a];
+        for ((v, p), f) in sys.vel.iter_mut().zip(&mut sys.pos).zip(&field) {
+            for (a, &fa) in f.iter().enumerate() {
+                v[a] -= 0.5 * dt * g * fa;
+                p[a] += dt * v[a];
             }
         }
         let out = fmm.evaluate_forces(&sys.pos, &sys.mass).expect("fmm");
         field = out.fields.clone().unwrap();
-        for i in 0..n {
-            for a in 0..3 {
-                sys.vel[i][a] -= 0.5 * dt * g * field[i][a];
+        for (v, f) in sys.vel.iter_mut().zip(&field) {
+            for (va, &fa) in v.iter_mut().zip(f) {
+                *va -= 0.5 * dt * g * fa;
             }
         }
         let (ke, pe) = energies(&sys, &out.potentials, g);

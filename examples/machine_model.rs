@@ -14,7 +14,10 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(8);
-    assert!(s.is_power_of_two() && s >= 8, "subgrid must be a power of two ≥ 8");
+    assert!(
+        s.is_power_of_two() && s >= 8,
+        "subgrid must be a power of two ≥ 8"
+    );
 
     // An 8-VU machine with s³ subgrids — small enough to run the real
     // data-moving simulation quickly at any s.

@@ -19,7 +19,10 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(10_000);
-    assert!(n % 2 == 0, "need an even particle count (two species)");
+    assert!(
+        n.is_multiple_of(2),
+        "need an even particle count (two species)"
+    );
     let mut rng = SmallRng::seed_from_u64(2026);
 
     // Electrons uniform in the slab; ions slightly clumped — a crude

@@ -14,9 +14,7 @@ fn main() {
     //    particle. Here: 20,000 uniform points in the unit cube.
     let n = 20_000;
     let mut rng = SmallRng::seed_from_u64(7);
-    let positions: Vec<[f64; 3]> = (0..n)
-        .map(|_| [rng.gen(), rng.gen(), rng.gen()])
-        .collect();
+    let positions: Vec<[f64; 3]> = (0..n).map(|_| [rng.gen(), rng.gen(), rng.gen()]).collect();
     let charges = vec![1.0f64; n];
 
     // 2. Configure the method: integration order D = 5 is the paper's

@@ -56,10 +56,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let reference = direct_potentials(&positions[..n_ref], &circulation[..n_ref]);
     let t_dir_sub = t0.elapsed().as_secs_f64();
-    let fmm_sub = fmm.evaluate(
-        &positions[..n_ref].to_vec(),
-        &circulation[..n_ref].to_vec(),
-    );
+    let fmm_sub = fmm.evaluate(&positions[..n_ref], &circulation[..n_ref]);
     let num: f64 = fmm_sub
         .iter()
         .zip(&reference)

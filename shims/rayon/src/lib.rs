@@ -1,0 +1,640 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal data-parallel runtime under the `rayon` crate name. It implements
+//! exactly the surface the workspace uses — `par_iter`, `par_iter_mut`,
+//! `par_chunks_mut`, `into_par_iter` on `Range<usize>`, the `zip` /
+//! `enumerate` / `map` adapters, the `for_each` / `sum` / `reduce` /
+//! `collect` consumers, and `ThreadPoolBuilder::install` — with the same
+//! semantics (deterministic length-based splitting, order-preserving
+//! collect). Parallelism comes from `std::thread::scope`: each call splits
+//! its producer into at most `current_num_threads()` contiguous pieces and
+//! joins them. That trades rayon's work-stealing for zero dependencies; for
+//! the coarse-grained loops in this workspace the difference is noise.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing (ThreadPoolBuilder / install)
+// ---------------------------------------------------------------------------
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static LOCAL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    let local = LOCAL_THREADS.with(|c| c.get());
+    if local != 0 {
+        return local;
+    }
+    let global = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if global != 0 {
+        return global;
+    }
+    default_threads()
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads: n })
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_threads()
+        } else {
+            self.num_threads
+        };
+        GLOBAL_THREADS.store(n, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A "pool" is just a thread-count scope: `install` pins the count for
+/// parallel calls made on the current thread while the closure runs.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        LOCAL_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.threads);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Fork-join on two closures. Runs them on two scoped threads when more than
+/// one thread is configured, sequentially otherwise.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().unwrap())
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Producer: a splittable, exactly-sized source of items
+// ---------------------------------------------------------------------------
+
+/// A splittable source of items. `split_at` partitions the remaining items
+/// into `[0, index)` and `[index, len)`; `into_seq` yields them in order.
+pub trait Producer: Sized + Send {
+    type Item: Send;
+    type Seq: Iterator<Item = Self::Item>;
+
+    fn len(&self) -> usize;
+    fn split_at(self, index: usize) -> (Self, Self);
+    fn into_seq(self) -> Self::Seq;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + Send> Producer for SlicePar<'a, T> {
+    type Item = &'a T;
+    type Seq = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at(index);
+        (Self { slice: a }, Self { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter()
+    }
+}
+
+pub struct SliceParMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> Producer for SliceParMut<'a, T> {
+    type Item = &'a mut T;
+    type Seq = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.slice.split_at_mut(index);
+        (Self { slice: a }, Self { slice: b })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.iter_mut()
+    }
+}
+
+pub struct ChunksParMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksParMut<'a, T> {
+    type Item = &'a mut [T];
+    type Seq = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(mid);
+        (
+            Self {
+                slice: a,
+                chunk: self.chunk,
+            },
+            Self {
+                slice: b,
+                chunk: self.chunk,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.slice.chunks_mut(self.chunk)
+    }
+}
+
+pub struct RangePar {
+    range: Range<usize>,
+}
+
+impl Producer for RangePar {
+    type Item = usize;
+    type Seq = Range<usize>;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (
+            Self {
+                range: self.range.start..mid,
+            },
+            Self {
+                range: mid..self.range.end,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.range
+    }
+}
+
+pub struct MapPar<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> Producer for MapPar<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> R + Send + Sync + Clone,
+    R: Send,
+{
+    type Item = R;
+    type Seq = std::iter::Map<P::Seq, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Self {
+                base: a,
+                f: self.f.clone(),
+            },
+            Self { base: b, f: self.f },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+pub struct ZipPar<P, Q> {
+    a: P,
+    b: Q,
+}
+
+impl<P: Producer, Q: Producer> Producer for ZipPar<P, Q> {
+    type Item = (P::Item, Q::Item);
+    type Seq = std::iter::Zip<P::Seq, Q::Seq>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a0, a1) = self.a.split_at(index);
+        let (b0, b1) = self.b.split_at(index);
+        (Self { a: a0, b: b0 }, Self { a: a1, b: b1 })
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+pub struct EnumeratePar<P> {
+    base: P,
+    offset: usize,
+}
+
+pub struct EnumerateSeq<I> {
+    base: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateSeq<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.base.next()?;
+        let idx = self.next;
+        self.next += 1;
+        Some((idx, item))
+    }
+}
+
+impl<P: Producer> Producer for EnumeratePar<P> {
+    type Item = (usize, P::Item);
+    type Seq = EnumerateSeq<P::Seq>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (a, b) = self.base.split_at(index);
+        (
+            Self {
+                base: a,
+                offset: self.offset,
+            },
+            Self {
+                base: b,
+                offset: self.offset + index,
+            },
+        )
+    }
+
+    fn into_seq(self) -> Self::Seq {
+        EnumerateSeq {
+            base: self.base.into_seq(),
+            next: self.offset,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Par: the parallel-iterator wrapper
+// ---------------------------------------------------------------------------
+
+pub struct Par<P> {
+    producer: P,
+}
+
+/// Split `producer` into at most `current_num_threads()` near-equal pieces
+/// and run `work` over each on a scoped thread, returning per-piece results
+/// in order.
+fn run_pieces<P, W, R>(producer: P, work: W) -> Vec<R>
+where
+    P: Producer,
+    W: Fn(P) -> R + Sync,
+    R: Send,
+{
+    let len = producer.len();
+    let pieces = current_num_threads().min(len.max(1));
+    if pieces <= 1 {
+        return vec![work(producer)];
+    }
+    let mut parts = Vec::with_capacity(pieces);
+    let mut rest = producer;
+    let mut remaining = len;
+    for i in 0..pieces - 1 {
+        let take = remaining / (pieces - i);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    parts.push(rest);
+    let work = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| s.spawn(move || work(part)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+impl<P: Producer> Par<P> {
+    pub fn map<F, R>(self, f: F) -> Par<MapPar<P, F>>
+    where
+        F: Fn(P::Item) -> R + Send + Sync + Clone,
+        R: Send,
+    {
+        Par {
+            producer: MapPar {
+                base: self.producer,
+                f,
+            },
+        }
+    }
+
+    pub fn zip<Q: Producer>(self, other: Par<Q>) -> Par<ZipPar<P, Q>> {
+        Par {
+            producer: ZipPar {
+                a: self.producer,
+                b: other.producer,
+            },
+        }
+    }
+
+    pub fn enumerate(self) -> Par<EnumeratePar<P>> {
+        Par {
+            producer: EnumeratePar {
+                base: self.producer,
+                offset: 0,
+            },
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.producer.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.producer.is_empty()
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        run_pieces(self.producer, |piece| piece.into_seq().for_each(&f));
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
+    {
+        run_pieces(self.producer, |piece| piece.into_seq().sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Send + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        run_pieces(self.producer, |piece| {
+            piece.into_seq().fold(identity(), &op)
+        })
+        .into_iter()
+        .fold(identity(), &op)
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<P::Item>,
+    {
+        run_pieces(self.producer, |piece| piece.into_seq().collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (the `rayon::prelude` surface)
+// ---------------------------------------------------------------------------
+
+pub trait IntoParallelIterator {
+    type Producer: Producer;
+    fn into_par_iter(self) -> Par<Self::Producer>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Producer = RangePar;
+
+    fn into_par_iter(self) -> Par<RangePar> {
+        Par {
+            producer: RangePar { range: self },
+        }
+    }
+}
+
+impl<'a, T: Sync + Send> IntoParallelIterator for &'a [T] {
+    type Producer = SlicePar<'a, T>;
+
+    fn into_par_iter(self) -> Par<SlicePar<'a, T>> {
+        Par {
+            producer: SlicePar { slice: self },
+        }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Producer = SliceParMut<'a, T>;
+
+    fn into_par_iter(self) -> Par<SliceParMut<'a, T>> {
+        Par {
+            producer: SliceParMut { slice: self },
+        }
+    }
+}
+
+pub trait ParallelSlice<T: Sync + Send> {
+    fn par_iter(&self) -> Par<SlicePar<'_, T>>;
+}
+
+impl<T: Sync + Send> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> Par<SlicePar<'_, T>> {
+        Par {
+            producer: SlicePar { slice: self },
+        }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> Par<SliceParMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk: usize) -> Par<ChunksParMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> Par<SliceParMut<'_, T>> {
+        Par {
+            producer: SliceParMut { slice: self },
+        }
+    }
+
+    fn par_chunks_mut(&mut self, chunk: usize) -> Par<ChunksParMut<'_, T>> {
+        assert!(chunk > 0, "chunk size must be non-zero");
+        Par {
+            producer: ChunksParMut { slice: self, chunk },
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..257).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[256], 257);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate() {
+        let mut v = vec![0u64; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(t, chunk)| {
+            for c in chunk.iter_mut() {
+                *c = t as u64;
+            }
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 10) as u64);
+        }
+    }
+
+    #[test]
+    fn zip_sum_reduce() {
+        let mut a = vec![1u64; 64];
+        let mut b = vec![2u64; 64];
+        let s: u64 = a
+            .par_iter_mut()
+            .zip(b.par_iter_mut())
+            .enumerate()
+            .map(|(i, (x, y))| *x + *y + i as u64)
+            .sum();
+        assert_eq!(s, 64 * 3 + (0..64u64).sum::<u64>());
+        let m = (0..100usize)
+            .into_par_iter()
+            .map(|i| i)
+            .reduce(|| 0, |x, y| x.max(y));
+        assert_eq!(m, 99);
+    }
+
+    #[test]
+    fn pool_install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let n = pool.install(current_num_threads);
+        assert_eq!(n, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let v: Vec<f64> = Vec::new();
+        let out: Vec<f64> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let s: f64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0.0);
+    }
+}

@@ -19,6 +19,7 @@
 //!
 //! See `examples/quickstart.rs` for a five-line end-to-end use.
 
+pub use fmm2d;
 pub use fmm_bh;
 pub use fmm_core;
 pub use fmm_direct;
@@ -26,6 +27,5 @@ pub use fmm_linalg;
 pub use fmm_machine;
 pub use fmm_sphere;
 pub use fmm_tree;
-pub use fmm2d;
 
 pub use fmm_core::{DepthPolicy, EvalOutput, Fmm, FmmConfig, FmmError};

@@ -118,7 +118,11 @@ fn one_separation_works_but_less_accurately() {
     let fmm2 = Fmm::new(FmmConfig::order(5).depth(3)).unwrap();
     let out2 = fmm2.evaluate(&pts, &q).unwrap();
     let st2 = relative_error_stats(&out2.potentials, &reference);
-    assert!(st1.digits() > 1.5, "one-separation digits {:.2}", st1.digits());
+    assert!(
+        st1.digits() > 1.5,
+        "one-separation digits {:.2}",
+        st1.digits()
+    );
     assert!(
         st2.digits() > st1.digits(),
         "two-separation ({:.2}) should beat one-separation ({:.2})",
@@ -216,7 +220,12 @@ fn softening_perturbs_only_close_pairs() {
     let p2 = soft.evaluate(&pts, &q).unwrap().potentials;
     for (a, b) in p0.iter().zip(&p2) {
         assert!(b < a, "softened potential must be smaller: {} vs {}", b, a);
-        assert!(a - b < 0.3 * a, "softening changed the far field too: {} vs {}", a, b);
+        assert!(
+            a - b < 0.3 * a,
+            "softening changed the far field too: {} vs {}",
+            a,
+            b
+        );
     }
 }
 
@@ -233,12 +242,8 @@ fn softened_forces_bounded_at_coincident_particles() {
     let f = out.fields.unwrap();
     let bound = 1.0 / (eps * eps) + 1e6; // pair bound + rest of system
     for i in [0usize, 1] {
-        for a in 0..3 {
-            assert!(
-                f[i][a].abs() < bound,
-                "unbounded softened force {}",
-                f[i][a]
-            );
+        for fa in &f[i] {
+            assert!(fa.abs() < bound, "unbounded softened force {}", fa);
         }
     }
 }

@@ -7,6 +7,7 @@
 //! numerical method needs.
 
 use anderson_fmm::fmm_core::field::FieldHierarchy;
+use anderson_fmm::fmm_core::plan::TraversalPlan;
 use anderson_fmm::fmm_core::translations::TranslationSet;
 use anderson_fmm::fmm_core::traversal::{downward_pass, upward_pass, Aggregation};
 use anderson_fmm::fmm_machine::ghost::{fetch, ghost_extents, FetchStrategy, GHOST_DEPTH};
@@ -30,8 +31,9 @@ fn simulated_ghost_fetch_supports_exact_t2() {
             .wrapping_add(1442695040888963407);
         *v = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
     }
-    upward_pass(&mut fh, &ts, Aggregation::Gemm, false);
-    downward_pass(&mut fh, &ts, false, Aggregation::Gemm, false);
+    let plan = TraversalPlan::build(depth, Separation::Two);
+    upward_pass(&mut fh, &ts, &plan, Aggregation::Gemm, false);
+    downward_pass(&mut fh, &ts, &plan, false, Aggregation::Gemm, false);
 
     // Machine side: distribute the leaf level over 4×4×4 VUs (8³
     // subgrids) and fetch the ghost halo with the forwarding strategy.
@@ -64,21 +66,18 @@ fn simulated_ghost_fetch_supports_exact_t2() {
     for tz in 5..8u32 {
         for ty in 5..8u32 {
             for tx in 5..8u32 {
-                let t = BoxCoord { level: depth, x: tx, y: ty, z: tz };
-                let oct = [
-                    (tx & 1) as i32,
-                    (ty & 1) as i32,
-                    (tz & 1) as i32,
-                ];
+                let t = BoxCoord {
+                    level: depth,
+                    x: tx,
+                    y: ty,
+                    z: tz,
+                };
+                let oct = [(tx & 1) as i32, (ty & 1) as i32, (tz & 1) as i32];
                 let mut acc = vec![0.0; k];
                 let mut all_in_buffer = true;
                 for off in interactive_field_offsets(oct, Separation::Two) {
-                    let s = [
-                        tx as i32 + off[0],
-                        ty as i32 + off[1],
-                        tz as i32 + off[2],
-                    ];
-                    if s.iter().any(|&v| v < 0 || v >= 32) {
+                    let s = [tx as i32 + off[0], ty as i32 + off[1], tz as i32 + off[2]];
+                    if s.iter().any(|&v| !(0..32).contains(&v)) {
                         continue; // clipped by the method
                     }
                     // Buffer coordinate: local + G (VU 0's origin is 0).
@@ -91,9 +90,8 @@ fn simulated_ghost_fetch_supports_exact_t2() {
                         all_in_buffer = false;
                         break;
                     }
-                    let src = ((e[2] as usize * ext[1] + e[1] as usize) * ext[0]
-                        + e[0] as usize)
-                        * k;
+                    let src =
+                        ((e[2] as usize * ext[1] + e[1] as usize) * ext[0] + e[0] as usize) * k;
                     let g = &ghost[src..src + k];
                     let m = ts.t2(off).expect("interactive offset");
                     for j in 0..k {
@@ -150,8 +148,12 @@ fn all_fetch_strategies_equivalent_on_fmm_data() {
     let grid = DistGrid::from_fn(layout, k, |g, c| {
         ((g[0] * 31 + g[1] * 17 + g[2] * 7 + c) % 101) as f64 * 0.01
     });
-    let a = fetch(&grid, FetchStrategy::DirectAliased, &[]).ghost_vu0.unwrap();
-    let b = fetch(&grid, FetchStrategy::LinearizedAliased, &[]).ghost_vu0.unwrap();
+    let a = fetch(&grid, FetchStrategy::DirectAliased, &[])
+        .ghost_vu0
+        .unwrap();
+    let b = fetch(&grid, FetchStrategy::LinearizedAliased, &[])
+        .ghost_vu0
+        .unwrap();
     let c = fetch(&grid, FetchStrategy::LinearizedAliasedWholeSubgrid, &[])
         .ghost_vu0
         .unwrap();
