@@ -13,16 +13,26 @@
 //!    plan) vs repeat call (plan cache hit), the regime of a time-stepping
 //!    loop.
 //!
+//! 4. **SPMD data motion** — the message-passing executor's measured
+//!    per-phase messages/bytes against `fmm_machine::communication_budget`
+//!    on the Table-4 configuration, plus wall-clock scaling over worker
+//!    counts; written to `BENCH_spmd.json`.
+//!
 //! JSON is written by hand — the harness has no serde dependency.
 //!
-//! Run: `cargo run --release -p fmm-bench --bin bench_json`
+//! Run: `cargo run --release -p fmm-bench --bin bench_json [--seeded]`
+//!
+//! `--seeded` emits only the deterministic SPMD data-motion report (no
+//! wall-clock numbers): two runs produce byte-identical
+//! `BENCH_spmd.json`, which CI diffs to pin executor determinism.
 
 use fmm_bench::util::best_of;
 use fmm_bench::workloads::{uniform, unit_charges};
 use fmm_core::near::{near_field_potentials, near_field_symmetric_colored, ColorSchedule};
 use fmm_core::particles::BinnedParticles;
-use fmm_core::{Domain, Fmm, FmmConfig, Separation};
+use fmm_core::{Domain, Executor, Fmm, FmmConfig, Separation};
 use fmm_linalg::{gemm_acc_with, gemm_flops, Kernel};
+use fmm_machine::{communication_budget, Counters, ProgramConfig, VuGrid};
 use std::fmt::Write as _;
 
 /// Minimal JSON object builder (strings, numbers, raw nested values).
@@ -204,7 +214,122 @@ fn bench_evaluate() -> String {
     o.finish()
 }
 
+/// Predicted (logical messages, payload bytes) of one model phase: CSHIFT
+/// invocations, router ops, and point-to-point sends each count one
+/// message; `off_vu_boxes` / `broadcast_boxes` are K-box units of payload.
+fn model_motion(c: &Counters, k: usize) -> (u64, u64) {
+    (
+        c.cshifts + c.sends + c.broadcast_stages,
+        (c.off_vu_boxes + c.broadcast_boxes) * k as u64 * 8,
+    )
+}
+
+/// The SPMD executor's measured data motion against the machine model, on
+/// the Table-4 configuration, plus (when not `--seeded`) wall-clock
+/// scaling over worker counts. Everything emitted under `--seeded` is a
+/// pure function of the seed — byte-identical across runs.
+fn bench_spmd(seeded: bool) -> String {
+    fmm_spmd::install();
+    let (depth, workers, n) = (4u32, 128usize, 16_384usize);
+    let pts = uniform(n, 2026);
+    let q = unit_charges(n);
+    let fmm = Fmm::new(
+        FmmConfig::order(3)
+            .depth(depth)
+            .executor(Executor::Spmd(workers)),
+    )
+    .unwrap();
+    let k = fmm.k();
+    let out = fmm.evaluate(&pts, &q).unwrap();
+    let report = out.spmd.expect("spmd report");
+    let budget = communication_budget(&ProgramConfig {
+        depth,
+        k,
+        m: fmm.config().m_trunc,
+        particles_per_box: n as f64 / 8f64.powi(depth as i32),
+        vu_grid: VuGrid::new(report.vu_dims),
+        supernodes: false,
+        sort_miss_fraction: 1.0 - 1.0 / workers as f64,
+    });
+
+    let mut phases = Vec::new();
+    for (pb, m) in budget.phases.iter().zip(&report.phases) {
+        let (pm, pbytes) = model_motion(&pb.comm, k);
+        println!(
+            "spmd {:<16} messages {:>4} (model {:>4})   bytes {:>12} (model {:>12})",
+            pb.name, m.messages, pm, m.bytes, pbytes
+        );
+        let mut o = Obj::default();
+        o.str_field("name", pb.name)
+            .field("measured_messages", m.messages)
+            .field("predicted_messages", pm)
+            .field("measured_bytes", m.bytes)
+            .field("predicted_bytes", pbytes)
+            .field("local_words", m.local_words);
+        phases.push(o.finish());
+    }
+    let mut t4 = Obj::default();
+    t4.field("depth", depth)
+        .field("workers", workers)
+        .field(
+            "vu_dims",
+            format_args!(
+                "[{},{},{}]",
+                report.vu_dims[0], report.vu_dims[1], report.vu_dims[2]
+            ),
+        )
+        .field("n_particles", n)
+        .field("k", k)
+        .field("phases", json_array(phases));
+
+    let mut root = Obj::default();
+    root.field("seeded", seeded).field("table4", t4.finish());
+
+    if !seeded {
+        let sn = 60_000;
+        let spts = uniform(sn, 4242);
+        let sq = unit_charges(sn);
+        let mut t1 = 0.0;
+        let mut entries = Vec::new();
+        for p in [1usize, 2, 4, 8] {
+            let f = Fmm::new(FmmConfig::order(3).depth(4).executor(Executor::Spmd(p))).unwrap();
+            let t0 = std::time::Instant::now();
+            f.evaluate(&spts, &sq).unwrap();
+            let t = t0.elapsed().as_secs_f64();
+            if p == 1 {
+                t1 = t;
+            }
+            println!(
+                "spmd scaling n={} depth=4  p={:<3} {:.1} ms  ({:.2}x)",
+                sn,
+                p,
+                t * 1e3,
+                t1 / t
+            );
+            let mut o = Obj::default();
+            o.field("workers", p)
+                .field("n_particles", sn)
+                .field("seconds", format_args!("{:.6}", t))
+                .field("speedup", format_args!("{:.3}", t1 / t));
+            entries.push(o.finish());
+        }
+        root.field("scaling", json_array(entries));
+    }
+    root.finish()
+}
+
 fn main() {
+    let seeded = std::env::args().any(|a| a == "--seeded");
+    let spmd = bench_spmd(seeded);
+    std::fs::write("BENCH_spmd.json", &spmd).expect("write BENCH_spmd.json");
+    println!("wrote BENCH_spmd.json");
+    if seeded {
+        // Deterministic mode for the CI byte-for-byte diff: the kernel
+        // timing sections are inherently noisy, so only the data-motion
+        // report (a pure function of the seed) is emitted.
+        return;
+    }
+
     let (gemm, speedup_k72) = bench_gemm();
     let near = bench_near();
     let eval = bench_evaluate();

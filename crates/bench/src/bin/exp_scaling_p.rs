@@ -3,7 +3,9 @@
 //! "about 10–25%" of the traversal.
 //!
 //! Part 1 measures rayon speedup over 1..ncpu threads at fixed N (the
-//! shared-memory analogue of the paper's processor scaling). Part 2 uses
+//! shared-memory analogue of the paper's processor scaling). Part 2 runs
+//! the *real* message-passing executor (`fmm-spmd`) over worker counts —
+//! actual data motion through channels, not a simulation. Part 3 uses
 //! the machine simulator to report the communication share of the
 //! traversal on CM-5E-like configurations, reproducing the 10–25% claim.
 //!
@@ -11,7 +13,7 @@
 
 use fmm_bench::util::{header, time_s};
 use fmm_bench::workloads::{uniform, unit_charges};
-use fmm_core::{Fmm, FmmConfig};
+use fmm_core::{Executor, Fmm, FmmConfig};
 use fmm_machine::ghost::{fetch, FetchStrategy};
 use fmm_machine::{BlockLayout, CostModel, Counters, DistGrid, VuGrid};
 use fmm_tree::{interactive_field_union, Separation};
@@ -53,6 +55,42 @@ fn main() {
             100.0 * t1 / t / threads as f64
         );
         threads *= 2;
+    }
+
+    header("Scaling in P — SPMD message-passing executor");
+    fmm_spmd::install();
+    // The SPMD runs use a smaller N: every inter-worker datum really
+    // crosses a channel, and the point here is speedup shape + measured
+    // traffic, not peak throughput.
+    let sn = (n / 8).max(10_000);
+    let spts = uniform(sn, 4242);
+    let sq = unit_charges(sn);
+    println!("N = {}, executor = Executor::Spmd(p)", sn);
+    println!(
+        "{:>8} {:>10} {:>9} {:>11} {:>14} {:>12}",
+        "workers", "time (s)", "speedup", "efficiency", "msgs (total)", "MB moved"
+    );
+    let mut ts1 = 0.0;
+    let mut p = 1;
+    while p <= 8 {
+        let fmm = Fmm::new(FmmConfig::order(5).executor(Executor::Spmd(p))).unwrap();
+        let (t, out) = time_s(|| fmm.evaluate(&spts, &sq).unwrap());
+        if p == 1 {
+            ts1 = t;
+        }
+        let rep = out.spmd.expect("spmd report");
+        let msgs: u64 = rep.phases.iter().map(|ph| ph.messages).sum();
+        let bytes: u64 = rep.phases.iter().map(|ph| ph.bytes).sum();
+        println!(
+            "{:>8} {:>10.3} {:>9.2} {:>10.1}% {:>14} {:>12.2}",
+            p,
+            t,
+            ts1 / t,
+            100.0 * ts1 / t / p as f64,
+            msgs,
+            bytes as f64 / 1e6
+        );
+        p *= 2;
     }
 
     header("Communication share of the traversal (simulator, per level)");

@@ -46,6 +46,23 @@ impl DepthPolicy {
     }
 }
 
+/// Which execution backend carries the five phases.
+///
+/// All backends are bitwise interchangeable for fixed inputs: `Serial`
+/// and `Rayon` share one code path whose parallel loops are
+/// write-disjoint, and `Spmd(p)` (provided by the `fmm-spmd` crate) runs
+/// the same arithmetic per worker over explicit message channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Single-threaded reference execution.
+    Serial,
+    /// Shared-memory parallelism over rayon iterators (the default).
+    Rayon,
+    /// Message-passing SPMD execution with the given number of worker
+    /// threads acting as VUs (must be a power of two).
+    Spmd(usize),
+}
+
 /// Full configuration of Anderson's method.
 ///
 /// The defaults for sphere radii and truncation per integration order are
@@ -73,8 +90,12 @@ pub struct FmmConfig {
     pub supernodes: bool,
     /// Hierarchy depth policy.
     pub depth: DepthPolicy,
-    /// Run the traversal and near field with rayon parallelism.
+    /// Run the traversal and near field with rayon parallelism. Kept for
+    /// builder compatibility; see [`FmmConfig::effective_executor`].
     pub parallel: bool,
+    /// Execution backend. [`Executor::Rayon`] defers to `parallel` so the
+    /// older `sequential()` builder keeps meaning `Executor::Serial`.
+    pub executor: Executor,
     /// Plummer softening ε applied to the near-field pairwise kernel
     /// (q/√(r²+ε²)); 0 disables it. Keep ε well below the leaf box side:
     /// the far-field approximations are not softened, which is exact in
@@ -111,7 +132,23 @@ impl FmmConfig {
                 particles_per_leaf: 8.0,
             },
             parallel: true,
+            executor: Executor::Rayon,
             softening: 0.0,
+        }
+    }
+
+    /// Builder-style: execution backend.
+    pub fn executor(mut self, e: Executor) -> Self {
+        self.executor = e;
+        self
+    }
+
+    /// The backend that will actually run, after folding in the legacy
+    /// `parallel` flag: `Rayon` with `parallel == false` means `Serial`.
+    pub fn effective_executor(&self) -> Executor {
+        match self.executor {
+            Executor::Rayon if !self.parallel => Executor::Serial,
+            e => e,
         }
     }
 
@@ -200,6 +237,16 @@ impl FmmConfig {
         }
         if self.softening < 0.0 {
             return Err("softening must be non-negative".into());
+        }
+        if let Executor::Spmd(p) = self.executor {
+            if p == 0 || !p.is_power_of_two() {
+                return Err(format!("SPMD worker count {} must be a power of two", p));
+            }
+            if self.supernodes {
+                return Err(
+                    "the SPMD executor does not support the supernode decomposition".into(),
+                );
+            }
         }
         Ok(())
     }

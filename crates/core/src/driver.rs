@@ -2,12 +2,12 @@
 //! hierarchical method, wired together with binning, translation matrices
 //! and per-phase profiling.
 
-use crate::config::FmmConfig;
+use crate::config::{Executor, FmmConfig};
 use crate::field::FieldHierarchy;
-use crate::near::{near_field_forces_softened, near_field_symmetric_colored, NearFieldStats};
+use crate::near::{near_field_forces_softened, near_field_travelling, NearFieldStats};
 use crate::particles::BinnedParticles;
 use crate::plan::TraversalPlan;
-use crate::stats::{Phase, Profile};
+use crate::stats::{Phase, Profile, SpmdReport};
 use crate::translations::TranslationSet;
 use crate::traversal::{downward_pass, upward_pass, Aggregation, TraversalFlops};
 use fmm_sphere::{inner_kernel_row, inner_kernel_row_grad, norm, SphereRule};
@@ -55,6 +55,30 @@ pub struct EvalOutput {
     pub traversal_flops: TraversalFlops,
     /// The domain the hierarchy was built on.
     pub domain: Domain,
+    /// Measured per-phase communication when the run used
+    /// [`Executor::Spmd`]; `None` for the shared-memory backends.
+    pub spmd: Option<SpmdReport>,
+}
+
+/// Entry point of the message-passing backend, installed by
+/// `fmm_spmd::install()`. Takes the configured instance, the inputs of one
+/// evaluation, and the worker count from [`Executor::Spmd`].
+pub type SpmdBackend = fn(
+    fmm: &Fmm,
+    positions: &[[f64; 3]],
+    charges: &[f64],
+    domain: Domain,
+    with_fields: bool,
+    workers: usize,
+) -> Result<EvalOutput, FmmError>;
+
+static SPMD_BACKEND: std::sync::OnceLock<SpmdBackend> = std::sync::OnceLock::new();
+
+/// Install the SPMD backend. `fmm-core` cannot depend on `fmm-spmd` (the
+/// dependency points the other way), so the backend registers itself
+/// through this seam. Idempotent; the first installation wins.
+pub fn install_spmd_backend(backend: SpmdBackend) {
+    let _ = SPMD_BACKEND.set(backend);
 }
 
 /// A configured instance of Anderson's method with precomputed translation
@@ -98,7 +122,7 @@ impl Fmm {
     /// The traversal plan for `depth`, building and caching it on first
     /// use. Repeated evaluations at the same depth reuse the cached plan
     /// and pay only for the GEMMs and particle work.
-    fn plan_for(&self, depth: u32) -> Arc<TraversalPlan> {
+    pub fn plan_for(&self, depth: u32) -> Arc<TraversalPlan> {
         let mut cache = self.plan_cache.lock().unwrap();
         cache
             .entry(depth)
@@ -286,6 +310,15 @@ impl Fmm {
                 charges.len()
             )));
         }
+        if let Executor::Spmd(workers) = self.cfg.effective_executor() {
+            let backend = SPMD_BACKEND.get().ok_or_else(|| {
+                FmmError::InvalidConfig(
+                    "Executor::Spmd selected but no backend installed; call fmm_spmd::install()"
+                        .into(),
+                )
+            })?;
+            return backend(self, positions, charges, domain, with_fields, workers);
+        }
         let depth = self.cfg.depth.resolve(positions.len());
         let k = self.k();
         let par = self.cfg.parallel;
@@ -385,16 +418,16 @@ impl Fmm {
             }
             st
         } else {
-            // Potentials use the symmetric colored sweep: Newton's third
-            // law halves the pair work, and the 8-color block schedule
-            // keeps the parallel scatter conflict-free. Its stats report
-            // third-law-halved counts, identical to the sequential
-            // symmetric sweep.
+            // Potentials use the travelling-accumulator sweep: Newton's
+            // third law halves the pair work, the ordered unit steps keep
+            // the parallel scatter conflict-free, and the message-passing
+            // executor runs the identical arithmetic — all backends are
+            // bitwise interchangeable. Its stats report third-law-halved
+            // counts, identical to the sequential symmetric sweep.
             profile.time(Phase::Near, || {
-                near_field_symmetric_colored(
+                near_field_travelling(
                     &bp,
                     self.cfg.separation,
-                    &plan.near_schedule,
                     par,
                     self.cfg.softening,
                     &mut near_pot,
@@ -418,12 +451,16 @@ impl Fmm {
             near_stats,
             traversal_flops: tflops,
             domain,
+            spmd: None,
         })
     }
 }
 
 /// Leaf-level particle → outer samples: g_i = Σ_j q_j / |c + a s_i − x_j|.
-fn p2o(
+/// Public (hidden) so the SPMD backend can run the identical per-box loop
+/// on its locally-owned boxes.
+#[doc(hidden)]
+pub fn p2o(
     bp: &BinnedParticles,
     rule: &SphereRule,
     a_leaf: f64,
@@ -461,9 +498,11 @@ fn p2o(
     }
 }
 
-/// Leaf-level inner samples → particle potentials (and fields).
+/// Leaf-level inner samples → particle potentials (and fields). Public
+/// (hidden) for the SPMD backend, like [`p2o`].
+#[doc(hidden)]
 #[allow(clippy::too_many_arguments)]
-fn eval_local(
+pub fn eval_local(
     bp: &BinnedParticles,
     rule: &SphereRule,
     m: usize,

@@ -54,15 +54,15 @@ pub mod stats;
 pub mod translations;
 pub mod traversal;
 
-pub use config::{DepthPolicy, FmmConfig};
+pub use config::{DepthPolicy, Executor, FmmConfig};
 pub use driver::{EvalOutput, Fmm, FmmError};
 pub use error::{relative_error_stats, ErrorStats};
 pub use near::{
-    near_field_potentials, near_field_symmetric, near_field_symmetric_colored, ColorSchedule,
-    NearFieldStats,
+    near_field_potentials, near_field_symmetric, near_field_symmetric_colored,
+    near_field_travelling, ColorSchedule, NearFieldStats,
 };
 pub use plan::TraversalPlan;
-pub use stats::{Phase, Profile};
+pub use stats::{Phase, Profile, SpmdPhase, SpmdReport};
 pub use translations::TranslationSet;
 
 /// Re-exported substrate types that appear in the public API.

@@ -258,10 +258,14 @@ fn pair_gather(
     gather_scalar(tx, ty, tz, eps2, xs, ys, zs, qs)
 }
 
-/// Symmetric one-target update, kernel-dispatched.
+/// Symmetric one-target update, kernel-dispatched: the target gathers
+/// Σ q_s·r⁻¹ (returned) while each source accumulates q_t·r⁻¹ into
+/// `s_out`. Public because the SPMD executor's travelling-accumulator
+/// sweep must apply the *same* kernel in the same order to stay bitwise
+/// identical to the shared-memory paths.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn pair_exchange(
+pub fn pair_exchange(
     tx: f64,
     ty: f64,
     tz: f64,
@@ -304,8 +308,10 @@ fn box_pair_potential(
 }
 
 /// Potentials within one box, pairwise symmetric, excluding self terms.
+/// Public for the same reason as [`pair_exchange`]: every backend's
+/// self-box pass must be this exact loop.
 #[inline]
-fn self_box_potential(
+pub fn self_box_potential(
     bp: &BinnedParticles,
     range: std::ops::Range<usize>,
     eps2: f64,
@@ -663,6 +669,123 @@ pub fn near_field_symmetric_colored(
     total
 }
 
+/// Near-field potentials via the paper's travelling-accumulator sweep
+/// (shared-memory emulation). The canonical [`fmm_machine::TravelPath`]
+/// visits each lexicographically-positive half-offset once; at every step
+/// each target box exchanges with the box `cum` away, gathering into `out`
+/// and scattering into a separate travelling accumulator array, which is
+/// added back at the end (the "return shifts"). Steps are ordered; within
+/// a step each out/accumulator element is written by exactly one box, so
+/// the parallel and sequential forms — and the message-passing executor,
+/// which runs the identical arithmetic per worker — are bitwise identical.
+/// Reports the same third-law-halved counts as [`near_field_symmetric`].
+pub fn near_field_travelling(
+    bp: &BinnedParticles,
+    sep: Separation,
+    parallel: bool,
+    eps: f64,
+    out: &mut [f64],
+) -> NearFieldStats {
+    assert_eq!(out.len(), bp.len());
+    let eps2 = eps * eps;
+    let level = bp.level;
+    let n_boxes = bp.binning.starts.len() - 1;
+    let path = fmm_machine::TravelPath::new(sep.d());
+    let mut acc = vec![0.0; bp.len()];
+
+    // Self interactions, symmetric within each box.
+    let mut self_slices = per_box_slices(bp, out);
+    let self_work = |(b, o): (usize, &mut &mut [f64])| -> NearFieldStats {
+        let t_range = bp.range(b);
+        if t_range.is_empty() {
+            return NearFieldStats::default();
+        }
+        NearFieldStats {
+            pair_interactions: self_box_potential(bp, t_range, eps2, o),
+            box_pairs: 1,
+            flops: 0,
+        }
+    };
+    let mut total = if parallel {
+        self_slices
+            .par_iter_mut()
+            .enumerate()
+            .map(self_work)
+            .reduce(NearFieldStats::default, add_stats)
+    } else {
+        self_slices
+            .iter_mut()
+            .enumerate()
+            .map(self_work)
+            .fold(NearFieldStats::default(), add_stats)
+    };
+
+    // The travelling sweep: one ordered pass per unit step. The boxes of a
+    // step are independent — box t writes out[t] and acc[t + cum], both
+    // bijections of t — so they may run in parallel without changing bits.
+    let out_shared = SharedOut(out.as_mut_ptr());
+    let out_shared = &out_shared;
+    let acc_shared = SharedOut(acc.as_mut_ptr());
+    let acc_shared = &acc_shared;
+    let boxes: Vec<usize> = (0..n_boxes).collect();
+    for step in &path.steps {
+        let cum = step.cum;
+        let step_work = |&b: &usize| -> NearFieldStats {
+            let t = BoxCoord::from_index(level, b);
+            let t_range = bp.range(b);
+            if t_range.is_empty() {
+                return NearFieldStats::default();
+            }
+            let Some(s) = t.offset(cum) else {
+                return NearFieldStats::default();
+            };
+            let s_range = bp.range(s.index());
+            if s_range.is_empty() {
+                return NearFieldStats::default();
+            }
+            // SAFETY: t ↦ t_range and t ↦ s_range are injective over the
+            // boxes of one step, and `out`/`acc` are distinct arrays.
+            let t_out = unsafe { out_shared.slice(t_range.clone()) };
+            let s_acc = unsafe { acc_shared.slice(s_range.clone()) };
+            let xs = &bp.x[s_range.clone()];
+            let ys = &bp.y[s_range.clone()];
+            let zs = &bp.z[s_range.clone()];
+            let qs = &bp.q[s_range.clone()];
+            let mut pairs = 0u64;
+            for (i, ti) in t_range.clone().enumerate() {
+                t_out[i] += pair_exchange(
+                    bp.x[ti], bp.y[ti], bp.z[ti], bp.q[ti], eps2, xs, ys, zs, qs, s_acc,
+                );
+                pairs += s_range.len() as u64;
+            }
+            NearFieldStats {
+                pair_interactions: pairs,
+                box_pairs: 1,
+                flops: 0,
+            }
+        };
+        let st = if parallel {
+            boxes
+                .par_iter()
+                .map(step_work)
+                .reduce(NearFieldStats::default, add_stats)
+        } else {
+            boxes
+                .iter()
+                .map(step_work)
+                .fold(NearFieldStats::default(), add_stats)
+        };
+        total = add_stats(total, st);
+    }
+
+    // Return shifts: every accumulator goes home and is added once.
+    for (o, a) in out.iter_mut().zip(&acc) {
+        *o += *a;
+    }
+    total.flops = total.pair_interactions * PAIR_FLOPS;
+    total
+}
+
 /// Target-centric near-field potentials **and** fields (−∇Φ). Outputs are
 /// in sorted particle order.
 pub fn near_field_forces(
@@ -689,7 +812,6 @@ pub fn near_field_forces_softened(
     assert_eq!(pot.len(), bp.len());
     assert_eq!(field.len(), bp.len());
     let offsets = near_field_offsets(sep);
-    let level = bp.level;
     let mut pot_slices = per_box_slices(bp, pot);
     // split field the same way
     let n_boxes = bp.binning.starts.len() - 1;
@@ -702,47 +824,7 @@ pub fn near_field_forces_softened(
     }
 
     let work = |(b, (po, fo)): (usize, (&mut &mut [f64], &mut &mut [[f64; 3]]))| -> u64 {
-        let t = BoxCoord::from_index(level, b);
-        let t_range = bp.range(b);
-        let mut pairs = 0u64;
-        for (idx, ti) in t_range.clone().enumerate() {
-            let (tx, ty, tz) = (bp.x[ti], bp.y[ti], bp.z[ti]);
-            let mut p_acc = 0.0;
-            let mut f_acc = [0.0; 3];
-            let mut visit = |s_range: std::ops::Range<usize>, skip: usize| {
-                for si in s_range {
-                    if si == skip {
-                        continue;
-                    }
-                    let dx = tx - bp.x[si];
-                    let dy = ty - bp.y[si];
-                    let dz = tz - bp.z[si];
-                    let r2 = dx * dx + dy * dy + dz * dz + eps2;
-                    let inv_r = 1.0 / r2.sqrt();
-                    let qr = bp.q[si] * inv_r;
-                    p_acc += qr;
-                    // −∇(q/r) = q (x_t − x_s) / r³
-                    let qr3 = qr * inv_r * inv_r;
-                    f_acc[0] += qr3 * dx;
-                    f_acc[1] += qr3 * dy;
-                    f_acc[2] += qr3 * dz;
-                }
-            };
-            visit(t_range.clone(), ti);
-            pairs += (t_range.len() - 1) as u64;
-            for &d in &offsets {
-                if let Some(s) = t.offset(d) {
-                    let s_range = bp.range(s.index());
-                    pairs += s_range.len() as u64;
-                    visit(s_range, usize::MAX);
-                }
-            }
-            po[idx] += p_acc;
-            for a in 0..3 {
-                fo[idx][a] += f_acc[a];
-            }
-        }
-        pairs
+        near_field_forces_box(bp, b, &offsets, eps2, po, fo)
     };
 
     let pairs: u64 = if parallel {
@@ -765,6 +847,62 @@ pub fn near_field_forces_softened(
         box_pairs: 0,
         flops: pairs * PAIR_FORCE_FLOPS,
     }
+}
+
+/// Target-centric potential + field accumulation for the particles of one
+/// box. `po`/`fo` are the per-box output slices of box `b`; `offsets` is
+/// the full near-field offset list. Public because the SPMD executor must
+/// run this exact loop per *owned* box over its halo-extended binning to
+/// stay bitwise identical to the shared-memory path.
+pub fn near_field_forces_box(
+    bp: &BinnedParticles,
+    b: usize,
+    offsets: &[[i32; 3]],
+    eps2: f64,
+    po: &mut [f64],
+    fo: &mut [[f64; 3]],
+) -> u64 {
+    let t = BoxCoord::from_index(bp.level, b);
+    let t_range = bp.range(b);
+    let mut pairs = 0u64;
+    for (idx, ti) in t_range.clone().enumerate() {
+        let (tx, ty, tz) = (bp.x[ti], bp.y[ti], bp.z[ti]);
+        let mut p_acc = 0.0;
+        let mut f_acc = [0.0; 3];
+        let mut visit = |s_range: std::ops::Range<usize>, skip: usize| {
+            for si in s_range {
+                if si == skip {
+                    continue;
+                }
+                let dx = tx - bp.x[si];
+                let dy = ty - bp.y[si];
+                let dz = tz - bp.z[si];
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let inv_r = 1.0 / r2.sqrt();
+                let qr = bp.q[si] * inv_r;
+                p_acc += qr;
+                // −∇(q/r) = q (x_t − x_s) / r³
+                let qr3 = qr * inv_r * inv_r;
+                f_acc[0] += qr3 * dx;
+                f_acc[1] += qr3 * dy;
+                f_acc[2] += qr3 * dz;
+            }
+        };
+        visit(t_range.clone(), ti);
+        pairs += (t_range.len() - 1) as u64;
+        for &d in offsets {
+            if let Some(s) = t.offset(d) {
+                let s_range = bp.range(s.index());
+                pairs += s_range.len() as u64;
+                visit(s_range, usize::MAX);
+            }
+        }
+        po[idx] += p_acc;
+        for a in 0..3 {
+            fo[idx][a] += f_acc[a];
+        }
+    }
+    pairs
 }
 
 #[cfg(test)]

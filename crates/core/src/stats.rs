@@ -88,6 +88,12 @@ impl Profile {
         self.flops[phase.idx()] += flops;
     }
 
+    /// Add already-measured wall time to a phase (used by backends that
+    /// time phases away from the profile, e.g. inside SPMD workers).
+    pub fn add_time(&mut self, phase: Phase, d: Duration) {
+        self.times[phase.idx()] += d;
+    }
+
     pub fn phase_time(&self, phase: Phase) -> Duration {
         self.times[phase.idx()]
     }
@@ -161,6 +167,51 @@ impl Profile {
             self.flops[i] += other.flops[i];
         }
     }
+}
+
+/// Measured data motion of one SPMD program phase, summed over workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpmdPhase {
+    /// Logical channel operations: CSHIFTs, router sends, and broadcast
+    /// stages (the countable "calls" of the CM runtime).
+    pub messages: u64,
+    /// Payload bytes that crossed a worker boundary.
+    pub bytes: u64,
+    /// f64 words copied within workers' own memories.
+    pub local_words: u64,
+}
+
+impl std::ops::AddAssign for SpmdPhase {
+    fn add_assign(&mut self, o: SpmdPhase) {
+        self.messages += o.messages;
+        self.bytes += o.bytes;
+        self.local_words += o.local_words;
+    }
+}
+
+/// Per-phase measured communication of one SPMD evaluation, attached to
+/// [`crate::EvalOutput`] when the run used [`crate::Executor::Spmd`].
+/// Phases are indexed like the machine model's program budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpmdReport {
+    /// Worker (VU) count.
+    pub workers: usize,
+    /// The VU grid the workers were arranged on.
+    pub vu_dims: [usize; 3],
+    /// Measured motion per phase, in [`SpmdReport::PHASE_NAMES`] order.
+    pub phases: [SpmdPhase; 6],
+}
+
+impl SpmdReport {
+    /// Phase names, matching `fmm_machine::communication_budget`.
+    pub const PHASE_NAMES: [&'static str; 6] = [
+        "sort",
+        "p2o",
+        "upward(T1)",
+        "downward(T2+T3)",
+        "eval",
+        "near",
+    ];
 }
 
 #[cfg(test)]

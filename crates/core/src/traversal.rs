@@ -96,7 +96,6 @@ pub fn upward_pass(
     agg: Aggregation,
     parallel: bool,
 ) -> TraversalFlops {
-    let k = fh.k;
     let depth = fh.hierarchy.depth;
     debug_assert_eq!(plan.depth, depth);
     let mut flops = TraversalFlops::default();
@@ -106,6 +105,27 @@ pub fn upward_pass(
     // Level 1 is included (beyond the paper's level-2 stop) because the
     // supernode path at level 2 reads parent-level outer samples.
     for l in (1..depth).rev() {
+        let f = upward_level(fh, ts, plan, l, agg, parallel);
+        flops.t1 += f.t1;
+        flops.copied += f.copied;
+    }
+    flops
+}
+
+/// One parent level of the upward pass: combine the children at level
+/// `l + 1` into the parents at level `l`. Public so the SPMD backend's
+/// rank-0 Multigrid-embed region runs the identical per-level code.
+pub fn upward_level(
+    fh: &mut FieldHierarchy,
+    ts: &TranslationSet,
+    plan: &TraversalPlan,
+    l: u32,
+    agg: Aggregation,
+    parallel: bool,
+) -> TraversalFlops {
+    let k = fh.k;
+    let mut flops = TraversalFlops::default();
+    {
         let n_parents = fh.hierarchy.boxes_at_level(l);
         // Split far into (child source, parent destination) levels.
         let (lo, hi) = fh.far.split_at_mut(l as usize + 1);
@@ -237,15 +257,37 @@ pub fn downward_pass(
     agg: Aggregation,
     parallel: bool,
 ) -> TraversalFlops {
-    let k = fh.k;
     let depth = fh.hierarchy.depth;
     debug_assert_eq!(plan.depth, depth);
+    let mut flops = TraversalFlops::default();
+    for l in 2..=depth {
+        let f = downward_level(fh, ts, plan, supernodes, agg, parallel, l);
+        flops.t2 += f.t2;
+        flops.t3 += f.t3;
+        flops.copied += f.copied;
+    }
+    flops
+}
+
+/// One level of the downward pass: T2 (interactive field) plus T3 (parent
+/// inner shift) into `local[l]`, which is zeroed first. Public for the
+/// SPMD backend's rank-0 embed region, like [`upward_level`].
+pub fn downward_level(
+    fh: &mut FieldHierarchy,
+    ts: &TranslationSet,
+    plan: &TraversalPlan,
+    supernodes: bool,
+    agg: Aggregation,
+    parallel: bool,
+    l: u32,
+) -> TraversalFlops {
+    let k = fh.k;
     let mut flops = TraversalFlops::default();
 
     // Resolve every translation matrix reference once, up front.
     let oct_mats = resolve_octant_matrices(ts, plan, supernodes);
 
-    for l in 2..=depth {
+    {
         let n_boxes = fh.hierarchy.boxes_at_level(l);
         let l_parent = l - 1;
         let lvl = plan.level(l_parent);

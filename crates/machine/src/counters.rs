@@ -37,6 +37,17 @@ impl Counters {
 
     /// Sum of two counter sets.
     pub fn merge(&mut self, other: &Counters) {
+        *self += *other;
+    }
+
+    /// Total boxes touched by communication (for sanity checks).
+    pub fn total_boxes_moved(&self) -> u64 {
+        self.off_vu_boxes + self.local_box_moves
+    }
+}
+
+impl std::ops::AddAssign for Counters {
+    fn add_assign(&mut self, other: Counters) {
         self.off_vu_boxes += other.off_vu_boxes;
         self.local_box_moves += other.local_box_moves;
         self.cshifts += other.cshifts;
@@ -46,10 +57,19 @@ impl Counters {
         self.broadcast_boxes += other.broadcast_boxes;
         self.flops += other.flops;
     }
+}
 
-    /// Total boxes touched by communication (for sanity checks).
-    pub fn total_boxes_moved(&self) -> u64 {
-        self.off_vu_boxes + self.local_box_moves
+impl std::ops::Add for Counters {
+    type Output = Counters;
+    fn add(mut self, other: Counters) -> Counters {
+        self += other;
+        self
+    }
+}
+
+impl std::iter::Sum for Counters {
+    fn sum<I: Iterator<Item = Counters>>(iter: I) -> Counters {
+        iter.fold(Counters::default(), |a, b| a + b)
     }
 }
 
@@ -75,5 +95,27 @@ mod tests {
         assert_eq!(a.local_box_moves, 2);
         assert_eq!(a.flops, 5);
         assert_eq!(a.total_boxes_moved(), 13);
+    }
+
+    #[test]
+    fn add_and_sum_match_merge() {
+        let a = Counters {
+            cshifts: 2,
+            sends: 1,
+            ..Default::default()
+        };
+        let b = Counters {
+            cshifts: 3,
+            broadcast_boxes: 7,
+            ..Default::default()
+        };
+        let s: Counters = [a, b].into_iter().sum();
+        assert_eq!(s.cshifts, 5);
+        assert_eq!(s.sends, 1);
+        assert_eq!(s.broadcast_boxes, 7);
+        let mut m = a;
+        m += b;
+        assert_eq!(m, s);
+        assert_eq!(a + b, s);
     }
 }

@@ -31,10 +31,15 @@ pub mod layout;
 pub mod multigrid;
 pub mod program;
 pub mod replication;
+pub mod travel;
 
 pub use cost::CostModel;
 pub use counters::Counters;
 pub use ghost::{FetchStrategy, GhostResult};
 pub use grid::DistGrid;
 pub use layout::{BlockLayout, VuGrid};
-pub use program::{communication_budget, PhaseBudget, ProgramBudget, ProgramConfig};
+pub use program::{
+    communication_budget, gather_hops, subgrid_extent, PhaseBudget, ProgramBudget, ProgramConfig,
+    PARTICLE_WORDS,
+};
+pub use travel::{TravelPath, TravelStep};

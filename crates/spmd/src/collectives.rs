@@ -1,0 +1,448 @@
+//! Channel collectives over the worker fabric, mirroring the CM-5 runtime
+//! primitives the machine model prices: the router (irregular sends), CSHIFT
+//! (grid-neighbor shifts with circular wrap), and the tree-structured
+//! combine/spread used for levels embedded on fewer VUs than boxes
+//! (Multigrid embedding).
+//!
+//! Determinism rules shared by every collective here:
+//! * every rank calls the collective at the same point of the program, and
+//!   each call burns exactly one tag on every rank;
+//! * all sends of a phase are posted before any receive (sends never
+//!   block), so no cyclic wait exists;
+//! * receive order is fixed by rank arithmetic, never by arrival order.
+
+use std::collections::BTreeMap;
+
+use fmm_machine::BlockLayout;
+
+use crate::fabric::WorkerCtx;
+
+/// Index of the global grid cell `g` on an `n`-per-axis level.
+#[inline]
+pub fn cell_index(g: [usize; 3], n: usize) -> usize {
+    (g[2] * n + g[1]) * n + g[0]
+}
+
+/// Personalized all-to-all (the router): worker `w` receives
+/// `outgoing[w]`, concatenated in source-rank order. The model prices the
+/// sort scatter as one aggregate router operation, so the caller counts
+/// the op; bytes are counted here per sending worker.
+pub fn all_to_allv(ctx: &mut WorkerCtx, outgoing: Vec<Vec<f64>>) -> Vec<f64> {
+    let p = ctx.p();
+    let tag = ctx.fresh_tag();
+    let mut mine = Vec::new();
+    let mut chunks: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
+    for (w, chunk) in outgoing.into_iter().enumerate() {
+        if w == ctx.rank {
+            ctx.count_local(chunk.len() as u64);
+            chunks[w] = Some(chunk);
+        } else {
+            ctx.count_bytes_words(chunk.len() as u64);
+            ctx.send(w, tag, chunk);
+        }
+    }
+    for (w, slot) in chunks.iter_mut().enumerate() {
+        if w != ctx.rank {
+            *slot = Some(ctx.recv(w, tag));
+        }
+    }
+    for chunk in chunks.into_iter().flatten() {
+        mine.extend_from_slice(&chunk);
+    }
+    mine
+}
+
+/// Tree-structured combine: bring the owned `(box index, k samples)` chunks
+/// of a distributed level to rank 0, which writes them into its full-size
+/// `buf`. Binomial: stage `s` halves the set of holders, so the total
+/// box transmissions match the model's `gather_hops(p)` accounting.
+pub fn gather_level_to_root(ctx: &mut WorkerCtx, buf: &mut [f64], l: u32, k: usize) {
+    let p = ctx.p();
+    let tag = ctx.fresh_tag();
+    if p == 1 {
+        return;
+    }
+    let n = 1usize << l;
+    let lay = BlockLayout::new([n; 3], ctx.grid);
+    let mut held = Vec::with_capacity(lay.boxes_per_vu() * (k + 1));
+    for li in 0..lay.boxes_per_vu() {
+        let g = lay.global_of(ctx.rank, li);
+        let bi = cell_index(g, n);
+        held.push(bi as f64);
+        held.extend_from_slice(&buf[bi * k..(bi + 1) * k]);
+    }
+    let stages = p.trailing_zeros();
+    for s in 0..stages {
+        let bit = 1usize << s;
+        if !ctx.rank.is_multiple_of(bit) {
+            continue; // retired in an earlier stage
+        }
+        if ctx.rank & bit != 0 {
+            // Payload words are the k-sample rows; the per-box index is
+            // envelope metadata, like a router packet header.
+            ctx.count_msg(1);
+            ctx.count_bytes_words((held.len() / (k + 1) * k) as u64);
+            let data = std::mem::take(&mut held);
+            ctx.send(ctx.rank - bit, tag, data);
+        } else if ctx.rank + bit < p {
+            let data = ctx.recv(ctx.rank + bit, tag);
+            held.extend_from_slice(&data);
+        }
+    }
+    if ctx.rank == 0 {
+        for ch in held.chunks_exact(k + 1) {
+            let bi = ch[0] as usize;
+            buf[bi * k..(bi + 1) * k].copy_from_slice(&ch[1..]);
+        }
+    }
+}
+
+/// Tree-structured spread: rank 0's `buf` replaces every other rank's.
+/// Mirror image of [`gather_level_to_root`]; the model prices `log2 p`
+/// broadcast stages, counted here via `count_op` (rank 0 sends in every
+/// stage), with bytes per actual transmission.
+pub fn broadcast_from_root(ctx: &mut WorkerCtx, buf: &mut [f64]) {
+    let p = ctx.p();
+    let tag = ctx.fresh_tag();
+    if p == 1 {
+        return;
+    }
+    let stages = p.trailing_zeros();
+    for s in (0..stages).rev() {
+        let bit = 1usize << s;
+        let span = bit << 1;
+        if ctx.rank.is_multiple_of(span) {
+            ctx.count_op(1);
+            ctx.count_bytes_words(buf.len() as u64);
+            ctx.send(ctx.rank + bit, tag, buf.to_vec());
+        } else if ctx.rank.is_multiple_of(bit) {
+            let data = ctx.recv(ctx.rank - bit, tag);
+            buf.copy_from_slice(&data);
+        }
+    }
+}
+
+/// The halo cells rank `who` must obtain in axis phase `axis` of a
+/// wrapped box-halo exchange with ghost depth `g`, grouped by source rank
+/// (BTreeMap ⇒ deterministic order). Cells are wrapped global indices, in
+/// window enumeration order — senders rebuild the same plan, so both ends
+/// agree on the per-message layout without exchanging metadata.
+///
+/// Phase structure (the CSHIFT corner-forwarding trick): phase `a` extends
+/// the slab along axis `a` only, but enumerates the *already extended*
+/// range on axes `< a`, so corner/edge cells ride later phases instead of
+/// needing diagonal neighbors.
+fn halo_axis_plan(
+    lay: &BlockLayout,
+    who: [usize; 3],
+    axis: usize,
+    g: usize,
+    n: usize,
+) -> BTreeMap<usize, Vec<usize>> {
+    let s = lay.subgrid;
+    let gi = g as i64;
+    let ni = n as i64;
+    let lo: Vec<i64> = (0..3).map(|a| (who[a] * s[a]) as i64).collect();
+    let ranges: Vec<Vec<i64>> = (0..3)
+        .map(|a| {
+            let si = s[a] as i64;
+            if a < axis {
+                (lo[a] - gi..lo[a] + si + gi).collect()
+            } else if a == axis {
+                (lo[a] - gi..lo[a])
+                    .chain(lo[a] + si..lo[a] + si + gi)
+                    .collect()
+            } else {
+                (lo[a]..lo[a] + si).collect()
+            }
+        })
+        .collect();
+    let mut plan: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &z in &ranges[2] {
+        for &y in &ranges[1] {
+            for &x in &ranges[0] {
+                let w = [
+                    x.rem_euclid(ni) as usize,
+                    y.rem_euclid(ni) as usize,
+                    z.rem_euclid(ni) as usize,
+                ];
+                let mut src_c = who;
+                src_c[axis] = w[axis] / s[axis];
+                let src = lay.vu.rank(src_c);
+                plan.entry(src).or_default().push(cell_index(w, n));
+            }
+        }
+    }
+    plan
+}
+
+/// Circular-wrap halo exchange of a distributed far-field level: after the
+/// call, every rank's full-size `level_buf` holds true values for all
+/// boxes within `g` of its subgrid (wrapped coordinates alias the true
+/// wrapped box, which consumers never read — they bound-check first, as
+/// the CM CSHIFT code masks wrapped elements).
+///
+/// Three sequential axis phases = 2 CSHIFT ops each on the model's ledger.
+pub fn halo_exchange_boxes(ctx: &mut WorkerCtx, level_buf: &mut [f64], l: u32, g: usize, k: usize) {
+    let n = 1usize << l;
+    let lay = BlockLayout::new([n; 3], ctx.grid);
+    let my = ctx.coords();
+    for axis in 0..3 {
+        let tag = ctx.fresh_tag();
+        ctx.count_op(2);
+        let dims_a = ctx.grid.dims[axis];
+        // Post sends: serve every rank along this axis whose plan names me.
+        for other in 0..dims_a {
+            if other == my[axis] {
+                continue;
+            }
+            let mut dst_c = my;
+            dst_c[axis] = other;
+            let dst = ctx.grid.rank(dst_c);
+            let dplan = halo_axis_plan(&lay, dst_c, axis, g, n);
+            if let Some(cells) = dplan.get(&ctx.rank) {
+                let mut data = Vec::with_capacity(cells.len() * k);
+                for &c in cells {
+                    data.extend_from_slice(&level_buf[c * k..(c + 1) * k]);
+                }
+                ctx.count_bytes_words(data.len() as u64);
+                ctx.send(dst, tag, data);
+            }
+        }
+        // Receive, in plan (ascending source-rank) order.
+        let plan = halo_axis_plan(&lay, my, axis, g, n);
+        for (src, cells) in &plan {
+            if *src == ctx.rank {
+                // Wrap aliased back onto my own subgrid: the true values
+                // are already in place, only local index motion.
+                ctx.count_local((cells.len() * k) as u64);
+                continue;
+            }
+            let data = ctx.recv(*src, tag);
+            debug_assert_eq!(data.len(), cells.len() * k);
+            for (i, &c) in cells.iter().enumerate() {
+                level_buf[c * k..(c + 1) * k].copy_from_slice(&data[i * k..(i + 1) * k]);
+            }
+        }
+    }
+}
+
+/// Particles of one leaf cell, in the owner's sorted (= serial) order.
+#[derive(Default, Clone)]
+pub struct CellParticles {
+    pub xs: Vec<f64>,
+    pub ys: Vec<f64>,
+    pub zs: Vec<f64>,
+    pub qs: Vec<f64>,
+}
+
+impl CellParticles {
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+/// Clipped (non-wrapped) variant of [`halo_axis_plan`] for the particle
+/// halo of the forces near field: cells outside the domain simply don't
+/// exist, so ranges intersect `[0, n)` and no coordinate wraps.
+fn particle_axis_plan(
+    lay: &BlockLayout,
+    who: [usize; 3],
+    axis: usize,
+    g: usize,
+    n: usize,
+) -> BTreeMap<usize, Vec<usize>> {
+    let s = lay.subgrid;
+    let gi = g as i64;
+    let ni = n as i64;
+    let lo: Vec<i64> = (0..3).map(|a| (who[a] * s[a]) as i64).collect();
+    let clip = |r: std::ops::Range<i64>| r.start.max(0)..r.end.min(ni);
+    let ranges: Vec<Vec<i64>> = (0..3)
+        .map(|a| {
+            let si = s[a] as i64;
+            if a < axis {
+                clip(lo[a] - gi..lo[a] + si + gi).collect()
+            } else if a == axis {
+                clip(lo[a] - gi..lo[a])
+                    .chain(clip(lo[a] + si..lo[a] + si + gi))
+                    .collect()
+            } else {
+                (lo[a]..lo[a] + si).collect()
+            }
+        })
+        .collect();
+    let mut plan: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &z in &ranges[2] {
+        for &y in &ranges[1] {
+            for &x in &ranges[0] {
+                let w = [x as usize, y as usize, z as usize];
+                let mut src_c = who;
+                src_c[axis] = w[axis] / s[axis];
+                let src = lay.vu.rank(src_c);
+                debug_assert_ne!(src, lay.vu.rank(who));
+                plan.entry(src).or_default().push(cell_index(w, n));
+            }
+        }
+    }
+    plan
+}
+
+/// Halo exchange of leaf *particles* (positions + charges) to ghost depth
+/// `g`, without wrap — the forces near field is target-centric and only
+/// reads true in-domain neighbors. `own` serves a cell I own; received
+/// cells accumulate in the returned store and are re-served in later
+/// phases (corner forwarding). Message layout per cell, in plan order:
+/// `[count, xs.., ys.., zs.., qs..]`.
+pub fn particle_halo_exchange(
+    ctx: &mut WorkerCtx,
+    depth: u32,
+    g: usize,
+    own: impl Fn(usize) -> Option<CellParticles>,
+) -> BTreeMap<usize, CellParticles> {
+    let n = 1usize << depth;
+    let lay = BlockLayout::new([n; 3], ctx.grid);
+    let my = ctx.coords();
+    let mut store: BTreeMap<usize, CellParticles> = BTreeMap::new();
+    for axis in 0..3 {
+        let tag = ctx.fresh_tag();
+        ctx.count_op(2);
+        let dims_a = ctx.grid.dims[axis];
+        for other in 0..dims_a {
+            if other == my[axis] {
+                continue;
+            }
+            let mut dst_c = my;
+            dst_c[axis] = other;
+            let dst = ctx.grid.rank(dst_c);
+            let dplan = particle_axis_plan(&lay, dst_c, axis, g, n);
+            if let Some(cells) = dplan.get(&ctx.rank) {
+                let mut data = Vec::new();
+                let mut payload = 0u64;
+                for &c in cells {
+                    let cell = own(c)
+                        .or_else(|| store.get(&c).cloned())
+                        .unwrap_or_default();
+                    data.push(cell.len() as f64);
+                    payload += 4 * cell.len() as u64;
+                    data.extend_from_slice(&cell.xs);
+                    data.extend_from_slice(&cell.ys);
+                    data.extend_from_slice(&cell.zs);
+                    data.extend_from_slice(&cell.qs);
+                }
+                ctx.count_bytes_words(payload);
+                ctx.send(dst, tag, data);
+            }
+        }
+        let plan = particle_axis_plan(&lay, my, axis, g, n);
+        for (src, cells) in &plan {
+            let data = ctx.recv(*src, tag);
+            let mut i = 0usize;
+            for &c in cells {
+                let cnt = data[i] as usize;
+                i += 1;
+                let take = |i: &mut usize| -> Vec<f64> {
+                    let v = data[*i..*i + cnt].to_vec();
+                    *i += cnt;
+                    v
+                };
+                let xs = take(&mut i);
+                let ys = take(&mut i);
+                let zs = take(&mut i);
+                let qs = take(&mut i);
+                store.insert(c, CellParticles { xs, ys, zs, qs });
+            }
+            debug_assert_eq!(i, data.len());
+        }
+    }
+    store
+}
+
+/// One travelling slot of the symmetric near-field sweep: the particles
+/// and partial accumulator of origin box `origin`, currently visiting some
+/// other leaf box.
+pub struct Slot {
+    pub origin: usize,
+    pub cell: CellParticles,
+    pub acc: Vec<f64>,
+}
+
+/// One unit CSHIFT of the travelling slots: every slot's position moves by
+/// `pos_delta` (±1) along `axis` with circular wrap. Slots that cross a VU
+/// boundary are serialized to the grid neighbor; the rest re-key locally.
+/// `slots` is keyed by current position (global leaf index).
+pub fn shift_slots(
+    ctx: &mut WorkerCtx,
+    slots: &mut BTreeMap<usize, Slot>,
+    axis: usize,
+    pos_delta: i32,
+    lay: &BlockLayout,
+    n: usize,
+) {
+    let tag = ctx.fresh_tag();
+    let dims_a = ctx.grid.dims[axis];
+    let mut staying: BTreeMap<usize, Slot> = BTreeMap::new();
+    let mut leaving: Vec<f64> = Vec::new();
+    let mut leaving_words = 0u64;
+    for (pos, slot) in std::mem::take(slots) {
+        let mut g = [pos % n, (pos / n) % n, pos / (n * n)];
+        g[axis] = (g[axis] as i64 + pos_delta as i64).rem_euclid(n as i64) as usize;
+        let npos = cell_index(g, n);
+        if lay.vu_of(g) == ctx.rank {
+            ctx.count_local(5 * slot.cell.len() as u64);
+            staying.insert(npos, slot);
+        } else {
+            let cnt = slot.cell.len();
+            leaving_words += 5 * cnt as u64;
+            leaving.push(npos as f64);
+            leaving.push(slot.origin as f64);
+            leaving.push(cnt as f64);
+            leaving.extend_from_slice(&slot.cell.xs);
+            leaving.extend_from_slice(&slot.cell.ys);
+            leaving.extend_from_slice(&slot.cell.zs);
+            leaving.extend_from_slice(&slot.cell.qs);
+            leaving.extend_from_slice(&slot.acc);
+        }
+    }
+    *slots = staying;
+    if dims_a == 1 {
+        debug_assert!(leaving.is_empty());
+        return;
+    }
+    let my = ctx.coords();
+    let mut dst_c = my;
+    dst_c[axis] = (my[axis] as i64 + pos_delta as i64).rem_euclid(dims_a as i64) as usize;
+    let mut src_c = my;
+    src_c[axis] = (my[axis] as i64 - pos_delta as i64).rem_euclid(dims_a as i64) as usize;
+    ctx.count_bytes_words(leaving_words);
+    ctx.send(ctx.grid.rank(dst_c), tag, leaving);
+    let data = ctx.recv(ctx.grid.rank(src_c), tag);
+    let mut i = 0usize;
+    while i < data.len() {
+        let npos = data[i] as usize;
+        let origin = data[i + 1] as usize;
+        let cnt = data[i + 2] as usize;
+        i += 3;
+        let take = |i: &mut usize| -> Vec<f64> {
+            let v = data[*i..*i + cnt].to_vec();
+            *i += cnt;
+            v
+        };
+        let xs = take(&mut i);
+        let ys = take(&mut i);
+        let zs = take(&mut i);
+        let qs = take(&mut i);
+        let acc = take(&mut i);
+        slots.insert(
+            npos,
+            Slot {
+                origin,
+                cell: CellParticles { xs, ys, zs, qs },
+                acc,
+            },
+        );
+    }
+}

@@ -1,0 +1,525 @@
+//! The per-worker SPMD program: the five FMM phases of the paper's §2.2,
+//! executed over block-distributed boxes with explicit communication only.
+//!
+//! Bitwise identity with the serial backend is a hard invariant, kept by
+//! running the *same* per-box arithmetic in the same order:
+//! * P2O/eval run `fmm_core::driver::{p2o, eval_local}` over the worker's
+//!   own binning (other boxes are empty and skipped);
+//! * T1/T2/T3 run one-row `gemm_acc` calls per owned box — rows of a GEMM
+//!   are independent, so one-row products equal the corresponding rows of
+//!   the serial panel products bit for bit;
+//! * a box whose T2 source is out of domain still multiplies a zero row
+//!   whenever the serial slab ran the panel GEMM (the `any` predicate
+//!   below reproduces the serial slab test), because `0.0 + (−0.0)`
+//!   rounds differently from skipping the addition;
+//! * the near field runs the identical travelling-accumulator sweep with
+//!   the slots physically shifted between workers.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use fmm_core::driver::{eval_local, p2o, Fmm};
+use fmm_core::field::FieldHierarchy;
+use fmm_core::near::{
+    near_field_forces_box, pair_exchange, self_box_potential, NearFieldStats, PAIR_FLOPS,
+    PAIR_FORCE_FLOPS,
+};
+use fmm_core::particles::BinnedParticles;
+use fmm_core::stats::SpmdPhase;
+use fmm_core::translations::TranslationSet;
+use fmm_core::traversal::{downward_level, upward_level, Aggregation};
+use fmm_core::TraversalPlan;
+use fmm_linalg::gemm_acc;
+use fmm_machine::{subgrid_extent, BlockLayout, TravelPath};
+use fmm_tree::{near_field_offsets, BoxCoord, Domain, Hierarchy};
+
+use crate::collectives::{
+    all_to_allv, broadcast_from_root, cell_index, gather_level_to_root, halo_exchange_boxes,
+    particle_halo_exchange, shift_slots, CellParticles, Slot,
+};
+use crate::fabric::WorkerCtx;
+
+/// Read-only inputs shared by all workers.
+pub(crate) struct Shared<'a> {
+    pub fmm: &'a Fmm,
+    pub positions: &'a [[f64; 3]],
+    pub charges: &'a [f64],
+    pub domain: Domain,
+    pub depth: u32,
+    pub with_fields: bool,
+    pub plan: &'a TraversalPlan,
+}
+
+/// One worker's contribution to the evaluation.
+pub(crate) struct WorkerOut {
+    pub counters: [SpmdPhase; 6],
+    /// Original input index of each locally-sorted particle.
+    pub orig: Vec<usize>,
+    /// Combined far + near potential per local particle.
+    pub pot: Vec<f64>,
+    pub fields: Option<Vec<[f64; 3]>>,
+    pub near_stats: NearFieldStats,
+    pub p2o_flops: u64,
+    pub eval_flops: u64,
+    /// Wall time of [sort, p2o, upward, downward, eval, near].
+    pub times: [Duration; 6],
+}
+
+/// Does the serial slab of level `l` have any in-domain T2 source at this
+/// (octant parity `o`, offset `off`) along one of x/y? The serial panel
+/// spans every parent of the plane, so the question is whether any parent
+/// coordinate `q ∈ [0, 2^(l−1))` puts `2q + o + off` inside `[0, 2^l)`.
+#[inline]
+fn axis_has_source(l: u32, o: i64, off: i64) -> bool {
+    let n = 1i64 << l;
+    let np = n >> 1;
+    let base = o + off;
+    let qmin = 0i64.max((1 - base).div_euclid(2));
+    let qmax = (np - 1).min((n - 1 - base).div_euclid(2));
+    qmin <= qmax
+}
+
+/// T2 + T3 for this worker's boxes of a distributed level `l`, bitwise
+/// identical to the serial `downward_level`.
+#[allow(clippy::too_many_arguments)]
+fn downward_owned(
+    ctx: &mut WorkerCtx,
+    local_parent: &[f64],
+    local_cur: &mut [f64],
+    far_cur: &[f64],
+    ts: &TranslationSet,
+    plan: &TraversalPlan,
+    l: u32,
+    k: usize,
+) {
+    let lay = BlockLayout::new([1usize << l; 3], ctx.grid);
+    let n_axis = 1i64 << l;
+    let apply_t3 = l >= 3;
+    // Serial zeroes the whole level, then *adds* each box's accumulator
+    // into it; replicate both steps so −0.0 sums keep their sign behavior.
+    for v in local_cur.iter_mut() {
+        *v = 0.0;
+    }
+    let zero_row = vec![0.0; k];
+    let mut acc = vec![0.0; k];
+    for li in 0..lay.boxes_per_vu() {
+        let g = lay.global_of(ctx.rank, li);
+        let c = BoxCoord {
+            level: l,
+            x: g[0] as u32,
+            y: g[1] as u32,
+            z: g[2] as u32,
+        };
+        let oct = c.octant();
+        let op = &plan.octants[oct];
+        for v in acc.iter_mut() {
+            *v = 0.0;
+        }
+        if apply_t3 {
+            let pi = c.parent().expect("l >= 3").index();
+            gemm_acc(
+                1,
+                k,
+                k,
+                &local_parent[pi * k..(pi + 1) * k],
+                ts.t3t[oct].as_slice(),
+                &mut acc,
+            );
+        }
+        let o = [(c.x & 1) as i64, (c.y & 1) as i64, (c.z & 1) as i64];
+        let sz_base = 2 * ((c.z >> 1) as i64) + o[2];
+        for (j, &off) in op.offsets.iter().enumerate() {
+            let sz = sz_base + off[2] as i64;
+            let any = (0..n_axis).contains(&sz)
+                && axis_has_source(l, o[0], off[0] as i64)
+                && axis_has_source(l, o[1], off[1] as i64);
+            if !any {
+                continue;
+            }
+            let m = ts.t2t[op.t2_idx[j] as usize]
+                .as_ref()
+                .expect("interactive offset has a T2 matrix");
+            let s = [c.x as i64 + off[0] as i64, c.y as i64 + off[1] as i64, sz];
+            if s.iter().all(|&v| v >= 0 && v < n_axis) {
+                let si = ((s[2] * n_axis + s[1]) * n_axis + s[0]) as usize;
+                gemm_acc(
+                    1,
+                    k,
+                    k,
+                    &far_cur[si * k..(si + 1) * k],
+                    m.as_slice(),
+                    &mut acc,
+                );
+            } else {
+                // The slab GEMM ran with this row zeroed; do the same.
+                gemm_acc(1, k, k, &zero_row, m.as_slice(), &mut acc);
+            }
+        }
+        let ci = c.index();
+        for (d, s) in local_cur[ci * k..(ci + 1) * k].iter_mut().zip(&acc) {
+            *d += *s;
+        }
+        ctx.count_local((op.offsets.len() as u64 + 2) * k as u64);
+    }
+}
+
+pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
+    let rank = ctx.rank;
+    let p = ctx.p();
+    let depth = sh.depth;
+    let n_axis = 1usize << depth;
+    let leaf = BlockLayout::new([n_axis; 3], ctx.grid);
+    let cfg = sh.fmm.config();
+    let k = sh.fmm.k();
+    let ts = sh.fmm.translations();
+    let mut times = [Duration::ZERO; 6];
+
+    // ---- Phase 0: sort. Block-distributed input particles are routed to
+    // the worker owning their leaf box (the paper's coordinate sort).
+    let t0 = Instant::now();
+    let n = sh.positions.len();
+    let (i0, i1) = (rank * n / p, (rank + 1) * n / p);
+    let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
+    for i in i0..i1 {
+        let b = sh.domain.locate(sh.positions[i], depth);
+        let w = leaf.vu_of([b.x as usize, b.y as usize, b.z as usize]);
+        outgoing[w].extend_from_slice(&[
+            sh.positions[i][0],
+            sh.positions[i][1],
+            sh.positions[i][2],
+            sh.charges[i],
+            i as f64,
+        ]);
+    }
+    if p > 1 {
+        // The model prices the whole redistribution as one router send.
+        ctx.count_op(1);
+    }
+    let mine = all_to_allv(&mut ctx, outgoing);
+    let m_loc = mine.len() / 5;
+    let mut pos = Vec::with_capacity(m_loc);
+    let mut q = Vec::with_capacity(m_loc);
+    let mut orig = Vec::with_capacity(m_loc);
+    for ch in mine.chunks_exact(5) {
+        pos.push([ch[0], ch[1], ch[2]]);
+        q.push(ch[3]);
+        orig.push(ch[4] as usize);
+    }
+    let bp = BinnedParticles::build(&pos, &q, sh.domain, depth);
+    let orig_sorted = bp.binning.gather(&orig);
+    times[0] = t0.elapsed();
+
+    // ---- Phase 1: P2O over owned leaf boxes (all other boxes are empty
+    // in this worker's binning and skipped).
+    ctx.phase = 1;
+    let t0 = Instant::now();
+    let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
+    let leaf_side = sh.domain.box_side(depth);
+    let a_leaf = cfg.outer_ratio * leaf_side;
+    let p2o_flops = p2o(
+        &bp,
+        sh.fmm.rule(),
+        a_leaf,
+        depth,
+        false,
+        &mut fh.far[depth as usize],
+    );
+    times[1] = t0.elapsed();
+
+    // ---- Phase 2: upward pass. Distributed levels combine per owned
+    // parent (children are co-located with their parent under the block
+    // layout); once a level no longer fills the VU grid, its children are
+    // combined to rank 0 (Multigrid embedding) and the remaining levels
+    // run there serially.
+    ctx.phase = 2;
+    let t0 = Instant::now();
+    if depth >= 3 {
+        for l in (1..depth).rev() {
+            if subgrid_extent(l, &ctx.grid).is_some() {
+                let lay = BlockLayout::new([1usize << l; 3], ctx.grid);
+                let (lo, hi) = fh.far.split_at_mut(l as usize + 1);
+                let parents = &mut lo[l as usize];
+                let children = &hi[0];
+                for li in 0..lay.boxes_per_vu() {
+                    let g = lay.global_of(rank, li);
+                    let pb = BoxCoord {
+                        level: l,
+                        x: g[0] as u32,
+                        y: g[1] as u32,
+                        z: g[2] as u32,
+                    };
+                    let out = {
+                        let pi = pb.index();
+                        &mut parents[pi * k..(pi + 1) * k]
+                    };
+                    for oct in 0..8 {
+                        let ci = pb.child(oct).index();
+                        gemm_acc(
+                            1,
+                            k,
+                            k,
+                            &children[ci * k..(ci + 1) * k],
+                            ts.t1t[oct].as_slice(),
+                            out,
+                        );
+                    }
+                    ctx.count_local(8 * k as u64);
+                }
+            } else {
+                if subgrid_extent(l + 1, &ctx.grid).is_some() {
+                    gather_level_to_root(&mut ctx, &mut fh.far[(l + 1) as usize], l + 1, k);
+                }
+                if rank == 0 {
+                    let fl = upward_level(&mut fh, ts, sh.plan, l, Aggregation::Gemm, false);
+                    ctx.count_local(fl.copied);
+                }
+            }
+        }
+    }
+    times[2] = t0.elapsed();
+
+    // ---- Phase 3: downward pass. Embedded levels run on rank 0; the
+    // first distributed level receives its parents' locals by broadcast;
+    // each distributed level halo-exchanges the far field and then runs
+    // T2 + T3 per owned box.
+    ctx.phase = 3;
+    let t0 = Instant::now();
+    let sep = cfg.separation;
+    let ghost = (2 * sep.d() + 1) as usize;
+    let l_first = (2..=depth).find(|&l| subgrid_extent(l, &ctx.grid).is_some());
+    for l in 2..=depth {
+        if subgrid_extent(l, &ctx.grid).is_none() {
+            if rank == 0 {
+                let fl = downward_level(&mut fh, ts, sh.plan, false, Aggregation::Gemm, false, l);
+                ctx.count_local(fl.copied);
+            }
+            continue;
+        }
+        if Some(l) == l_first && l >= 3 && subgrid_extent(l - 1, &ctx.grid).is_none() {
+            broadcast_from_root(&mut ctx, &mut fh.local[(l - 1) as usize]);
+        }
+        halo_exchange_boxes(&mut ctx, &mut fh.far[l as usize], l, ghost, k);
+        let (lo, hi) = fh.local.split_at_mut(l as usize);
+        downward_owned(
+            &mut ctx,
+            &lo[(l - 1) as usize],
+            &mut hi[0],
+            &fh.far[l as usize],
+            ts,
+            sh.plan,
+            l,
+            k,
+        );
+    }
+    times[3] = t0.elapsed();
+
+    // ---- Phase 4: evaluate leaf inner approximations at owned particles.
+    ctx.phase = 4;
+    let t0 = Instant::now();
+    let b_leaf = cfg.inner_ratio * leaf_side;
+    let mut pot = vec![0.0; bp.len()];
+    let mut far_field = sh.with_fields.then(|| vec![[0.0; 3]; bp.len()]);
+    let eval_flops = eval_local(
+        &bp,
+        sh.fmm.rule(),
+        cfg.m_trunc,
+        b_leaf,
+        depth,
+        false,
+        &fh.local[depth as usize],
+        &mut pot,
+        far_field.as_deref_mut(),
+    );
+    times[4] = t0.elapsed();
+
+    // ---- Phase 5: near field.
+    ctx.phase = 5;
+    let t0 = Instant::now();
+    let eps2 = cfg.softening * cfg.softening;
+    let mut near_pot = vec![0.0; bp.len()];
+    let mut near_field = sh.with_fields.then(|| vec![[0.0; 3]; bp.len()]);
+    let mut stats = NearFieldStats::default();
+    if let Some(near_f) = near_field.as_mut() {
+        // Forces are target-centric: fetch true neighbor particles to
+        // ghost depth d (no wrap) and run the serial per-box kernel over
+        // the halo-extended binning.
+        let own = |c: usize| -> Option<CellParticles> {
+            let g = [c % n_axis, (c / n_axis) % n_axis, c / (n_axis * n_axis)];
+            if leaf.vu_of(g) != rank {
+                return None;
+            }
+            let r = bp.range(c);
+            Some(CellParticles {
+                xs: bp.x[r.clone()].to_vec(),
+                ys: bp.y[r.clone()].to_vec(),
+                zs: bp.z[r.clone()].to_vec(),
+                qs: bp.q[r].to_vec(),
+            })
+        };
+        let store = particle_halo_exchange(&mut ctx, depth, sep.d() as usize, own);
+        let mut pos2: Vec<[f64; 3]> = Vec::with_capacity(bp.len());
+        let mut q2: Vec<f64> = Vec::with_capacity(bp.len());
+        for i in 0..bp.len() {
+            pos2.push([bp.x[i], bp.y[i], bp.z[i]]);
+            q2.push(bp.q[i]);
+        }
+        for cell in store.values() {
+            for j in 0..cell.len() {
+                pos2.push([cell.xs[j], cell.ys[j], cell.zs[j]]);
+                q2.push(cell.qs[j]);
+            }
+        }
+        // Stable binning keeps each box's particles in owner order, so
+        // per-box source order equals the serial global binning's.
+        let bph = BinnedParticles::build(&pos2, &q2, sh.domain, depth);
+        let offsets = near_field_offsets(sep);
+        let mut pot_h = vec![0.0; bph.len()];
+        let mut f_h = vec![[0.0; 3]; bph.len()];
+        for li in 0..leaf.boxes_per_vu() {
+            let g = leaf.global_of(rank, li);
+            let bi = cell_index(g, n_axis);
+            let rh = bph.range(bi);
+            stats.pair_interactions += near_field_forces_box(
+                &bph,
+                bi,
+                &offsets,
+                eps2,
+                &mut pot_h[rh.clone()],
+                &mut f_h[rh],
+            );
+        }
+        for li in 0..leaf.boxes_per_vu() {
+            let g = leaf.global_of(rank, li);
+            let bi = cell_index(g, n_axis);
+            for (dst, src) in bp.range(bi).zip(bph.range(bi)) {
+                near_pot[dst] = pot_h[src];
+                near_f[dst] = f_h[src];
+            }
+        }
+        stats.flops = stats.pair_interactions * PAIR_FORCE_FLOPS;
+    } else {
+        // Potentials use the symmetric travelling-accumulator sweep: each
+        // owned box's particles + partial accumulator ride a slot that
+        // CSHIFTs along the snake itinerary, exactly as the serial
+        // emulation (and the paper's CM implementation) orders it.
+        for li in 0..leaf.boxes_per_vu() {
+            let g = leaf.global_of(rank, li);
+            let bi = cell_index(g, n_axis);
+            let r = bp.range(bi);
+            if !r.is_empty() {
+                stats.pair_interactions +=
+                    self_box_potential(&bp, r.clone(), eps2, &mut near_pot[r]);
+                stats.box_pairs += 1;
+            }
+        }
+        let mut slots: BTreeMap<usize, Slot> = BTreeMap::new();
+        for li in 0..leaf.boxes_per_vu() {
+            let g = leaf.global_of(rank, li);
+            let bi = cell_index(g, n_axis);
+            let r = bp.range(bi);
+            slots.insert(
+                bi,
+                Slot {
+                    origin: bi,
+                    cell: CellParticles {
+                        xs: bp.x[r.clone()].to_vec(),
+                        ys: bp.y[r.clone()].to_vec(),
+                        zs: bp.z[r.clone()].to_vec(),
+                        qs: bp.q[r.clone()].to_vec(),
+                    },
+                    acc: vec![0.0; r.len()],
+                },
+            );
+        }
+        let path = TravelPath::new(sep.d());
+        for step in &path.steps {
+            // Slot position = origin − cum, so the position moves against
+            // the step direction.
+            shift_slots(&mut ctx, &mut slots, step.axis, -step.dir, &leaf, n_axis);
+            ctx.count_op(1);
+            let cum = step.cum;
+            for li in 0..leaf.boxes_per_vu() {
+                let g = leaf.global_of(rank, li);
+                let bi = cell_index(g, n_axis);
+                let t_range = bp.range(bi);
+                if t_range.is_empty() {
+                    continue;
+                }
+                let t = BoxCoord::from_index(depth, bi);
+                let Some(s) = t.offset(cum) else {
+                    continue;
+                };
+                let slot = slots.get_mut(&bi).expect("slot coverage is total");
+                debug_assert_eq!(slot.origin, s.index());
+                if slot.cell.is_empty() {
+                    continue;
+                }
+                let t_out = &mut near_pot[t_range.clone()];
+                for (i, ti) in t_range.clone().enumerate() {
+                    t_out[i] += pair_exchange(
+                        bp.x[ti],
+                        bp.y[ti],
+                        bp.z[ti],
+                        bp.q[ti],
+                        eps2,
+                        &slot.cell.xs,
+                        &slot.cell.ys,
+                        &slot.cell.zs,
+                        &slot.cell.qs,
+                        &mut slot.acc,
+                    );
+                    stats.pair_interactions += slot.cell.len() as u64;
+                }
+                stats.box_pairs += 1;
+            }
+        }
+        // Return shifts: one logical CSHIFT per axis brings every
+        // accumulator home (unit hops underneath, like the model's travel
+        // distances).
+        for (axis, &r) in path.returns.iter().enumerate() {
+            if r == 0 {
+                continue;
+            }
+            ctx.count_op(1);
+            // `returns` is the cum-space displacement home; slot positions
+            // move opposite to cum.
+            for _ in 0..r.abs() {
+                shift_slots(&mut ctx, &mut slots, axis, -r.signum(), &leaf, n_axis);
+            }
+        }
+        for li in 0..leaf.boxes_per_vu() {
+            let g = leaf.global_of(rank, li);
+            let bi = cell_index(g, n_axis);
+            let slot = &slots[&bi];
+            debug_assert_eq!(slot.origin, bi);
+            for (o, a) in near_pot[bp.range(bi)].iter_mut().zip(&slot.acc) {
+                *o += *a;
+            }
+        }
+        stats.flops = stats.pair_interactions * PAIR_FLOPS;
+    }
+    times[5] = t0.elapsed();
+
+    // Combine far + near exactly as the serial driver does.
+    if let (Some(ff), Some(nf)) = (far_field.as_mut(), near_field.as_ref()) {
+        for (a, b) in ff.iter_mut().zip(nf) {
+            for d in 0..3 {
+                a[d] += b[d];
+            }
+        }
+    }
+    for (f, nr) in pot.iter_mut().zip(&near_pot) {
+        *f += nr;
+    }
+
+    WorkerOut {
+        counters: ctx.counters,
+        orig: orig_sorted,
+        pot,
+        fields: far_field,
+        near_stats: stats,
+        p2o_flops,
+        eval_flops,
+        times,
+    }
+}

@@ -1,0 +1,235 @@
+//! The message fabric: worker threads as VUs, explicit typed channels.
+//!
+//! Every worker owns its particles and box data outright; nothing is shared
+//! mutably. The only way data moves between workers is a [`WorkerCtx::send`]
+//! / [`WorkerCtx::recv`] pair over `mpsc` channels, which makes the measured
+//! byte and message counts the *actual* data motion of the program — the
+//! quantity `fmm_machine::communication_budget` predicts.
+//!
+//! Determinism: tags are allocated by a monotonic per-worker counter, and
+//! every worker executes the same program (same sequence of collective
+//! calls), so tag `t` means the same collective phase on every rank. A
+//! receive names its `(from, tag)` pair; packets that arrive early are
+//! parked in a buffer, so arrival order never affects results.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use fmm_core::stats::SpmdPhase;
+use fmm_machine::VuGrid;
+
+/// How long a `recv` waits before declaring the fabric wedged. Generous:
+/// a matching send may sit behind a whole compute phase on the peer.
+const RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// One message on the fabric.
+struct Packet {
+    from: usize,
+    tag: u64,
+    data: Vec<f64>,
+}
+
+/// Per-worker execution context: identity on the VU grid, channel
+/// endpoints, and the per-phase data-motion counters.
+pub struct WorkerCtx {
+    pub rank: usize,
+    pub grid: VuGrid,
+    senders: Vec<Sender<Packet>>,
+    rx: Receiver<Packet>,
+    /// Early arrivals, keyed by (from, tag).
+    pending: HashMap<(usize, u64), Vec<Vec<f64>>>,
+    next_tag: u64,
+    /// Which program phase counters are charged to (0..6, budget order).
+    pub phase: usize,
+    pub counters: [SpmdPhase; 6],
+}
+
+impl WorkerCtx {
+    /// Worker count.
+    pub fn p(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// My coordinates on the VU grid.
+    pub fn coords(&self) -> [usize; 3] {
+        self.grid.coords(self.rank)
+    }
+
+    /// Allocate the next collective tag. All ranks call this in the same
+    /// program order, so the same tag names the same phase everywhere.
+    pub fn fresh_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+
+    /// Send `data` to `to` under `tag`. Never blocks (unbounded channel).
+    pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+        self.senders[to]
+            .send(Packet {
+                from: self.rank,
+                tag,
+                data,
+            })
+            .expect("fabric peer hung up");
+    }
+
+    /// Receive the packet sent by `from` under `tag`, parking any other
+    /// packets that arrive first.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        let key = (from, tag);
+        if let Some(q) = self.pending.get_mut(&key) {
+            if !q.is_empty() {
+                let data = q.remove(0);
+                if q.is_empty() {
+                    self.pending.remove(&key);
+                }
+                return data;
+            }
+        }
+        loop {
+            match self.rx.recv_timeout(RECV_TIMEOUT) {
+                Ok(pkt) => {
+                    if (pkt.from, pkt.tag) == key {
+                        return pkt.data;
+                    }
+                    self.pending
+                        .entry((pkt.from, pkt.tag))
+                        .or_default()
+                        .push(pkt.data);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    panic!(
+                        "spmd rank {} timed out waiting for (from={}, tag={})",
+                        self.rank, from, tag
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("spmd rank {}: fabric disconnected", self.rank);
+                }
+            }
+        }
+    }
+
+    /// Count `n` logical channel operations (CSHIFTs, router transfers,
+    /// broadcast stages). Charged on rank 0 only so the total matches the
+    /// model's program-level operation count rather than `p` copies of it.
+    pub fn count_op(&mut self, n: u64) {
+        if self.rank == 0 {
+            self.counters[self.phase].messages += n;
+        }
+    }
+
+    /// Count `n` point-to-point messages on the *sending* worker (router
+    /// traffic such as the sort scatter or the upward gather, where the
+    /// model counts individual sends).
+    pub fn count_msg(&mut self, n: u64) {
+        self.counters[self.phase].messages += n;
+    }
+
+    /// Count `words` f64 payload words crossing a worker boundary,
+    /// charged to the sender.
+    pub fn count_bytes_words(&mut self, words: u64) {
+        self.counters[self.phase].bytes += words * 8;
+    }
+
+    /// Count `words` f64 words moved within this worker's own memory.
+    pub fn count_local(&mut self, words: u64) {
+        self.counters[self.phase].local_words += words;
+    }
+}
+
+/// Run `p = grid.len()` workers, one thread per VU, each with a fully wired
+/// [`WorkerCtx`]. Returns the workers' results in rank order.
+pub fn run_workers<T, F>(grid: VuGrid, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(WorkerCtx) -> T + Sync,
+{
+    let p = grid.len();
+    let mut txs = Vec::with_capacity(p);
+    let mut rxs = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = channel();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut joins = Vec::with_capacity(p);
+        for (rank, rx) in rxs.into_iter().enumerate() {
+            let senders = txs.clone();
+            joins.push(scope.spawn(move || {
+                f(WorkerCtx {
+                    rank,
+                    grid,
+                    senders,
+                    rx,
+                    pending: HashMap::new(),
+                    next_tag: 0,
+                    phase: 0,
+                    counters: Default::default(),
+                })
+            }));
+        }
+        drop(txs);
+        joins
+            .into_iter()
+            .map(|j| j.join().expect("spmd worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_shift_delivers() {
+        let grid = VuGrid::new([4, 1, 1]);
+        let out = run_workers(grid, |mut ctx| {
+            let p = ctx.p();
+            let tag = ctx.fresh_tag();
+            ctx.send((ctx.rank + 1) % p, tag, vec![ctx.rank as f64]);
+            let data = ctx.recv((ctx.rank + p - 1) % p, tag);
+            data[0] as usize
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let grid = VuGrid::new([2, 1, 1]);
+        let out = run_workers(grid, |mut ctx| {
+            let t0 = ctx.fresh_tag();
+            let t1 = ctx.fresh_tag();
+            let peer = 1 - ctx.rank;
+            // Send in tag order, receive in reverse order.
+            ctx.send(peer, t0, vec![10.0 + ctx.rank as f64]);
+            ctx.send(peer, t1, vec![20.0 + ctx.rank as f64]);
+            let b = ctx.recv(peer, t1);
+            let a = ctx.recv(peer, t0);
+            (a[0], b[0])
+        });
+        assert_eq!(out[0], (10.0 + 1.0, 20.0 + 1.0));
+        assert_eq!(out[1], (10.0, 20.0));
+    }
+
+    #[test]
+    fn op_counts_on_rank_zero_only() {
+        let grid = VuGrid::new([2, 2, 1]);
+        let out = run_workers(grid, |mut ctx| {
+            ctx.phase = 3;
+            ctx.count_op(2);
+            ctx.count_msg(1);
+            ctx.count_bytes_words(10);
+            ctx.counters
+        });
+        let rank0 = &out[0][3];
+        assert_eq!(rank0.messages, 3); // 2 ops + 1 msg
+        assert_eq!(rank0.bytes, 80);
+        let rank1 = &out[1][3];
+        assert_eq!(rank1.messages, 1); // msg only
+    }
+}

@@ -1,0 +1,204 @@
+//! # fmm-spmd — a message-passing SPMD executor behind the machine model
+//!
+//! The machine model in `fmm-machine` *prices* the FMM's communication on a
+//! CM-5-style distributed machine; this crate *executes* it. N worker
+//! threads play the VUs of a [`fmm_machine::VuGrid`], each owning a block
+//! of boxes outright. No shared mutable arrays exist: every datum that
+//! moves between workers goes through an explicit typed channel, so the
+//! per-phase byte and message counters measured here are the program's
+//! actual data motion — directly comparable against
+//! `fmm_machine::communication_budget`.
+//!
+//! The channel primitives mirror the CM runtime (see `DESIGN.md`, "The
+//! SPMD runtime"): a personalized all-to-all (the data router) for the
+//! post-sort particle redistribution, grid CSHIFTs with circular wrap for
+//! the downward halo and the near-field travelling accumulators, and
+//! tree-structured combine/spread for the coarse levels where boxes are
+//! fewer than VUs (the Multigrid embedding).
+//!
+//! Results are **bitwise identical** to the serial and rayon backends for
+//! every worker count: the same per-box arithmetic runs in the same order,
+//! only the data lives elsewhere.
+//!
+//! ## Usage
+//!
+//! ```
+//! use fmm_core::{Executor, Fmm, FmmConfig};
+//!
+//! fmm_spmd::install(); // register the backend once per process
+//! let fmm = Fmm::new(FmmConfig::order(3).depth(2).executor(Executor::Spmd(4))).unwrap();
+//! let positions: Vec<[f64; 3]> = (0..64)
+//!     .map(|i| {
+//!         let f = i as f64 / 64.0;
+//!         [f, (f * 7.3) % 1.0, (f * 3.1) % 1.0]
+//!     })
+//!     .collect();
+//! let out = fmm.evaluate(&positions, &vec![1.0; 64]).unwrap();
+//! assert_eq!(out.spmd.unwrap().workers, 4);
+//! ```
+
+pub mod collectives;
+mod exec;
+mod fabric;
+
+use std::time::Duration;
+
+use fmm_core::driver::{EvalOutput, Fmm, FmmError};
+use fmm_core::near::NearFieldStats;
+use fmm_core::stats::SpmdPhase;
+use fmm_core::traversal::TraversalFlops;
+use fmm_core::{Domain, Phase, Profile, SpmdReport};
+use fmm_linalg::gemm_flops;
+use fmm_machine::VuGrid;
+
+pub use fabric::{run_workers, WorkerCtx};
+
+/// Register this crate as the backend for [`fmm_core::Executor::Spmd`].
+/// Idempotent; call once before evaluating.
+pub fn install() {
+    fmm_core::driver::install_spmd_backend(run_spmd);
+}
+
+/// Arrange `p` workers (a power of two) on a VU grid, spreading factors of
+/// two across x, y, z round-robin: 2 → [2,1,1], 8 → [2,2,2], 128 → [8,4,4].
+pub fn vu_grid_for(p: usize) -> VuGrid {
+    assert!(p.is_power_of_two(), "worker count must be a power of two");
+    let mut dims = [1usize; 3];
+    let mut axis = 0;
+    let mut left = p;
+    while left > 1 {
+        dims[axis] *= 2;
+        left /= 2;
+        axis = (axis + 1) % 3;
+    }
+    VuGrid::new(dims)
+}
+
+/// The backend entry point matching [`fmm_core::driver::SpmdBackend`].
+fn run_spmd(
+    fmm: &Fmm,
+    positions: &[[f64; 3]],
+    charges: &[f64],
+    domain: Domain,
+    with_fields: bool,
+    workers: usize,
+) -> Result<EvalOutput, FmmError> {
+    let cfg = fmm.config();
+    let depth = cfg.depth.resolve(positions.len());
+    let grid = vu_grid_for(workers);
+    let n_axis = 1usize << depth;
+    if grid.dims.iter().any(|&d| d > n_axis) {
+        return Err(FmmError::InvalidConfig(format!(
+            "Executor::Spmd({workers}) lays workers on a {:?} grid, but depth {depth} \
+             has only {n_axis} leaf boxes per axis; reduce workers or increase depth",
+            grid.dims,
+        )));
+    }
+    let plan = fmm.plan_for(depth);
+    let shared = exec::Shared {
+        fmm,
+        positions,
+        charges,
+        domain,
+        depth,
+        with_fields,
+        plan: &plan,
+    };
+    let outs = run_workers(grid, |ctx| exec::worker_main(ctx, &shared));
+
+    // Assemble: scatter per-worker results back to original particle
+    // order, sum counters and stats, take phase times from rank 0.
+    let n = positions.len();
+    let mut potentials = vec![0.0; n];
+    let mut fields = with_fields.then(|| vec![[0.0; 3]; n]);
+    let mut counters = [SpmdPhase::default(); 6];
+    let mut stats = NearFieldStats::default();
+    let (mut p2o_flops, mut eval_flops) = (0u64, 0u64);
+    for w in &outs {
+        for (i, &o) in w.orig.iter().enumerate() {
+            potentials[o] = w.pot[i];
+            if let (Some(f), Some(wf)) = (fields.as_mut(), w.fields.as_ref()) {
+                f[o] = wf[i];
+            }
+        }
+        for (c, wc) in counters.iter_mut().zip(&w.counters) {
+            *c += *wc;
+        }
+        stats.pair_interactions += w.near_stats.pair_interactions;
+        stats.box_pairs += w.near_stats.box_pairs;
+        stats.flops += w.near_stats.flops;
+        p2o_flops += w.p2o_flops;
+        eval_flops += w.eval_flops;
+    }
+
+    // Nominal traversal flop counters, closed-form — identical to the
+    // serial per-level accounting (which also counts interior-box work).
+    let k = fmm.k();
+    let mut tfl = TraversalFlops::default();
+    if depth >= 3 {
+        for l in 1..depth {
+            let n_parents = 1usize << (3 * l);
+            tfl.t1 += gemm_flops(n_parents, k, k) * 8;
+            tfl.copied += (n_parents * 8 * k) as u64;
+        }
+    }
+    let per_box_t2 = plan.octants[0].offsets.len() as u64;
+    for l in 2..=depth {
+        let n_boxes = 1usize << (3 * l);
+        tfl.t2 += per_box_t2 * gemm_flops(n_boxes, k, k);
+        if l >= 3 {
+            tfl.t3 += gemm_flops(n_boxes, k, k);
+        }
+        tfl.copied += (n_boxes * k) as u64 * (per_box_t2 + 2);
+    }
+
+    let mut profile = Profile::new();
+    let phase_of = [
+        Phase::Sort,
+        Phase::P2O,
+        Phase::Upward,
+        Phase::Interactive, // downward wall time, as in the serial driver
+        Phase::Eval,
+        Phase::Near,
+    ];
+    let critical_path: &[Duration; 6] = &outs[0].times;
+    for (ph, &t) in phase_of.iter().zip(critical_path) {
+        profile.add_time(*ph, t);
+    }
+    profile.add_flops(Phase::P2O, p2o_flops);
+    profile.add_flops(Phase::Upward, tfl.t1);
+    profile.add_flops(Phase::Interactive, tfl.t2);
+    profile.add_flops(Phase::Downward, tfl.t3);
+    profile.add_flops(Phase::Eval, eval_flops);
+    profile.add_flops(Phase::Near, stats.flops);
+
+    Ok(EvalOutput {
+        potentials,
+        fields,
+        profile,
+        depth,
+        near_stats: stats,
+        traversal_flops: tfl,
+        domain,
+        spmd: Some(SpmdReport {
+            workers,
+            vu_dims: grid.dims,
+            phases: counters,
+        }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_factorization_round_robins() {
+        assert_eq!(vu_grid_for(1).dims, [1, 1, 1]);
+        assert_eq!(vu_grid_for(2).dims, [2, 1, 1]);
+        assert_eq!(vu_grid_for(4).dims, [2, 2, 1]);
+        assert_eq!(vu_grid_for(8).dims, [2, 2, 2]);
+        assert_eq!(vu_grid_for(32).dims, [4, 4, 2]);
+        assert_eq!(vu_grid_for(128).dims, [8, 4, 4]);
+    }
+}

@@ -1,0 +1,119 @@
+//! The tentpole invariant: `Executor::Spmd(p)` is **bitwise identical** to
+//! `Executor::Serial` — same potentials, same fields, same near-field
+//! counters — for every worker count. Distribution moves data, never bits.
+
+use fmm_core::{Executor, Fmm, FmmConfig};
+
+fn pseudo_system(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pts = (0..n).map(|_| [next(), next(), next()]).collect();
+    let q = (0..n).map(|_| next() * 2.0 - 1.0).collect();
+    (pts, q)
+}
+
+fn config(depth: u32, executor: Executor) -> FmmConfig {
+    FmmConfig::order(3).depth(depth).executor(executor)
+}
+
+fn assert_bitwise(depth: u32, n: usize, workers: &[usize], with_fields: bool) {
+    fmm_spmd::install();
+    let (pts, q) = pseudo_system(n, 0x5eed ^ (depth as u64) << 8 ^ n as u64);
+    let serial = Fmm::new(config(depth, Executor::Serial)).unwrap();
+    let reference = if with_fields {
+        serial.evaluate_forces(&pts, &q).unwrap()
+    } else {
+        serial.evaluate(&pts, &q).unwrap()
+    };
+    for &p in workers {
+        let fmm = Fmm::new(config(depth, Executor::Spmd(p))).unwrap();
+        let out = if with_fields {
+            fmm.evaluate_forces(&pts, &q).unwrap()
+        } else {
+            fmm.evaluate(&pts, &q).unwrap()
+        };
+        for (i, (a, b)) in reference.potentials.iter().zip(&out.potentials).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "potential {i} differs at p={p}, depth={depth}: {a:e} vs {b:e}"
+            );
+        }
+        match (&reference.fields, &out.fields) {
+            (None, None) => {}
+            (Some(fa), Some(fb)) => {
+                for (i, (a, b)) in fa.iter().zip(fb).enumerate() {
+                    for d in 0..3 {
+                        assert_eq!(
+                            a[d].to_bits(),
+                            b[d].to_bits(),
+                            "field {i}[{d}] differs at p={p}, depth={depth}"
+                        );
+                    }
+                }
+            }
+            _ => panic!("fields presence mismatch"),
+        }
+        assert_eq!(
+            reference.near_stats.pair_interactions, out.near_stats.pair_interactions,
+            "near pair count differs at p={p}, depth={depth}"
+        );
+        assert_eq!(
+            reference.near_stats.box_pairs, out.near_stats.box_pairs,
+            "near box-pair count differs at p={p}, depth={depth}"
+        );
+        assert_eq!(reference.near_stats.flops, out.near_stats.flops);
+        assert_eq!(reference.traversal_flops, out.traversal_flops);
+        let rep = out.spmd.expect("spmd run attaches a report");
+        assert_eq!(rep.workers, p);
+    }
+}
+
+#[test]
+fn potentials_depth2_all_worker_counts() {
+    assert_bitwise(2, 700, &[1, 2, 4, 8], false);
+}
+
+#[test]
+fn potentials_depth3_all_worker_counts() {
+    assert_bitwise(3, 3000, &[1, 2, 4, 8], false);
+}
+
+#[test]
+fn potentials_depth4_sparse_boxes() {
+    // Fewer particles than leaf boxes: many empty boxes travel and halo
+    // cells are empty — the degenerate paths must still match.
+    assert_bitwise(4, 900, &[2, 8], false);
+}
+
+#[test]
+fn forces_depth2_all_worker_counts() {
+    assert_bitwise(2, 600, &[1, 2, 4, 8], true);
+}
+
+#[test]
+fn forces_depth3_all_worker_counts() {
+    assert_bitwise(3, 2500, &[1, 2, 4, 8], true);
+}
+
+#[test]
+fn potentials_depth3_embedded_levels_p64() {
+    // p = 64 on a [4,4,4] grid embeds levels 1 (and forces the gather /
+    // broadcast transition at level 2↔3 for depth 3).
+    assert_bitwise(3, 2000, &[64], false);
+}
+
+#[test]
+fn oversubscribed_workers_is_an_error() {
+    fmm_spmd::install();
+    let (pts, q) = pseudo_system(256, 7);
+    // depth 2 → 4 boxes per axis; 512 workers → dims [8,8,8] > 4.
+    let fmm = Fmm::new(config(2, Executor::Spmd(512))).unwrap();
+    let err = fmm.evaluate(&pts, &q).unwrap_err();
+    assert!(matches!(err, fmm_core::FmmError::InvalidConfig(_)));
+}

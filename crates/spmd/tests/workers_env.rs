@@ -1,0 +1,41 @@
+//! CI hook: the worker count under test comes from `FMM_SPMD_WORKERS`
+//! (default 2), so the workflow can run the suite at several widths
+//! without recompiling. Checks the backend-equivalence invariant end to
+//! end at that width.
+
+use fmm_core::{Executor, Fmm, FmmConfig};
+
+#[test]
+fn bitwise_at_env_worker_count() {
+    let workers: usize = std::env::var("FMM_SPMD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    fmm_spmd::install();
+
+    let n = 2000;
+    let mut state = 0xC1u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pts: Vec<[f64; 3]> = (0..n).map(|_| [next(), next(), next()]).collect();
+    let q: Vec<f64> = (0..n).map(|_| next() * 2.0 - 1.0).collect();
+
+    let cfg = |e| FmmConfig::order(3).depth(3).executor(e);
+    let serial = Fmm::new(cfg(Executor::Serial)).unwrap();
+    let spmd = Fmm::new(cfg(Executor::Spmd(workers))).unwrap();
+    let a = serial.evaluate_forces(&pts, &q).unwrap();
+    let b = spmd.evaluate_forces(&pts, &q).unwrap();
+    for (x, y) in a.potentials.iter().zip(&b.potentials) {
+        assert_eq!(x.to_bits(), y.to_bits(), "workers={workers}");
+    }
+    for (fa, fb) in a.fields.unwrap().iter().zip(b.fields.unwrap().iter()) {
+        for d in 0..3 {
+            assert_eq!(fa[d].to_bits(), fb[d].to_bits(), "workers={workers}");
+        }
+    }
+    assert_eq!(b.spmd.unwrap().workers, workers);
+}

@@ -3,11 +3,35 @@
 //! summation.
 //!
 //! Run: `cargo run --release --example quickstart`
+//!
+//! Pass `-- --executor spmd --workers 8` to run the same computation
+//! through the message-passing SPMD executor (worker threads as the VUs
+//! of a CM-5-style grid; identical bits, measured data motion).
 
-use anderson_fmm::fmm_core::{relative_error_stats, Fmm, FmmConfig};
-use anderson_fmm::fmm_direct;
+use anderson_fmm::fmm_core::{relative_error_stats, Executor, Fmm, FmmConfig};
+use anderson_fmm::{fmm_direct, fmm_spmd};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+fn executor_from_args() -> Executor {
+    let args: Vec<String> = std::env::args().collect();
+    let value_of = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+    };
+    match value_of("--executor").map(String::as_str) {
+        Some("spmd") => {
+            let workers = value_of("--workers")
+                .and_then(|w| w.parse().ok())
+                .unwrap_or(8);
+            fmm_spmd::install();
+            Executor::Spmd(workers)
+        }
+        Some("serial") => Executor::Serial,
+        _ => Executor::Rayon,
+    }
+}
 
 fn main() {
     // 1. A particle system: positions anywhere, charges (or masses) per
@@ -20,7 +44,8 @@ fn main() {
     // 2. Configure the method: integration order D = 5 is the paper's
     //    "four digits" configuration (K = 12 icosahedral rule); the depth,
     //    truncation and sphere radii default to calibrated values.
-    let fmm = Fmm::new(FmmConfig::order(5)).expect("valid configuration");
+    let executor = executor_from_args();
+    let fmm = Fmm::new(FmmConfig::order(5).executor(executor)).expect("valid configuration");
 
     // 3. Evaluate potentials at every particle in O(N).
     let out = fmm.evaluate(&positions, &charges).expect("evaluation");
@@ -29,6 +54,17 @@ fn main() {
         out.potentials.len(),
         out.depth
     );
+    if let Some(rep) = &out.spmd {
+        let bytes: u64 = rep.phases.iter().map(|p| p.bytes).sum();
+        let msgs: u64 = rep.phases.iter().map(|p| p.messages).sum();
+        println!(
+            "spmd: {} workers on a {:?} VU grid moved {:.2} MB in {} messages",
+            rep.workers,
+            rep.vu_dims,
+            bytes as f64 / 1e6,
+            msgs
+        );
+    }
     println!("{}", out.profile.table());
 
     // 4. Check against the O(N²) direct sum.

@@ -14,6 +14,9 @@
 //! * [`fmm_tree`] — the uniform hierarchy, interaction lists, supernodes,
 //! * [`fmm_linalg`] — the small dense-BLAS substrate,
 //! * [`fmm_machine`] — the CM-5-like data-parallel machine simulator,
+//! * [`fmm_spmd`] — the message-passing SPMD executor behind it
+//!   (`Executor::Spmd(p)`: worker threads as VUs, explicit channels,
+//!   measured per-phase data motion),
 //! * [`fmm_direct`] / [`fmm_bh`] — O(N²) and Barnes–Hut baselines,
 //! * [`fmm2d`] — the two-dimensional (log-kernel) variant of the method.
 //!
@@ -26,6 +29,7 @@ pub use fmm_direct;
 pub use fmm_linalg;
 pub use fmm_machine;
 pub use fmm_sphere;
+pub use fmm_spmd;
 pub use fmm_tree;
 
 pub use fmm_core::{DepthPolicy, EvalOutput, Fmm, FmmConfig, FmmError};
