@@ -250,6 +250,7 @@ fn bench_spmd(seeded: bool) -> String {
         vu_grid: VuGrid::new(report.vu_dims),
         supernodes: false,
         sort_miss_fraction: 1.0 - 1.0 / workers as f64,
+        forces_near: false,
     });
 
     let mut phases = Vec::new();

@@ -3,5 +3,7 @@
 //! One binary per paper table/figure (see DESIGN.md §4) plus criterion
 //! benches for the hot kernels. Shared workload generators live here.
 
+#![forbid(unsafe_code)]
+
 pub mod util;
 pub mod workloads;

@@ -7,6 +7,8 @@
 //! centre of mass) so mixed-sign charge systems are handled exactly as
 //! well as gravitational ones.
 
+#![forbid(unsafe_code)]
+
 pub mod moments;
 pub mod tree;
 

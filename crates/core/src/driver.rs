@@ -91,6 +91,7 @@ pub struct Fmm {
     /// Traversal plans, cached per hierarchy depth (separation and K are
     /// fixed per instance). Interior mutability keeps `evaluate(&self)`
     /// shareable across threads.
+    // det: plans are looked up by depth key only, never iterated.
     plan_cache: Mutex<HashMap<u32, Arc<TraversalPlan>>>,
     /// How many plans have been built (cache misses); diagnostics only.
     plan_builds: AtomicU64,
@@ -114,6 +115,7 @@ impl Fmm {
             cfg,
             rule,
             translations,
+            // det: keyed lookups only (see the field's justification).
             plan_cache: Mutex::new(HashMap::new()),
             plan_builds: AtomicU64::new(0),
         })
@@ -491,6 +493,8 @@ pub fn p2o(
         }
         (range.len() * k) as u64 * 10
     };
+    // det: the reduction sums integer flop counts; the float outputs land
+    // in disjoint chunks, untouched by the combine order.
     if parallel {
         far_leaf.par_chunks_mut(k).enumerate().map(work).sum()
     } else {
@@ -569,6 +573,7 @@ pub fn eval_local(
         (range.len() * k * (m + 1)) as u64 * 6
     };
 
+    // det: integer flop-count reduction; floats stay in disjoint slices.
     if parallel {
         pot_slices
             .par_iter_mut()

@@ -405,6 +405,8 @@ pub fn near_field_potentials_softened(
     };
 
     let mut slices = slices;
+    // det: the reduction adds integer counters; potentials accumulate in
+    // disjoint per-box slices, unaffected by the combine order.
     let total: NearFieldStats = if parallel {
         slices
             .par_iter_mut()
@@ -552,7 +554,10 @@ impl ColorSchedule {
 /// each task raw-pointer-derived `&mut [f64]` views is sound.
 struct SharedOut(*mut f64);
 
+// SAFETY: the pointer is only dereferenced through `slice`, whose caller
+// contract guarantees disjoint ranges across concurrently running tasks.
 unsafe impl Sync for SharedOut {}
+// SAFETY: as above — the wrapper carries no thread-affine state.
 unsafe impl Send for SharedOut {}
 
 impl SharedOut {
@@ -652,6 +657,8 @@ pub fn near_field_symmetric_colored(
     // conflict-free and run in parallel.
     let mut total = NearFieldStats::default();
     for color in &schedule.colors {
+        // det: integer-counter reduction; block writes are conflict-free
+        // within a color.
         let st = if parallel {
             color
                 .par_iter()
@@ -706,6 +713,7 @@ pub fn near_field_travelling(
             flops: 0,
         }
     };
+    // det: integer-counter reduction over disjoint per-box slices.
     let mut total = if parallel {
         self_slices
             .par_iter_mut()
@@ -746,6 +754,7 @@ pub fn near_field_travelling(
             // SAFETY: t ↦ t_range and t ↦ s_range are injective over the
             // boxes of one step, and `out`/`acc` are distinct arrays.
             let t_out = unsafe { out_shared.slice(t_range.clone()) };
+            // SAFETY: same disjointness argument as `t_out`, on `acc`.
             let s_acc = unsafe { acc_shared.slice(s_range.clone()) };
             let xs = &bp.x[s_range.clone()];
             let ys = &bp.y[s_range.clone()];
@@ -764,6 +773,7 @@ pub fn near_field_travelling(
                 flops: 0,
             }
         };
+        // det: integer-counter reduction; each box owns its accumulators.
         let st = if parallel {
             boxes
                 .par_iter()
@@ -827,6 +837,7 @@ pub fn near_field_forces_softened(
         near_field_forces_box(bp, b, &offsets, eps2, po, fo)
     };
 
+    // det: integer pair-count reduction; floats live in disjoint slices.
     let pairs: u64 = if parallel {
         pot_slices
             .par_iter_mut()

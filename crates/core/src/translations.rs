@@ -47,6 +47,7 @@ pub struct TranslationSet {
     /// fills the 1206 interactive offsets).
     pub t2t: Vec<Option<Matrix>>,
     /// Supernode T2 matrices keyed by the doubled parent-centre offset.
+    // det: matrices are fetched by offset key only, never iterated.
     pub t2t_super: HashMap<[i32; 3], Matrix>,
 }
 
@@ -142,6 +143,7 @@ impl TranslationSet {
         // Supernode matrices: parent-level sources (outer radius 2ρ) at the
         // doubled centre offsets produced by the decomposition. The key
         // set is shared across octants, so collect the union.
+        // det: keyed lookups only (see the field's justification).
         let mut t2t_super = HashMap::new();
         if with_supernodes {
             for oct in 0..8 {

@@ -5,6 +5,8 @@
 //! in §2.3 is this computation restricted to a neighbourhood). Tiled for
 //! cache reuse and parallelized over target tiles with rayon.
 
+#![forbid(unsafe_code)]
+
 use rayon::prelude::*;
 
 /// Tile edge for the blocked all-pairs sweep: targets are processed in

@@ -27,6 +27,8 @@
 //! leaf evaluation, near field — is line-for-line parallel to the 3-D
 //! crate, which is precisely the paper's point.
 
+#![forbid(unsafe_code)]
+
 pub mod direct;
 pub mod driver;
 pub mod element;

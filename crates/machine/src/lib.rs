@@ -23,6 +23,9 @@
 //! correctness*, not just counted: every strategy must produce identical
 //! halo contents.
 
+#![forbid(unsafe_code)]
+
+pub mod compare;
 pub mod cost;
 pub mod counters;
 pub mod ghost;
@@ -33,6 +36,10 @@ pub mod program;
 pub mod replication;
 pub mod travel;
 
+pub use compare::{
+    check_phases, predicted_bytes, predicted_messages, BudgetMismatch, MeasuredPhase,
+    DEFAULT_TOLERANCE,
+};
 pub use cost::CostModel;
 pub use counters::Counters;
 pub use ghost::{FetchStrategy, GhostResult};

@@ -48,6 +48,10 @@ pub struct ProgramConfig {
     /// Fraction of particles NOT on their box's VU after the coordinate
     /// sort (0 for uniform distributions, per §3.2).
     pub sort_miss_fraction: f64,
+    /// Near-field variant: `false` prices the travelling-accumulator
+    /// potentials sweep (62 visits + returns), `true` the forces
+    /// particle-halo exchange (one clipped halo fetch, three axis phases).
+    pub forces_near: bool,
 }
 
 impl ProgramConfig {
@@ -62,6 +66,7 @@ impl ProgramConfig {
             vu_grid: VuGrid::new([16, 8, 8]),
             supernodes: true,
             sort_miss_fraction: 0.0,
+            forces_near: false,
         }
     }
 
@@ -75,6 +80,7 @@ impl ProgramConfig {
             vu_grid: VuGrid::new([16, 8, 8]),
             supernodes: true,
             sort_miss_fraction: 0.0,
+            forces_near: false,
         }
     }
 
@@ -244,9 +250,29 @@ pub fn communication_budget(cfg: &ProgramConfig) -> ProgramBudget {
                 };
                 let halo =
                     ((s[0] + 2 * g) * (s[1] + 2 * g) * (s[2] + 2 * g) - s[0] * s[1] * s[2]) as u64;
+                // A ghost cell at distance o (1 ≤ o ≤ g) beyond the block
+                // edge along axis a lives on VU (me ± ⌈o/s_a⌉) mod dims_a;
+                // when that wraps back onto the owner (small grids: an axis
+                // spanned by one VU, or g reaching all the way around) the
+                // fetch is pure local motion, not a message. Per-axis
+                // off-VU offsets times the axis phase's cross-section — the
+                // corner-forwarding phases extend earlier axes first — give
+                // the exact off-VU halo volume. On grids where no offset
+                // wraps home (all the paper configurations) every ghost
+                // cell is off-VU and this reduces to the full halo.
+                let dims = cfg.vu_grid.dims;
+                let off_offsets = |a: usize| -> u64 {
+                    2 * (1..=g).filter(|&o| o.div_ceil(s[a]) % dims[a] != 0).count() as u64
+                };
+                let cross = [
+                    (s[1] * s[2]) as u64,
+                    ((s[0] + 2 * g) * s[2]) as u64,
+                    ((s[0] + 2 * g) * (s[1] + 2 * g)) as u64,
+                ];
+                let off: u64 = (0..3).map(|a| off_offsets(a) * cross[a]).sum();
                 down_comm.cshifts += 6;
-                down_comm.off_vu_boxes += halo * p;
-                down_comm.local_box_moves += (halo + boxes / p * translations_per_box) * p;
+                down_comm.off_vu_boxes += off * p;
+                down_comm.local_box_moves += (halo - off + boxes / p * translations_per_box) * p;
             }
             None => {
                 // Embedded level: computed wholly on rank 0; the 27-point
@@ -282,7 +308,27 @@ pub fn communication_budget(cfg: &ProgramConfig) -> ProgramBudget {
     let pairs = n * cfg.particles_per_box * 125.0 / 2.0; // symmetric sweep
     let near_flops = (pairs * 10.0) as u64;
     let mut near_comm = Counters::default();
-    if let Some(s) = subgrid_extent(h, &cfg.vu_grid) {
+    if cfg.forces_near {
+        // Forces near field: one clipped particle-halo fetch of the
+        // separation-depth shell (d = 2) instead of the travelling sweep —
+        // three axis phases, two CSHIFT-ledger ops each (like the box
+        // halo). Ghost particles carry x, y, z, q (no accumulator; forces
+        // accumulate one-sided on the owning VU), scaled to K-boxes.
+        near_comm.cshifts += 6;
+        if let Some(s) = subgrid_extent(h, &cfg.vu_grid) {
+            let d_sep = 2u64;
+            let plane = leaf_boxes >> h; // n² boxes per leaf-grid plane
+            let crossing: u64 = (0..3)
+                .filter(|&a| cfg.vu_grid.dims[a] > 1)
+                .map(|a| {
+                    let seams = cfg.vu_grid.dims[a] as u64 - 1;
+                    2 * d_sep.min(s[a] as u64) * seams * plane
+                })
+                .sum();
+            let words_per_box = cfg.particles_per_box * 4.0;
+            near_comm.off_vu_boxes += (crossing as f64 * words_per_box / cfg.k as f64) as u64;
+        }
+    } else if let Some(s) = subgrid_extent(h, &cfg.vu_grid) {
         // The travelling-accumulator sweep: one unit CSHIFT per visited
         // half-offset plus one return shift per axis. Each unit
         // displacement along axis a moves every VU's boundary plane

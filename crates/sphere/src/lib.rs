@@ -28,6 +28,8 @@
 //! as g = 1/a, reproduces Φ(x) = 1/r exactly from the n = 0 term alone —
 //! the first unit test of the crate.
 
+#![forbid(unsafe_code)]
+
 pub mod approximation;
 pub mod gauss;
 pub mod harmonics;

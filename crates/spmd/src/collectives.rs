@@ -4,11 +4,20 @@
 //! combine/spread used for levels embedded on fewer VUs than boxes
 //! (Multigrid embedding).
 //!
+//! The *plans* — who exchanges which cells with whom — live in
+//! [`crate::schedule`], where the static analyzer reads them too; this
+//! module only moves the data. Each collective's send/receive sequence is
+//! exactly the lowering `schedule::Step::ops_for` describes for its step
+//! kind: that correspondence is what lets `fmm-verify` prove properties of
+//! the program these functions then execute.
+//!
 //! Determinism rules shared by every collective here:
 //! * every rank calls the collective at the same point of the program, and
 //!   each call burns exactly one tag on every rank;
-//! * all sends of a phase are posted before any receive (sends never
-//!   block), so no cyclic wait exists;
+//! * all sends of a phase are posted before the receives that could block
+//!   on a peer, so no cyclic wait exists (the binomial gather interleaves
+//!   per stage, but its dependency order is a tree — see the deadlock pass
+//!   in `fmm-verify`);
 //! * receive order is fixed by rank arithmetic, never by arrival order.
 
 use std::collections::BTreeMap;
@@ -16,12 +25,7 @@ use std::collections::BTreeMap;
 use fmm_machine::BlockLayout;
 
 use crate::fabric::WorkerCtx;
-
-/// Index of the global grid cell `g` on an `n`-per-axis level.
-#[inline]
-pub fn cell_index(g: [usize; 3], n: usize) -> usize {
-    (g[2] * n + g[1]) * n + g[0]
-}
+use crate::schedule::{cell_index, halo_axis_plan, particle_axis_plan, ring_partners};
 
 /// Personalized all-to-all (the router): worker `w` receives
 /// `outgoing[w]`, concatenated in source-rank order. The model prices the
@@ -122,107 +126,55 @@ pub fn broadcast_from_root(ctx: &mut WorkerCtx, buf: &mut [f64]) {
     }
 }
 
-/// The halo cells rank `who` must obtain in axis phase `axis` of a
-/// wrapped box-halo exchange with ghost depth `g`, grouped by source rank
-/// (BTreeMap ⇒ deterministic order). Cells are wrapped global indices, in
-/// window enumeration order — senders rebuild the same plan, so both ends
-/// agree on the per-message layout without exchanging metadata.
-///
-/// Phase structure (the CSHIFT corner-forwarding trick): phase `a` extends
-/// the slab along axis `a` only, but enumerates the *already extended*
-/// range on axes `< a`, so corner/edge cells ride later phases instead of
-/// needing diagonal neighbors.
-fn halo_axis_plan(
-    lay: &BlockLayout,
-    who: [usize; 3],
+/// One axis phase of the circular-wrap halo exchange of a distributed
+/// far-field level: after all three phases (x, y, z — the executor runs
+/// them in the program's step order), every rank's full-size `level_buf`
+/// holds true values for all boxes within `g` of its subgrid (wrapped
+/// coordinates alias the true wrapped box, which consumers never read —
+/// they bound-check first, as the CM CSHIFT code masks wrapped elements).
+pub fn halo_exchange_axis(
+    ctx: &mut WorkerCtx,
+    level_buf: &mut [f64],
+    l: u32,
     axis: usize,
     g: usize,
-    n: usize,
-) -> BTreeMap<usize, Vec<usize>> {
-    let s = lay.subgrid;
-    let gi = g as i64;
-    let ni = n as i64;
-    let lo: Vec<i64> = (0..3).map(|a| (who[a] * s[a]) as i64).collect();
-    let ranges: Vec<Vec<i64>> = (0..3)
-        .map(|a| {
-            let si = s[a] as i64;
-            if a < axis {
-                (lo[a] - gi..lo[a] + si + gi).collect()
-            } else if a == axis {
-                (lo[a] - gi..lo[a])
-                    .chain(lo[a] + si..lo[a] + si + gi)
-                    .collect()
-            } else {
-                (lo[a]..lo[a] + si).collect()
-            }
-        })
-        .collect();
-    let mut plan: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for &z in &ranges[2] {
-        for &y in &ranges[1] {
-            for &x in &ranges[0] {
-                let w = [
-                    x.rem_euclid(ni) as usize,
-                    y.rem_euclid(ni) as usize,
-                    z.rem_euclid(ni) as usize,
-                ];
-                let mut src_c = who;
-                src_c[axis] = w[axis] / s[axis];
-                let src = lay.vu.rank(src_c);
-                plan.entry(src).or_default().push(cell_index(w, n));
-            }
-        }
-    }
-    plan
-}
-
-/// Circular-wrap halo exchange of a distributed far-field level: after the
-/// call, every rank's full-size `level_buf` holds true values for all
-/// boxes within `g` of its subgrid (wrapped coordinates alias the true
-/// wrapped box, which consumers never read — they bound-check first, as
-/// the CM CSHIFT code masks wrapped elements).
-///
-/// Three sequential axis phases = 2 CSHIFT ops each on the model's ledger.
-pub fn halo_exchange_boxes(ctx: &mut WorkerCtx, level_buf: &mut [f64], l: u32, g: usize, k: usize) {
+    k: usize,
+) {
     let n = 1usize << l;
     let lay = BlockLayout::new([n; 3], ctx.grid);
     let my = ctx.coords();
-    for axis in 0..3 {
-        let tag = ctx.fresh_tag();
-        ctx.count_op(2);
-        let dims_a = ctx.grid.dims[axis];
-        // Post sends: serve every rank along this axis whose plan names me.
-        for other in 0..dims_a {
-            if other == my[axis] {
-                continue;
-            }
-            let mut dst_c = my;
-            dst_c[axis] = other;
-            let dst = ctx.grid.rank(dst_c);
-            let dplan = halo_axis_plan(&lay, dst_c, axis, g, n);
-            if let Some(cells) = dplan.get(&ctx.rank) {
-                let mut data = Vec::with_capacity(cells.len() * k);
-                for &c in cells {
-                    data.extend_from_slice(&level_buf[c * k..(c + 1) * k]);
-                }
-                ctx.count_bytes_words(data.len() as u64);
-                ctx.send(dst, tag, data);
-            }
+    let tag = ctx.fresh_tag();
+    // Post sends: serve every rank along this axis whose plan names me.
+    for other in 0..ctx.grid.dims[axis] {
+        if other == my[axis] {
+            continue;
         }
-        // Receive, in plan (ascending source-rank) order.
-        let plan = halo_axis_plan(&lay, my, axis, g, n);
-        for (src, cells) in &plan {
-            if *src == ctx.rank {
-                // Wrap aliased back onto my own subgrid: the true values
-                // are already in place, only local index motion.
-                ctx.count_local((cells.len() * k) as u64);
-                continue;
+        let mut dst_c = my;
+        dst_c[axis] = other;
+        let dst = ctx.grid.rank(dst_c);
+        let dplan = halo_axis_plan(&lay, dst_c, axis, g, n);
+        if let Some(cells) = dplan.get(&ctx.rank) {
+            let mut data = Vec::with_capacity(cells.len() * k);
+            for &c in cells {
+                data.extend_from_slice(&level_buf[c * k..(c + 1) * k]);
             }
-            let data = ctx.recv(*src, tag);
-            debug_assert_eq!(data.len(), cells.len() * k);
-            for (i, &c) in cells.iter().enumerate() {
-                level_buf[c * k..(c + 1) * k].copy_from_slice(&data[i * k..(i + 1) * k]);
-            }
+            ctx.count_bytes_words(data.len() as u64);
+            ctx.send(dst, tag, data);
+        }
+    }
+    // Receive, in plan (ascending source-rank) order.
+    let plan = halo_axis_plan(&lay, my, axis, g, n);
+    for (src, cells) in &plan {
+        if *src == ctx.rank {
+            // Wrap aliased back onto my own subgrid: the true values
+            // are already in place, only local index motion.
+            ctx.count_local((cells.len() * k) as u64);
+            continue;
+        }
+        let data = ctx.recv(*src, tag);
+        debug_assert_eq!(data.len(), cells.len() * k);
+        for (i, &c) in cells.iter().enumerate() {
+            level_buf[c * k..(c + 1) * k].copy_from_slice(&data[i * k..(i + 1) * k]);
         }
     }
 }
@@ -246,119 +198,70 @@ impl CellParticles {
     }
 }
 
-/// Clipped (non-wrapped) variant of [`halo_axis_plan`] for the particle
-/// halo of the forces near field: cells outside the domain simply don't
-/// exist, so ranges intersect `[0, n)` and no coordinate wraps.
-fn particle_axis_plan(
-    lay: &BlockLayout,
-    who: [usize; 3],
-    axis: usize,
-    g: usize,
-    n: usize,
-) -> BTreeMap<usize, Vec<usize>> {
-    let s = lay.subgrid;
-    let gi = g as i64;
-    let ni = n as i64;
-    let lo: Vec<i64> = (0..3).map(|a| (who[a] * s[a]) as i64).collect();
-    let clip = |r: std::ops::Range<i64>| r.start.max(0)..r.end.min(ni);
-    let ranges: Vec<Vec<i64>> = (0..3)
-        .map(|a| {
-            let si = s[a] as i64;
-            if a < axis {
-                clip(lo[a] - gi..lo[a] + si + gi).collect()
-            } else if a == axis {
-                clip(lo[a] - gi..lo[a])
-                    .chain(clip(lo[a] + si..lo[a] + si + gi))
-                    .collect()
-            } else {
-                (lo[a]..lo[a] + si).collect()
-            }
-        })
-        .collect();
-    let mut plan: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-    for &z in &ranges[2] {
-        for &y in &ranges[1] {
-            for &x in &ranges[0] {
-                let w = [x as usize, y as usize, z as usize];
-                let mut src_c = who;
-                src_c[axis] = w[axis] / s[axis];
-                let src = lay.vu.rank(src_c);
-                debug_assert_ne!(src, lay.vu.rank(who));
-                plan.entry(src).or_default().push(cell_index(w, n));
-            }
-        }
-    }
-    plan
-}
-
-/// Halo exchange of leaf *particles* (positions + charges) to ghost depth
-/// `g`, without wrap — the forces near field is target-centric and only
-/// reads true in-domain neighbors. `own` serves a cell I own; received
-/// cells accumulate in the returned store and are re-served in later
-/// phases (corner forwarding). Message layout per cell, in plan order:
-/// `[count, xs.., ys.., zs.., qs..]`.
-pub fn particle_halo_exchange(
+/// One axis phase of the halo exchange of leaf *particles* (positions +
+/// charges) to ghost depth `g`, without wrap — the forces near field is
+/// target-centric and only reads true in-domain neighbors. `own` serves a
+/// cell I own; received cells accumulate in `store` and are re-served in
+/// later phases (corner forwarding). Message layout per cell, in plan
+/// order: `[count, xs.., ys.., zs.., qs..]`.
+pub fn particle_halo_axis(
     ctx: &mut WorkerCtx,
     depth: u32,
     g: usize,
-    own: impl Fn(usize) -> Option<CellParticles>,
-) -> BTreeMap<usize, CellParticles> {
+    axis: usize,
+    own: &impl Fn(usize) -> Option<CellParticles>,
+    store: &mut BTreeMap<usize, CellParticles>,
+) {
     let n = 1usize << depth;
     let lay = BlockLayout::new([n; 3], ctx.grid);
     let my = ctx.coords();
-    let mut store: BTreeMap<usize, CellParticles> = BTreeMap::new();
-    for axis in 0..3 {
-        let tag = ctx.fresh_tag();
-        ctx.count_op(2);
-        let dims_a = ctx.grid.dims[axis];
-        for other in 0..dims_a {
-            if other == my[axis] {
-                continue;
-            }
-            let mut dst_c = my;
-            dst_c[axis] = other;
-            let dst = ctx.grid.rank(dst_c);
-            let dplan = particle_axis_plan(&lay, dst_c, axis, g, n);
-            if let Some(cells) = dplan.get(&ctx.rank) {
-                let mut data = Vec::new();
-                let mut payload = 0u64;
-                for &c in cells {
-                    let cell = own(c)
-                        .or_else(|| store.get(&c).cloned())
-                        .unwrap_or_default();
-                    data.push(cell.len() as f64);
-                    payload += 4 * cell.len() as u64;
-                    data.extend_from_slice(&cell.xs);
-                    data.extend_from_slice(&cell.ys);
-                    data.extend_from_slice(&cell.zs);
-                    data.extend_from_slice(&cell.qs);
-                }
-                ctx.count_bytes_words(payload);
-                ctx.send(dst, tag, data);
-            }
+    let tag = ctx.fresh_tag();
+    for other in 0..ctx.grid.dims[axis] {
+        if other == my[axis] {
+            continue;
         }
-        let plan = particle_axis_plan(&lay, my, axis, g, n);
-        for (src, cells) in &plan {
-            let data = ctx.recv(*src, tag);
-            let mut i = 0usize;
+        let mut dst_c = my;
+        dst_c[axis] = other;
+        let dst = ctx.grid.rank(dst_c);
+        let dplan = particle_axis_plan(&lay, dst_c, axis, g, n);
+        if let Some(cells) = dplan.get(&ctx.rank) {
+            let mut data = Vec::new();
+            let mut payload = 0u64;
             for &c in cells {
-                let cnt = data[i] as usize;
-                i += 1;
-                let take = |i: &mut usize| -> Vec<f64> {
-                    let v = data[*i..*i + cnt].to_vec();
-                    *i += cnt;
-                    v
-                };
-                let xs = take(&mut i);
-                let ys = take(&mut i);
-                let zs = take(&mut i);
-                let qs = take(&mut i);
-                store.insert(c, CellParticles { xs, ys, zs, qs });
+                let cell = own(c)
+                    .or_else(|| store.get(&c).cloned())
+                    .unwrap_or_default();
+                data.push(cell.len() as f64);
+                payload += 4 * cell.len() as u64;
+                data.extend_from_slice(&cell.xs);
+                data.extend_from_slice(&cell.ys);
+                data.extend_from_slice(&cell.zs);
+                data.extend_from_slice(&cell.qs);
             }
-            debug_assert_eq!(i, data.len());
+            ctx.count_bytes_words(payload);
+            ctx.send(dst, tag, data);
         }
     }
-    store
+    let plan = particle_axis_plan(&lay, my, axis, g, n);
+    for (src, cells) in &plan {
+        let data = ctx.recv(*src, tag);
+        let mut i = 0usize;
+        for &c in cells {
+            let cnt = data[i] as usize;
+            i += 1;
+            let take = |i: &mut usize| -> Vec<f64> {
+                let v = data[*i..*i + cnt].to_vec();
+                *i += cnt;
+                v
+            };
+            let xs = take(&mut i);
+            let ys = take(&mut i);
+            let zs = take(&mut i);
+            let qs = take(&mut i);
+            store.insert(c, CellParticles { xs, ys, zs, qs });
+        }
+        debug_assert_eq!(i, data.len());
+    }
 }
 
 /// One travelling slot of the symmetric near-field sweep: the particles
@@ -383,7 +286,6 @@ pub fn shift_slots(
     n: usize,
 ) {
     let tag = ctx.fresh_tag();
-    let dims_a = ctx.grid.dims[axis];
     let mut staying: BTreeMap<usize, Slot> = BTreeMap::new();
     let mut leaving: Vec<f64> = Vec::new();
     let mut leaving_words = 0u64;
@@ -408,18 +310,14 @@ pub fn shift_slots(
         }
     }
     *slots = staying;
-    if dims_a == 1 {
+    if ctx.grid.dims[axis] == 1 {
         debug_assert!(leaving.is_empty());
         return;
     }
-    let my = ctx.coords();
-    let mut dst_c = my;
-    dst_c[axis] = (my[axis] as i64 + pos_delta as i64).rem_euclid(dims_a as i64) as usize;
-    let mut src_c = my;
-    src_c[axis] = (my[axis] as i64 - pos_delta as i64).rem_euclid(dims_a as i64) as usize;
+    let (dst, src) = ring_partners(&ctx.grid, ctx.rank, axis, pos_delta);
     ctx.count_bytes_words(leaving_words);
-    ctx.send(ctx.grid.rank(dst_c), tag, leaving);
-    let data = ctx.recv(ctx.grid.rank(src_c), tag);
+    ctx.send(dst, tag, leaving);
+    let data = ctx.recv(src, tag);
     let mut i = 0usize;
     while i < data.len() {
         let npos = data[i] as usize;

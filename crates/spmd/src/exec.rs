@@ -30,14 +30,15 @@ use fmm_core::translations::TranslationSet;
 use fmm_core::traversal::{downward_level, upward_level, Aggregation};
 use fmm_core::TraversalPlan;
 use fmm_linalg::gemm_acc;
-use fmm_machine::{subgrid_extent, BlockLayout, TravelPath};
+use fmm_machine::{subgrid_extent, BlockLayout};
 use fmm_tree::{near_field_offsets, BoxCoord, Domain, Hierarchy};
 
 use crate::collectives::{
-    all_to_allv, broadcast_from_root, cell_index, gather_level_to_root, halo_exchange_boxes,
-    particle_halo_exchange, shift_slots, CellParticles, Slot,
+    all_to_allv, broadcast_from_root, gather_level_to_root, halo_exchange_axis, particle_halo_axis,
+    shift_slots, CellParticles, Slot,
 };
 use crate::fabric::WorkerCtx;
+use crate::schedule::{cell_index, CommProgram, Step, StepKind};
 
 /// Read-only inputs shared by all workers.
 pub(crate) struct Shared<'a> {
@@ -48,6 +49,51 @@ pub(crate) struct Shared<'a> {
     pub depth: u32,
     pub with_fields: bool,
     pub plan: &'a TraversalPlan,
+    /// The communication schedule — the same [`CommProgram`] the static
+    /// analyzer in `fmm-verify` checks. Every collective call below is
+    /// cued by one of its steps; no schedule decision is made here.
+    pub program: &'a CommProgram,
+}
+
+/// A worker's read cursor over one phase's steps. Each collective the
+/// worker runs consumes the matching step; the `debug_assert` on the tag
+/// pins the fabric's tag counter to the program's static tag sequence, so
+/// an executor/schedule divergence fails loudly in debug builds.
+struct Cursor<'a> {
+    steps: &'a [Step],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(steps: &'a [Step]) -> Self {
+        Cursor { steps, i: 0 }
+    }
+
+    /// Consume the next step, which must exist and satisfy `want`.
+    fn next(&mut self, ctx: &WorkerCtx, want: impl Fn(&StepKind) -> bool) -> &'a Step {
+        let st = &self.steps[self.i];
+        self.i += 1;
+        debug_assert!(want(&st.kind), "schedule mismatch at step {st:?}");
+        debug_assert_eq!(ctx.peek_tag(), st.tag, "tag drift at step {st:?}");
+        st
+    }
+
+    /// Consume the next step iff it satisfies `want` (schedule-driven
+    /// branches: the program says whether the collective runs).
+    fn next_if(&mut self, ctx: &WorkerCtx, want: impl Fn(&StepKind) -> bool) -> Option<&'a Step> {
+        let st = self.steps.get(self.i)?;
+        if !want(&st.kind) {
+            return None;
+        }
+        self.i += 1;
+        debug_assert_eq!(ctx.peek_tag(), st.tag, "tag drift at step {st:?}");
+        Some(st)
+    }
+
+    /// Every step of the phase must have been consumed.
+    fn finish(self) {
+        debug_assert_eq!(self.i, self.steps.len(), "unconsumed schedule steps");
+    }
 }
 
 /// One worker's contribution to the evaluation.
@@ -191,11 +237,13 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
             i as f64,
         ]);
     }
-    if p > 1 {
-        // The model prices the whole redistribution as one router send.
-        ctx.count_op(1);
-    }
+    let mut cur = Cursor::new(&sh.program.phases[0]);
+    let st = cur.next(&ctx, |k| matches!(k, StepKind::Router));
+    // The model prices the whole redistribution as one router send
+    // (zero at p = 1, where the router moves nothing).
+    ctx.count_op(st.logical_msgs);
     let mine = all_to_allv(&mut ctx, outgoing);
+    cur.finish();
     let m_loc = mine.len() / 5;
     let mut pos = Vec::with_capacity(m_loc);
     let mut q = Vec::with_capacity(m_loc);
@@ -233,6 +281,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
     // run there serially.
     ctx.phase = 2;
     let t0 = Instant::now();
+    let mut cur = Cursor::new(&sh.program.phases[2]);
     if depth >= 3 {
         for l in (1..depth).rev() {
             if subgrid_extent(l, &ctx.grid).is_some() {
@@ -266,7 +315,13 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                     ctx.count_local(8 * k as u64);
                 }
             } else {
-                if subgrid_extent(l + 1, &ctx.grid).is_some() {
+                if cur
+                    .next_if(
+                        &ctx,
+                        |kd| matches!(kd, StepKind::Gather { level } if *level == l + 1),
+                    )
+                    .is_some()
+                {
                     gather_level_to_root(&mut ctx, &mut fh.far[(l + 1) as usize], l + 1, k);
                 }
                 if rank == 0 {
@@ -276,6 +331,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
             }
         }
     }
+    cur.finish();
     times[2] = t0.elapsed();
 
     // ---- Phase 3: downward pass. Embedded levels run on rank 0; the
@@ -285,20 +341,43 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
     ctx.phase = 3;
     let t0 = Instant::now();
     let sep = cfg.separation;
-    let ghost = (2 * sep.d() + 1) as usize;
-    let l_first = (2..=depth).find(|&l| subgrid_extent(l, &ctx.grid).is_some());
+    let mut cur = Cursor::new(&sh.program.phases[3]);
     for l in 2..=depth {
-        if subgrid_extent(l, &ctx.grid).is_none() {
+        if !sh.program.has_box_halo(l) {
+            // Multigrid-embedded level: rank 0 computes it serially.
             if rank == 0 {
                 let fl = downward_level(&mut fh, ts, sh.plan, false, Aggregation::Gemm, false, l);
                 ctx.count_local(fl.copied);
             }
             continue;
         }
-        if Some(l) == l_first && l >= 3 && subgrid_extent(l - 1, &ctx.grid).is_none() {
+        if cur
+            .next_if(
+                &ctx,
+                |kd| matches!(kd, StepKind::Broadcast { level } if *level == l - 1),
+            )
+            .is_some()
+        {
             broadcast_from_root(&mut ctx, &mut fh.local[(l - 1) as usize]);
         }
-        halo_exchange_boxes(&mut ctx, &mut fh.far[l as usize], l, ghost, k);
+        for _ in 0..3 {
+            let st = cur.next(
+                &ctx,
+                |kd| matches!(kd, StepKind::BoxHalo { level, .. } if *level == l),
+            );
+            let StepKind::BoxHalo { axis, .. } = st.kind else {
+                unreachable!()
+            };
+            ctx.count_op(st.logical_msgs);
+            halo_exchange_axis(
+                &mut ctx,
+                &mut fh.far[l as usize],
+                l,
+                axis,
+                sh.program.ghost,
+                k,
+            );
+        }
         let (lo, hi) = fh.local.split_at_mut(l as usize);
         downward_owned(
             &mut ctx,
@@ -311,6 +390,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
             k,
         );
     }
+    cur.finish();
     times[3] = t0.elapsed();
 
     // ---- Phase 4: evaluate leaf inner approximations at owned particles.
@@ -356,7 +436,17 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                 qs: bp.q[r].to_vec(),
             })
         };
-        let store = particle_halo_exchange(&mut ctx, depth, sep.d() as usize, own);
+        let mut store: BTreeMap<usize, CellParticles> = BTreeMap::new();
+        let mut cur = Cursor::new(&sh.program.phases[5]);
+        for _ in 0..3 {
+            let st = cur.next(&ctx, |kd| matches!(kd, StepKind::ParticleHalo { .. }));
+            let StepKind::ParticleHalo { axis } = st.kind else {
+                unreachable!()
+            };
+            ctx.count_op(st.logical_msgs);
+            particle_halo_axis(&mut ctx, depth, sep.d() as usize, axis, &own, &mut store);
+        }
+        cur.finish();
         let mut pos2: Vec<[f64; 3]> = Vec::with_capacity(bp.len());
         let mut q2: Vec<f64> = Vec::with_capacity(bp.len());
         for i in 0..bp.len() {
@@ -431,13 +521,15 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                 },
             );
         }
-        let path = TravelPath::new(sep.d());
-        for step in &path.steps {
-            // Slot position = origin − cum, so the position moves against
-            // the step direction.
-            shift_slots(&mut ctx, &mut slots, step.axis, -step.dir, &leaf, n_axis);
-            ctx.count_op(1);
-            let cum = step.cum;
+        let mut cur = Cursor::new(&sh.program.phases[5]);
+        while let Some(st) = cur.next_if(&ctx, |kd| matches!(kd, StepKind::SlotShift { .. })) {
+            let StepKind::SlotShift { axis, delta, visit } = st.kind else {
+                unreachable!()
+            };
+            shift_slots(&mut ctx, &mut slots, axis, delta, &leaf, n_axis);
+            ctx.count_op(st.logical_msgs);
+            // Return shifts (no visit) only move the accumulators home.
+            let Some(cum) = visit else { continue };
             for li in 0..leaf.boxes_per_vu() {
                 let g = leaf.global_of(rank, li);
                 let bi = cell_index(g, n_axis);
@@ -473,20 +565,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                 stats.box_pairs += 1;
             }
         }
-        // Return shifts: one logical CSHIFT per axis brings every
-        // accumulator home (unit hops underneath, like the model's travel
-        // distances).
-        for (axis, &r) in path.returns.iter().enumerate() {
-            if r == 0 {
-                continue;
-            }
-            ctx.count_op(1);
-            // `returns` is the cum-space displacement home; slot positions
-            // move opposite to cum.
-            for _ in 0..r.abs() {
-                shift_slots(&mut ctx, &mut slots, axis, -r.signum(), &leaf, n_axis);
-            }
-        }
+        cur.finish();
         for li in 0..leaf.boxes_per_vu() {
             let g = leaf.global_of(rank, li);
             let bi = cell_index(g, n_axis);

@@ -38,6 +38,7 @@ pub struct WorkerCtx {
     senders: Vec<Sender<Packet>>,
     rx: Receiver<Packet>,
     /// Early arrivals, keyed by (from, tag).
+    // det: packets are taken by (from, tag) key only, never iterated.
     pending: HashMap<(usize, u64), Vec<Vec<f64>>>,
     next_tag: u64,
     /// Which program phase counters are charged to (0..6, budget order).
@@ -62,6 +63,12 @@ impl WorkerCtx {
         let t = self.next_tag;
         self.next_tag += 1;
         t
+    }
+
+    /// The tag the next collective will use — compared against the static
+    /// schedule's step tags to pin executor and program together.
+    pub fn peek_tag(&self) -> u64 {
+        self.next_tag
     }
 
     /// Send `data` to `to` under `tag`. Never blocks (unbounded channel).
@@ -166,6 +173,7 @@ where
                     grid,
                     senders,
                     rx,
+                    // det: keyed lookups only (see the field's note).
                     pending: HashMap::new(),
                     next_tag: 0,
                     phase: 0,

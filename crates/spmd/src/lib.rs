@@ -37,9 +37,12 @@
 //! assert_eq!(out.spmd.unwrap().workers, 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collectives;
 mod exec;
 mod fabric;
+pub mod schedule;
 
 use std::time::Duration;
 
@@ -52,6 +55,7 @@ use fmm_linalg::gemm_flops;
 use fmm_machine::VuGrid;
 
 pub use fabric::{run_workers, WorkerCtx};
+pub use schedule::CommProgram;
 
 /// Register this crate as the backend for [`fmm_core::Executor::Spmd`].
 /// Idempotent; call once before evaluating.
@@ -95,6 +99,15 @@ fn run_spmd(
         )));
     }
     let plan = fmm.plan_for(depth);
+    // One source of truth for the communication schedule: the executor
+    // walks this program; `fmm-verify` statically checks the same one.
+    let program = CommProgram::build(
+        grid,
+        depth,
+        fmm.k(),
+        cfg.separation.d() as usize,
+        with_fields,
+    );
     let shared = exec::Shared {
         fmm,
         positions,
@@ -103,6 +116,7 @@ fn run_spmd(
         depth,
         with_fields,
         plan: &plan,
+        program: &program,
     };
     let outs = run_workers(grid, |ctx| exec::worker_main(ctx, &shared));
 

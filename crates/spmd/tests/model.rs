@@ -6,7 +6,9 @@
 //! phase's measured messages and bytes land within 10% of the prediction.
 
 use fmm_core::{Executor, Fmm, FmmConfig, SpmdReport};
-use fmm_machine::{communication_budget, Counters, ProgramConfig, VuGrid};
+use fmm_machine::{
+    check_phases, communication_budget, MeasuredPhase, ProgramConfig, VuGrid, DEFAULT_TOLERANCE,
+};
 
 const WORKERS: usize = 128;
 const DEPTH: u32 = 4;
@@ -23,19 +25,6 @@ fn uniform_system(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
     let pts = (0..n).map(|_| [next(), next(), next()]).collect();
     let q = (0..n).map(|_| next() * 2.0 - 1.0).collect();
     (pts, q)
-}
-
-/// Logical message count: CSHIFT invocations, router operations, and
-/// point-to-point sends all count once, as in the cost model's per-call
-/// overhead terms.
-fn predicted_messages(c: &Counters) -> u64 {
-    c.cshifts + c.sends + c.broadcast_stages
-}
-
-/// Off-VU payload in bytes: `off_vu_boxes` and `broadcast_boxes` are both
-/// in K-box units of `k` f64 words.
-fn predicted_bytes(c: &Counters, k: usize) -> u64 {
-    (c.off_vu_boxes + c.broadcast_boxes) * k as u64 * 8
 }
 
 #[test]
@@ -63,36 +52,35 @@ fn table4_motion_matches_the_model_within_10_percent() {
         vu_grid: VuGrid::new([8, 4, 4]),
         supernodes: false,
         sort_miss_fraction: 1.0 - 1.0 / WORKERS as f64,
+        forces_near: false,
     });
     assert_eq!(budget.phases.len(), SpmdReport::PHASE_NAMES.len());
+    assert_eq!(budget.config_k, k);
+    for (phase, name) in budget.phases.iter().zip(SpmdReport::PHASE_NAMES) {
+        assert_eq!(phase.name, name, "model and report phases align");
+    }
 
-    for ((phase, measured), name) in budget
+    // The comparator shared with fmm-verify: every phase's measured
+    // messages and bytes within the default 10% of the prediction, with
+    // zero predictions requiring exact zeros.
+    let measured: Vec<MeasuredPhase> = report
         .phases
         .iter()
-        .zip(&report.phases)
-        .zip(SpmdReport::PHASE_NAMES)
-    {
-        assert_eq!(phase.name, name, "model and report phases align");
-        let (pm, pb) = (
-            predicted_messages(&phase.comm),
-            predicted_bytes(&phase.comm, k),
-        );
-        for (kind, predicted, got) in [
-            ("messages", pm, measured.messages),
-            ("bytes", pb, measured.bytes),
-        ] {
-            if predicted == 0 {
-                assert_eq!(got, 0, "{name}: model predicts no {kind}, measured {got}");
-            } else {
-                let rel = (got as f64 - predicted as f64).abs() / predicted as f64;
-                assert!(
-                    rel <= 0.10,
-                    "{name}: {kind} off by {:.1}% (predicted {predicted}, measured {got})",
-                    rel * 100.0
-                );
-            }
-        }
-    }
+        .map(|p| MeasuredPhase {
+            messages: p.messages,
+            bytes: Some(p.bytes),
+        })
+        .collect();
+    let mismatches = check_phases(&budget, &measured, DEFAULT_TOLERANCE);
+    assert!(
+        mismatches.is_empty(),
+        "budget divergence:\n{}",
+        mismatches
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 
     // The deterministic counts are exact, not just within tolerance: one
     // router operation for the sort, p − 1 binomial gather sends at the

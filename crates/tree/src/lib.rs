@@ -14,6 +14,8 @@
 //!   local-address bits) and particle binning ([`sort`]),
 //! * the cubic domain geometry ([`domain`]).
 
+#![forbid(unsafe_code)]
+
 pub mod balance;
 pub mod coords;
 pub mod domain;

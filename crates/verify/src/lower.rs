@@ -1,0 +1,123 @@
+//! Lowering: expand a [`CommProgram`] into every rank's concrete,
+//! ordered send/receive endpoints, step by step.
+//!
+//! The lowered form is what the passes analyze. It is produced by the
+//! same [`fmm_spmd::schedule::Step::ops_for`] the executor's collectives
+//! mirror, so a property proven of the lowered program is a property of
+//! the program the workers run.
+//!
+//! Mutations for the analyzer's own smoke tests are applied *here*, to
+//! the lowered endpoints, not to the schedule builder: flipping a whole
+//! CSHIFT step coherently (sends and receives together) would produce a
+//! different but still valid ring, which no analyzer should reject. The
+//! interesting faults are one-sided — a sender shifting the wrong way
+//! while receivers still expect the old direction, a rank that forgets
+//! to post a receive — and those are exactly what the mutations inject.
+
+use fmm_spmd::schedule::{ring_partners, CommProgram, Op, StepKind};
+
+/// One step of the lowered program: the schedule step plus every rank's
+/// ordered op list.
+#[derive(Debug, Clone)]
+pub struct LoweredStep {
+    /// Phase index (0..6, `SpmdReport` order).
+    pub phase: usize,
+    pub kind: StepKind,
+    pub tag: u64,
+    pub logical_msgs: u64,
+    /// `ops[rank]` is rank `rank`'s op sequence, in execution order.
+    pub ops: Vec<Vec<Op>>,
+}
+
+/// The fully lowered communication program.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    pub program: CommProgram,
+    pub steps: Vec<LoweredStep>,
+}
+
+/// Expand every step of `prog` to per-rank endpoints.
+pub fn lower(prog: &CommProgram) -> Lowered {
+    let p = prog.grid.len();
+    let steps = prog
+        .steps()
+        .map(|(phase, st)| LoweredStep {
+            phase,
+            kind: st.kind,
+            tag: st.tag,
+            logical_msgs: st.logical_msgs,
+            ops: (0..p).map(|rank| st.ops_for(prog, rank)).collect(),
+        })
+        .collect();
+    Lowered {
+        program: prog.clone(),
+        steps,
+    }
+}
+
+/// A schedule fault injected for the mutation smoke test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Every sender of the first travelling-slot CSHIFT shifts the wrong
+    /// way; receivers keep expecting the scheduled direction. On any ring
+    /// of ≥ 4 ranks the endpoints no longer pair up.
+    FlippedShift,
+    /// Rank 0 forgets to post its first receive, leaving one send
+    /// unmatched.
+    DroppedRecv,
+}
+
+impl Mutation {
+    pub fn parse(s: &str) -> Option<Mutation> {
+        match s {
+            "flipped-shift" => Some(Mutation::FlippedShift),
+            "dropped-recv" => Some(Mutation::DroppedRecv),
+            _ => None,
+        }
+    }
+}
+
+/// Apply `m` to the lowered program in place. Panics if the program has
+/// no site for the mutation (e.g. a forces program has no slot shifts, a
+/// p = 1 program has no receives) — the smoke test must pick a
+/// configuration where the fault exists.
+pub fn apply_mutation(low: &mut Lowered, m: Mutation) {
+    match m {
+        Mutation::FlippedShift => {
+            let grid = low.program.grid;
+            let step = low
+                .steps
+                .iter_mut()
+                .find(|s| matches!(s.kind, StepKind::SlotShift { .. }))
+                .expect("program has a travelling-slot shift to flip");
+            let StepKind::SlotShift { axis, delta, .. } = step.kind else {
+                unreachable!()
+            };
+            assert!(
+                grid.dims[axis] >= 4,
+                "a flipped ring of < 4 ranks is endpoint-equivalent; \
+                 use a grid with >= 4 VUs along axis {axis}"
+            );
+            for (rank, ops) in step.ops.iter_mut().enumerate() {
+                for op in ops.iter_mut() {
+                    if let Op::Send { to, .. } = op {
+                        let (wrong_dst, _) = ring_partners(&grid, rank, axis, -delta);
+                        *to = wrong_dst;
+                    }
+                }
+            }
+        }
+        Mutation::DroppedRecv => {
+            let step = low
+                .steps
+                .iter_mut()
+                .find(|s| s.ops[0].iter().any(|o| matches!(o, Op::Recv { .. })))
+                .expect("program has a receive on rank 0 to drop");
+            let i = step.ops[0]
+                .iter()
+                .position(|o| matches!(o, Op::Recv { .. }))
+                .unwrap();
+            step.ops[0].remove(i);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! `fmm-verify` CLI: statically check the SPMD communication program.
+//!
+//! ```text
+//! cargo run -p fmm-verify -- check [--depth D] [--workers P] [--order O]
+//!                                  [--forces] [--mutate flipped-shift|dropped-recv]
+//!                                  [--skip-lints]
+//! ```
+//!
+//! Exit status 0 iff every pass is green; on failure the failing passes
+//! are named on stderr (the CI mutation smoke test greps for them).
+
+use std::process::ExitCode;
+
+use fmm_verify::{run_checks, CheckConfig, Mutation};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fmm-verify check [--depth D] [--workers P] [--order O] \
+         [--forces] [--mutate flipped-shift|dropped-recv] [--skip-lints]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    if it.next().map(String::as_str) != Some("check") {
+        usage();
+    }
+    let mut cfg = CheckConfig::table4();
+    let mut workers: Option<usize> = None;
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> &str {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--depth" => cfg.depth = val("--depth").parse().unwrap_or_else(|_| usage()),
+            "--workers" => workers = Some(val("--workers").parse().unwrap_or_else(|_| usage())),
+            "--order" => cfg.order = val("--order").parse().unwrap_or_else(|_| usage()),
+            "--forces" => cfg.with_fields = true,
+            "--mutate" => {
+                cfg.mutate = Some(Mutation::parse(val("--mutate")).unwrap_or_else(|| usage()))
+            }
+            "--skip-lints" => cfg.skip_lints = true,
+            _ => usage(),
+        }
+    }
+    if let Some(p) = workers {
+        cfg.grid = fmm_spmd::vu_grid_for(p);
+    }
+    if cfg.grid.dims.iter().any(|&d| d > 1usize << cfg.depth) {
+        eprintln!(
+            "error: VU grid {:?} does not fit depth {} ({} leaf boxes per axis)",
+            cfg.grid.dims,
+            cfg.depth,
+            1usize << cfg.depth
+        );
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "fmm-verify: checking CommProgram depth={} workers={} grid={:?} order={} ({}){}",
+        cfg.depth,
+        cfg.grid.len(),
+        cfg.grid.dims,
+        cfg.order,
+        if cfg.with_fields {
+            "forces near field"
+        } else {
+            "potentials near field"
+        },
+        cfg.mutate
+            .map(|m| format!(", mutation {m:?}"))
+            .unwrap_or_default(),
+    );
+    let report = run_checks(&cfg);
+    for pass in &report.passes {
+        println!(
+            "  pass {:<20} {} ({})",
+            pass.name,
+            if pass.ok { "ok" } else { "FAILED" },
+            pass.detail
+        );
+    }
+    if report.ok() {
+        println!("fmm-verify: all {} passes green", report.passes.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("fmm-verify: FAILED passes: {}", report.failing().join(", "));
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,184 @@
+//! Pass 2 — deadlock freedom.
+//!
+//! Two obligations:
+//!
+//! 1. **Phase order.** The step/tag sequence must be identical on every
+//!    rank and strictly increasing (the program is SPMD: all ranks walk
+//!    the same step list). Combined with the fabric's tag-addressed
+//!    receives — a receive names `(from, tag)` and early packets of
+//!    other tags are parked, never blocking the link — this makes steps
+//!    *independent*: a rank stuck in step `t` can still absorb traffic
+//!    of any other step, so cross-step waiting chains cannot close into
+//!    a cycle. The whole-program question reduces to each step in
+//!    isolation.
+//!
+//! 2. **Per-step completion under bounded buffering.** Each step's
+//!    per-rank op sequences are executed by an abstract scheduler
+//!    against channels of capacity `C` per ordered rank pair:
+//!    * `C = ∞` models the real fabric (unbounded `mpsc`): sends never
+//!      block. The step must complete — with matched endpoints the only
+//!      residual hazard is a receive ordering cycle.
+//!    * `C = 1` models single-slot DMA buffers: a send blocks while a
+//!      previous message to the same peer is undelivered. Every step
+//!      must still complete, which proves the schedule never needs the
+//!      fabric's unboundedness.
+//!    * `C = 0` models synchronous rendezvous. Wrapped CSHIFT rings
+//!      *cannot* complete here — every rank's send would wait on its
+//!      neighbour's receive around the full cycle — so the pass records
+//!      these steps as requiring buffering ≥ 1 instead of failing. This
+//!      is the classical unbuffered-ring deadlock the CM's CSHIFT avoids
+//!      with its double-buffered NEWS transfers; our fabric's unbounded
+//!      channels are strictly safer.
+
+use std::collections::BTreeMap;
+
+use fmm_spmd::schedule::{Op, Payload};
+
+use crate::lower::{Lowered, LoweredStep};
+
+/// Channel capacity per ordered rank pair for one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Capacity {
+    Rendezvous,
+    Bounded(usize),
+    Unbounded,
+}
+
+/// A step that could not complete under some capacity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockError {
+    pub tag: u64,
+    pub capacity: Capacity,
+    /// Ranks whose op cursor was still mid-sequence when progress died,
+    /// with the op each was blocked on.
+    pub stuck: Vec<(usize, Op)>,
+    /// Messages sent but never received (nonempty for dropped receives).
+    pub undelivered: usize,
+}
+
+impl std::fmt::Display for DeadlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step tag {}: cannot complete at {:?}: {} rank(s) blocked{}, {} message(s) undelivered",
+            self.tag,
+            self.capacity,
+            self.stuck.len(),
+            self.stuck
+                .first()
+                .map(|(r, op)| format!(" (first: rank {r} on {op:?})"))
+                .unwrap_or_default(),
+            self.undelivered
+        )
+    }
+}
+
+/// Summary of a clean run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlockSummary {
+    pub steps: usize,
+    /// Steps that complete only with buffering ≥ 1 (the wrapped rings).
+    pub ring_steps_needing_buffer: usize,
+}
+
+/// Simulate one step under `cap`. Completion = every rank ran its whole
+/// op list and no message is left in flight.
+pub fn simulate(step: &LoweredStep, p: usize, cap: Capacity) -> Result<(), DeadlockError> {
+    let mut pc = vec![0usize; p];
+    // In-flight queues per ordered pair, FIFO per pair like the fabric.
+    let mut flight: BTreeMap<(usize, usize), Vec<Payload>> = BTreeMap::new();
+    loop {
+        let mut progressed = false;
+        for rank in 0..p {
+            while pc[rank] < step.ops[rank].len() {
+                match step.ops[rank][pc[rank]] {
+                    Op::Send { to, payload, .. } => {
+                        let ok = match cap {
+                            Capacity::Unbounded => true,
+                            Capacity::Bounded(c) => flight.get(&(rank, to)).map_or(0, Vec::len) < c,
+                            Capacity::Rendezvous => {
+                                // Completes only if the peer is parked on
+                                // the matching receive right now.
+                                matches!(
+                                    step.ops[to].get(pc[to]),
+                                    Some(&Op::Recv { from, payload: pl })
+                                        if from == rank && pl == payload
+                                )
+                            }
+                        };
+                        if !ok {
+                            break;
+                        }
+                        if cap == Capacity::Rendezvous {
+                            pc[to] += 1; // the peer's receive fires with us
+                        } else {
+                            flight.entry((rank, to)).or_default().push(payload);
+                        }
+                        pc[rank] += 1;
+                        progressed = true;
+                    }
+                    Op::Recv { from, payload } => {
+                        let q = flight.entry((from, rank)).or_default();
+                        // Payload compatibility is endpoint matching's
+                        // job; here a mismatched head still unblocks
+                        // nothing, so treat it as not-yet-arrived.
+                        if q.first() != Some(&payload) {
+                            break;
+                        }
+                        q.remove(0);
+                        pc[rank] += 1;
+                        progressed = true;
+                    }
+                }
+            }
+        }
+        let done = (0..p).all(|r| pc[r] == step.ops[r].len());
+        let undelivered: usize = flight.values().map(Vec::len).sum();
+        if done && undelivered == 0 {
+            return Ok(());
+        }
+        if !progressed {
+            let stuck = (0..p)
+                .filter(|&r| pc[r] < step.ops[r].len())
+                .map(|r| (r, step.ops[r][pc[r]]))
+                .collect();
+            return Err(DeadlockError {
+                tag: step.tag,
+                capacity: cap,
+                stuck,
+                undelivered,
+            });
+        }
+    }
+}
+
+/// Run the pass: tag monotonicity, then per-step completion at `C = ∞`
+/// and `C = 1`; `C = 0` classifies ring steps.
+pub fn check(low: &Lowered) -> Result<DeadlockSummary, Vec<DeadlockError>> {
+    let p = low.program.grid.len();
+    // Tag monotonicity across the whole program (obligation 1).
+    for pair in low.steps.windows(2) {
+        assert!(
+            pair[0].tag < pair[1].tag,
+            "schedule tags must strictly increase"
+        );
+    }
+    let mut errors = Vec::new();
+    let mut summary = DeadlockSummary::default();
+    for step in &low.steps {
+        summary.steps += 1;
+        for cap in [Capacity::Unbounded, Capacity::Bounded(1)] {
+            if let Err(e) = simulate(step, p, cap) {
+                errors.push(e);
+            }
+        }
+        if simulate(step, p, Capacity::Rendezvous).is_err() {
+            summary.ring_steps_needing_buffer += 1;
+        }
+    }
+    if errors.is_empty() {
+        Ok(summary)
+    } else {
+        Err(errors)
+    }
+}

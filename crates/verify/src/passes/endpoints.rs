@@ -1,0 +1,125 @@
+//! Pass 1 — endpoint matching.
+//!
+//! Within every step, the multiset of sends `(src → dst, payload)` must
+//! equal the multiset of receives `(dst expecting src, payload)`: every
+//! message has exactly one receiver that names its sender and payload
+//! type, and no rank waits for a message nobody sends. Because the
+//! fabric addresses receives by `(from, tag)` and each step owns one
+//! tag, matching per step is exactly the property the fabric needs.
+
+use std::collections::BTreeMap;
+
+use fmm_spmd::schedule::{Op, Payload};
+
+use crate::lower::{Lowered, LoweredStep};
+
+/// One endpoint defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointError {
+    /// A send with no receive naming it (count = surplus sends).
+    UnmatchedSend {
+        tag: u64,
+        from: usize,
+        to: usize,
+        payload: Payload,
+        count: usize,
+    },
+    /// A receive with no send behind it.
+    UnmatchedRecv {
+        tag: u64,
+        at: usize,
+        from: usize,
+        payload: Payload,
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for EndpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EndpointError::UnmatchedSend {
+                tag,
+                from,
+                to,
+                payload,
+                count,
+            } => write!(
+                f,
+                "step tag {tag}: {count} unmatched send(s) {from} -> {to} ({payload:?})"
+            ),
+            EndpointError::UnmatchedRecv {
+                tag,
+                at,
+                from,
+                payload,
+                count,
+            } => write!(
+                f,
+                "step tag {tag}: rank {at} posts {count} receive(s) from {from} ({payload:?}) nobody sends"
+            ),
+        }
+    }
+}
+
+/// Summary of a clean run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndpointSummary {
+    pub steps: usize,
+    /// Point-to-point messages matched across the whole program.
+    pub matched_messages: u64,
+}
+
+fn check_step(step: &LoweredStep, errors: &mut Vec<EndpointError>) -> u64 {
+    // (src, dst, payload) -> signed balance: sends +1, receives −1.
+    let mut balance: BTreeMap<(usize, usize, Payload), i64> = BTreeMap::new();
+    let mut sends = 0u64;
+    for (rank, ops) in step.ops.iter().enumerate() {
+        for op in ops {
+            match *op {
+                Op::Send { to, payload, .. } => {
+                    debug_assert_ne!(to, rank, "self-sends are local moves, not messages");
+                    *balance.entry((rank, to, payload)).or_default() += 1;
+                    sends += 1;
+                }
+                Op::Recv { from, payload } => {
+                    *balance.entry((from, rank, payload)).or_default() -= 1;
+                }
+            }
+        }
+    }
+    for ((from, to, payload), b) in balance {
+        if b > 0 {
+            errors.push(EndpointError::UnmatchedSend {
+                tag: step.tag,
+                from,
+                to,
+                payload,
+                count: b as usize,
+            });
+        } else if b < 0 {
+            errors.push(EndpointError::UnmatchedRecv {
+                tag: step.tag,
+                at: to,
+                from,
+                payload,
+                count: (-b) as usize,
+            });
+        }
+    }
+    sends
+}
+
+/// Run the pass over the whole lowered program.
+pub fn check(low: &Lowered) -> Result<EndpointSummary, Vec<EndpointError>> {
+    let mut errors = Vec::new();
+    let mut summary = EndpointSummary::default();
+    for step in &low.steps {
+        summary.matched_messages += check_step(step, &mut errors);
+        summary.steps += 1;
+    }
+    if errors.is_empty() {
+        Ok(summary)
+    } else {
+        Err(errors)
+    }
+}

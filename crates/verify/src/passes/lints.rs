@@ -1,0 +1,299 @@
+//! Pass 4 — determinism lints over the numeric crates' sources.
+//!
+//! The repo's headline invariant is bitwise reproducibility across
+//! executors and worker counts, which survives only if no code path
+//! depends on iteration order or unordered floating-point combination.
+//! Three textual lints guard the usual leaks:
+//!
+//! * **`unsafe` without `// SAFETY:`** — every `unsafe` block or impl
+//!   must carry a `// SAFETY:` comment in the 3 lines above it (the
+//!   textual form of `clippy::undocumented_unsafe_blocks`, which CI also
+//!   enforces; this pass makes `fmm-verify check` self-contained).
+//! * **`HashMap`/`HashSet` without `// det:`** — hashed containers
+//!   iterate in arbitrary order; any use in non-test code must carry a
+//!   `// det:` comment justifying why no arithmetic depends on that
+//!   order (e.g. values only looked up by key, never iterated).
+//! * **parallel reductions without `// det:`** — a `.sum()`/`.reduce()`
+//!   downstream of a `par_iter`-family call combines in nondeterministic
+//!   order; each site must justify itself (integer accumulation, or an
+//!   ordered sequential fold on the deterministic path).
+//!
+//! These are lexical checks, deliberately: they run in milliseconds with
+//! no compiler in the loop, and the annotation they demand is exactly
+//! the reviewer-facing justification we want in the source anyway.
+//! Test modules (from a top-level `#[cfg(test)]` to end of file — the
+//! workspace convention) are exempt.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which lint fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintRule {
+    UndocumentedUnsafe,
+    UnjustifiedHashContainer,
+    UnjustifiedParallelReduction,
+}
+
+impl std::fmt::Display for LintRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LintRule::UndocumentedUnsafe => "unsafe block without // SAFETY:",
+            LintRule::UnjustifiedHashContainer => "HashMap/HashSet without // det:",
+            LintRule::UnjustifiedParallelReduction => "parallel reduction without // det:",
+        })
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct LintError {
+    pub file: PathBuf,
+    /// 1-indexed line.
+    pub line: usize,
+    pub rule: LintRule,
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: `{}`",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.excerpt.trim()
+        )
+    }
+}
+
+/// Summary of a clean run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LintSummary {
+    pub files_scanned: usize,
+    pub documented_unsafe: usize,
+    pub det_annotations: usize,
+}
+
+/// Does any of `lines[lo..=hi]` (saturating) carry `marker`?
+fn window_has(lines: &[&str], hi: usize, span: usize, marker: &str) -> bool {
+    let lo = hi.saturating_sub(span);
+    lines[lo..=hi].iter().any(|l| l.contains(marker))
+}
+
+/// Blank out string literals so lexical matches don't fire on message
+/// text (this pass scans its own source too). Not escape-aware beyond
+/// `\"`; good enough for the workspace's style.
+fn strip_strings(code: &str) -> String {
+    let mut out = String::with_capacity(code.len());
+    let mut in_str = false;
+    let mut prev = '\0';
+    for c in code.chars() {
+        if c == '"' && prev != '\\' {
+            in_str = !in_str;
+            out.push(' ');
+        } else {
+            out.push(if in_str { ' ' } else { c });
+        }
+        prev = c;
+    }
+    out
+}
+
+/// `unsafe` token introducing a block/impl (not `unsafe fn`/`unsafe extern`,
+/// whose obligations live in their `# Safety` docs and call sites, and not
+/// part of a longer identifier like `unsafe_code`).
+fn is_unsafe_block(line: &str) -> bool {
+    let word = |c: char| c.is_alphanumeric() || c == '_';
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(i) = line[from..].find("unsafe").map(|i| i + from) {
+        from = i + "unsafe".len();
+        let before_ok = i == 0 || !word(bytes[i - 1] as char);
+        let after = line[from..].trim_start();
+        let standalone = !after.chars().next().is_some_and(word);
+        if before_ok && standalone && !(after.starts_with("fn ") || after.starts_with("extern")) {
+            return true;
+        }
+    }
+    false
+}
+
+fn scan_file(path: &Path, src: &str, errors: &mut Vec<LintError>, summary: &mut LintSummary) {
+    let lines: Vec<&str> = src.lines().collect();
+    summary.files_scanned += 1;
+    for (i, &line) in lines.iter().enumerate() {
+        let stripped = strip_strings(line);
+        let code = stripped.split("//").next().unwrap_or("");
+        // Workspace convention: the test module is the tail of the file.
+        if line.trim() == "#[cfg(test)]" {
+            break;
+        }
+        if line.contains("// det:") {
+            summary.det_annotations += 1;
+        }
+        if code.contains("unsafe") && is_unsafe_block(code) {
+            if window_has(&lines, i, 3, "SAFETY:") {
+                summary.documented_unsafe += 1;
+            } else {
+                errors.push(LintError {
+                    file: path.to_path_buf(),
+                    line: i + 1,
+                    rule: LintRule::UndocumentedUnsafe,
+                    excerpt: line.to_string(),
+                });
+            }
+        }
+        if (code.contains("HashMap") || code.contains("HashSet"))
+            && !code.trim_start().starts_with("use ")
+            && !window_has(&lines, i, 3, "// det:")
+        {
+            errors.push(LintError {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: LintRule::UnjustifiedHashContainer,
+                excerpt: line.to_string(),
+            });
+        }
+        if (code.contains(".sum(") || code.contains(".reduce("))
+            && window_has(&lines, i, 6, "par_")
+            && !window_has(&lines, i, 8, "// det:")
+        {
+            errors.push(LintError {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: LintRule::UnjustifiedParallelReduction,
+                excerpt: line.to_string(),
+            });
+        }
+    }
+}
+
+/// Scan every `crates/*/src/**/*.rs` under `workspace_root`.
+pub fn check(workspace_root: &Path) -> Result<LintSummary, Vec<LintError>> {
+    let mut errors = Vec::new();
+    let mut summary = LintSummary::default();
+    let mut files = Vec::new();
+    collect_rs_files(&workspace_root.join("crates"), &mut files);
+    files.sort();
+    assert!(
+        !files.is_empty(),
+        "no sources under {}/crates — wrong workspace root?",
+        workspace_root.display()
+    );
+    for path in &files {
+        let src =
+            fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        scan_file(path, &src, &mut errors, &mut summary);
+    }
+    if errors.is_empty() {
+        Ok(summary)
+    } else {
+        Err(errors)
+    }
+}
+
+/// Every crate's `src/` tree — integration tests and benches may
+/// legitimately use unordered containers for assertions and are skipped.
+fn collect_rs_files(crates_dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(crates_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk(&src, out);
+        }
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The workspace root as seen from this crate's build location.
+pub fn default_workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/verify sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<(usize, LintRule)> {
+        let mut errors = Vec::new();
+        let mut summary = LintSummary::default();
+        scan_file(Path::new("test.rs"), src, &mut errors, &mut summary);
+        errors.into_iter().map(|e| (e.line, e.rule)).collect()
+    }
+
+    #[test]
+    fn undocumented_unsafe_block_flagged() {
+        let src = "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        assert_eq!(findings(src), vec![(2, LintRule::UndocumentedUnsafe)]);
+    }
+
+    #[test]
+    fn documented_unsafe_block_passes() {
+        let src = "fn f() {\n    // SAFETY: unreachable by construction\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_and_forbid_attribute_exempt() {
+        // `unsafe fn` carries its obligations in `# Safety` docs; the
+        // `unsafe_code` lint name is not the keyword.
+        let src = "#![forbid(unsafe_code)]\npub unsafe fn f() {}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn hash_container_needs_det() {
+        let src = "fn f() {\n    let m = std::collections::HashMap::new();\n}\n";
+        assert_eq!(findings(src), vec![(2, LintRule::UnjustifiedHashContainer)]);
+        let ok = "fn f() {\n    // det: values only looked up by key\n    let m = std::collections::HashMap::new();\n}\n";
+        assert!(findings(ok).is_empty());
+    }
+
+    #[test]
+    fn parallel_reduction_needs_det() {
+        let src = "fn f(v: &[f64]) {\n    let s: f64 = v.par_iter()\n        .map(|x| x * x)\n        .sum();\n}\n";
+        assert_eq!(
+            findings(src),
+            vec![(4, LintRule::UnjustifiedParallelReduction)]
+        );
+    }
+
+    #[test]
+    fn sequential_sum_is_fine() {
+        let src = "fn f(v: &[f64]) -> f64 {\n    v.iter().sum()\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn test_module_tail_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { unsafe {} }\n}\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn string_literals_do_not_fire() {
+        let src = "fn f() -> &'static str {\n    \"unsafe { } and HashMap here\"\n}\n";
+        assert!(findings(src).is_empty());
+    }
+}

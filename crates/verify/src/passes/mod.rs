@@ -1,0 +1,8 @@
+//! The static passes: each takes the lowered program (or, for the
+//! lints, the workspace sources) and returns a summary or a list of
+//! findings.
+
+pub mod budget;
+pub mod deadlock;
+pub mod endpoints;
+pub mod lints;

@@ -1,0 +1,123 @@
+//! Unit/integration tests of the analyzer itself: clean programs pass
+//! every structural pass at every machine shape, and each injected
+//! mutation is caught by the pass that owns it.
+
+use fmm_machine::VuGrid;
+use fmm_spmd::{vu_grid_for, CommProgram};
+use fmm_verify::passes::{budget, deadlock, endpoints};
+use fmm_verify::{apply_mutation, lower, run_checks, CheckConfig, Mutation};
+
+fn table4_program() -> CommProgram {
+    CommProgram::build(VuGrid::new([8, 4, 4]), 4, 6, 2, false)
+}
+
+#[test]
+fn structural_passes_clean_across_machine_shapes() {
+    for p in [1usize, 2, 4, 8, 16, 64, 128] {
+        for depth in 2..=4u32 {
+            let grid = vu_grid_for(p);
+            if grid.dims.iter().any(|&d| d > 1usize << depth) {
+                continue; // grid does not fit the leaf level
+            }
+            for forces in [false, true] {
+                let prog = CommProgram::build(grid, depth, 6, 2, forces);
+                let low = lower(&prog);
+                let e = endpoints::check(&low)
+                    .unwrap_or_else(|errs| panic!("p={p} depth={depth}: {errs:?}"));
+                assert_eq!(e.steps, prog.step_count());
+                let d = deadlock::check(&low)
+                    .unwrap_or_else(|errs| panic!("p={p} depth={depth}: {errs:?}"));
+                assert_eq!(d.steps, prog.step_count());
+                // Single-rank programs exchange nothing.
+                if p == 1 {
+                    assert_eq!(e.matched_messages, 0);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_pass_clean_and_byte_exact_where_static() {
+    for p in [1usize, 2, 4, 8, 16, 128] {
+        let depth = if p == 128 { 4 } else { 3 };
+        let prog = CommProgram::build(vu_grid_for(p), depth, 6, 2, false);
+        let low = lower(&prog);
+        let s = budget::check(&low, 2).unwrap_or_else(|errs| panic!("p={p}: {errs:?}"));
+        // Any phase with a statically known, nonzero byte total must be
+        // byte-exact against the closed-form budget — that is the claim
+        // the axis-aware halo accounting makes.
+        for (i, ph) in s.phases.iter().enumerate() {
+            if ph.bytes.is_some_and(|b| b > 0) {
+                assert!(
+                    s.byte_exact_phases.contains(&i),
+                    "p={p} phase {i}: static bytes {:?} not byte-exact",
+                    ph.bytes
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn table4_static_totals_are_the_pr2_constants() {
+    let low = lower(&table4_program());
+    let phases = budget::static_phases(&low);
+    let msgs: Vec<u64> = phases.iter().map(|p| p.messages).collect();
+    assert_eq!(msgs, [1, 0, 127, 19, 0, 65]);
+    assert_eq!(phases[2].bytes, Some(86_016));
+    assert_eq!(phases[3].bytes, Some(24_351_744));
+    // Sort and near-field payloads are data-dependent.
+    assert_eq!(phases[0].bytes, None);
+    assert_eq!(phases[5].bytes, None);
+}
+
+#[test]
+fn flipped_shift_is_rejected_by_endpoints_and_deadlock() {
+    let mut low = lower(&table4_program());
+    apply_mutation(&mut low, Mutation::FlippedShift);
+    let errs = endpoints::check(&low).expect_err("flipped ring must not match");
+    assert!(!errs.is_empty());
+    deadlock::check(&low).expect_err("flipped ring must not complete");
+}
+
+#[test]
+fn dropped_recv_is_rejected_with_one_unmatched_send() {
+    let mut low = lower(&table4_program());
+    apply_mutation(&mut low, Mutation::DroppedRecv);
+    let errs = endpoints::check(&low).expect_err("dropped receive must not match");
+    assert_eq!(errs.len(), 1);
+    assert!(matches!(
+        errs[0],
+        endpoints::EndpointError::UnmatchedSend {
+            to: 0,
+            count: 1,
+            ..
+        }
+    ));
+    let derrs = deadlock::check(&low).expect_err("dropped receive leaves a message in flight");
+    assert!(derrs.iter().all(|e| e.undelivered > 0));
+}
+
+#[test]
+fn mutation_parsing() {
+    assert_eq!(
+        Mutation::parse("flipped-shift"),
+        Some(Mutation::FlippedShift)
+    );
+    assert_eq!(Mutation::parse("dropped-recv"), Some(Mutation::DroppedRecv));
+    assert_eq!(Mutation::parse("no-such-fault"), None);
+}
+
+#[test]
+fn run_checks_reports_the_failing_pass_by_name() {
+    let mut cfg = CheckConfig::table4();
+    cfg.skip_lints = true; // source tree state is the lint pass's own test
+    let clean = run_checks(&cfg);
+    assert!(clean.ok(), "{:?}", clean.failing());
+
+    cfg.mutate = Some(Mutation::FlippedShift);
+    let bad = run_checks(&cfg);
+    assert!(!bad.ok());
+    assert!(bad.failing().contains(&"endpoint-matching"));
+}
