@@ -20,15 +20,22 @@
 //!
 //! JSON is written by hand — the harness has no serde dependency.
 //!
-//! Run: `cargo run --release -p fmm-bench --bin bench_json [--seeded]`
+//! Run: `cargo run --release -p fmm-bench --bin bench_json [--seeded|--check]`
 //!
 //! `--seeded` emits only the deterministic SPMD data-motion report (no
 //! wall-clock numbers): two runs produce byte-identical
 //! `BENCH_spmd.json`, which CI diffs to pin executor determinism.
+//!
+//! `--check` is the perf-regression gate: re-measures the kernel rates
+//! and fails (exit 1) if any GEMM GFLOP/s or near-field interactions/s
+//! figure drops more than 15% below the committed `BENCH_kernels.json`.
+//! Override the threshold with `FMM_BENCH_TOLERANCE=<fraction>` — CI
+//! shared runners use 0.5.
 
 use fmm_bench::util::best_of;
 use fmm_bench::workloads::{uniform, unit_charges};
 use fmm_core::near::{near_field_potentials, near_field_symmetric_colored, ColorSchedule};
+use fmm_core::near32::near_field_potentials_f32;
 use fmm_core::particles::BinnedParticles;
 use fmm_core::{Domain, Executor, Fmm, FmmConfig, Separation};
 use fmm_linalg::{gemm_acc_with, gemm_flops, Kernel};
@@ -88,33 +95,42 @@ fn gemm_rate(kernel: Kernel, n: usize, k: usize) -> f64 {
     flops / t / 1e9
 }
 
+/// JSON-friendly key for a microkernel family: `avx2+fma` → `avx2_fma`.
+fn family_key(kernel: Kernel) -> String {
+    kernel.name().replace('+', "_")
+}
+
 fn bench_gemm() -> (String, f64) {
-    let detected = Kernel::detect();
     let n = 2048; // panel rows: boxes aggregated per slab at depth ≥ 4
+    let families = Kernel::available();
     let mut entries = Vec::new();
     let mut speedup_k72 = 0.0;
     for k in [12, 72, 120] {
-        let scalar = gemm_rate(Kernel::Scalar, n, k);
-        let simd = gemm_rate(detected, n, k);
-        let speedup = simd / scalar;
+        let mut o = Obj::default();
+        o.field("k", k).field("panel_rows", n);
+        let mut scalar = 0.0;
+        let mut best = (Kernel::Scalar, 0.0f64);
+        let mut line = format!("gemm K={:<3} n={} ", k, n);
+        for &kernel in &families {
+            let rate = gemm_rate(kernel, n, k);
+            o.field(
+                &format!("{}_gflops", family_key(kernel)),
+                format_args!("{:.3}", rate),
+            );
+            let _ = write!(line, " {} {:>6.2} GF/s ", kernel.name(), rate);
+            if kernel == Kernel::Scalar {
+                scalar = rate;
+            }
+            if rate > best.1 {
+                best = (kernel, rate);
+            }
+        }
+        let speedup = best.1 / scalar;
         if k == 72 {
             speedup_k72 = speedup;
         }
-        println!(
-            "gemm K={:<3} n={}  scalar {:>6.2} GF/s  {} {:>6.2} GF/s  ({:.2}x)",
-            k,
-            n,
-            scalar,
-            detected.name(),
-            simd,
-            speedup
-        );
-        let mut o = Obj::default();
-        o.field("k", k)
-            .field("panel_rows", n)
-            .field("scalar_gflops", format_args!("{:.3}", scalar))
-            .field("simd_gflops", format_args!("{:.3}", simd))
-            .str_field("simd_kernel", detected.name())
+        println!("{} ({:.2}x best/scalar)", line, speedup);
+        o.str_field("best_kernel", best.0.name())
             .field("speedup", format_args!("{:.3}", speedup));
         entries.push(o.finish());
     }
@@ -143,21 +159,33 @@ fn bench_near() -> String {
         out.iter_mut().for_each(|x| *x = 0.0);
         near_field_symmetric_colored(&bp, sep, &schedule, true, 0.0, &mut out)
     });
+    // Mixed-precision variant of the same colored sweep (f32 SIMD lanes,
+    // f64 accumulation across box pairs).
+    let detected = Kernel::detect();
+    near_field_potentials_f32(detected, &bp, sep, &schedule, true, 0.0, &mut out);
+    let (t_f32, _) = best_of(3, || {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        near_field_potentials_f32(detected, &bp, sep, &schedule, true, 0.0, &mut out)
+    });
 
     // Throughput in *physical* interactions per second: the symmetric
     // sweep visits each pair once but updates both endpoints, so its
     // effective interaction count equals the target-centric one.
     let tc_rate = tc_stats.pair_interactions as f64 / t_target / 1e6;
     let sym_rate = tc_stats.pair_interactions as f64 / t_sym / 1e6;
+    let f32_rate = tc_stats.pair_interactions as f64 / t_f32 / 1e6;
     println!(
-        "near field n={} depth={}  target-centric {:.1} ms ({:.0} M int/s)  colored-symmetric {:.1} ms ({:.0} M int/s, {:.2}x)",
+        "near field n={} depth={}  target-centric {:.1} ms ({:.0} M int/s)  colored-symmetric {:.1} ms ({:.0} M int/s, {:.2}x)  f32 {:.1} ms ({:.0} M int/s, {:.2}x vs f64)",
         n,
         depth,
         t_target * 1e3,
         tc_rate,
         t_sym * 1e3,
         sym_rate,
-        t_target / t_sym
+        t_target / t_sym,
+        t_f32 * 1e3,
+        f32_rate,
+        t_sym / t_f32
     );
 
     let mut o = Obj::default();
@@ -165,6 +193,7 @@ fn bench_near() -> String {
         .field("depth", depth)
         .field("target_centric_seconds", format_args!("{:.6}", t_target))
         .field("colored_symmetric_seconds", format_args!("{:.6}", t_sym))
+        .field("f32_colored_seconds", format_args!("{:.6}", t_f32))
         .field("target_centric_pairs", tc_stats.pair_interactions)
         .field("symmetric_pairs", sym_stats.pair_interactions)
         .field(
@@ -175,7 +204,10 @@ fn bench_near() -> String {
             "colored_symmetric_minteractions_per_s",
             format_args!("{:.1}", sym_rate),
         )
-        .field("speedup", format_args!("{:.3}", t_target / t_sym));
+        .field("f32_minteractions_per_s", format_args!("{:.1}", f32_rate))
+        .str_field("f32_kernel", detected.name())
+        .field("speedup", format_args!("{:.3}", t_target / t_sym))
+        .field("f32_speedup", format_args!("{:.3}", t_sym / t_f32));
     o.finish()
 }
 
@@ -190,7 +222,22 @@ fn bench_evaluate() -> String {
     let t_first = t0.elapsed().as_secs_f64();
     assert_eq!(fmm.plan_builds(), 1);
 
-    let (t_repeat, _) = best_of(3, || fmm.evaluate(&pts, &q).unwrap());
+    // The same configuration with the fused level sweeps disabled —
+    // isolates the cache-residency win of fusing P2O→T1 and T3→eval.
+    // The two variants are round-robined so slow machine-load drift
+    // cancels out of the ratio instead of biasing whichever ran second.
+    let unfused = Fmm::new(FmmConfig::order(5).depth(4).fused(false)).unwrap();
+    unfused.evaluate(&pts, &q).unwrap();
+    let mut t_repeat = f64::INFINITY;
+    let mut t_unfused = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        fmm.evaluate(&pts, &q).unwrap();
+        t_repeat = t_repeat.min(t0.elapsed().as_secs_f64());
+        let t0 = std::time::Instant::now();
+        unfused.evaluate(&pts, &q).unwrap();
+        t_unfused = t_unfused.min(t0.elapsed().as_secs_f64());
+    }
     assert_eq!(
         fmm.plan_builds(),
         1,
@@ -198,11 +245,13 @@ fn bench_evaluate() -> String {
     );
 
     println!(
-        "evaluate n={} depth={}  first {:.1} ms (plan build)  repeat {:.1} ms (cache hit)",
+        "evaluate n={} depth={}  first {:.1} ms (plan build)  repeat {:.1} ms (cache hit)  unfused repeat {:.1} ms ({:.2}x from fusion)",
         n,
         first.depth,
         t_first * 1e3,
-        t_repeat * 1e3
+        t_repeat * 1e3,
+        t_unfused * 1e3,
+        t_unfused / t_repeat
     );
 
     let mut o = Obj::default();
@@ -210,6 +259,11 @@ fn bench_evaluate() -> String {
         .field("depth", first.depth)
         .field("first_seconds", format_args!("{:.6}", t_first))
         .field("repeat_seconds", format_args!("{:.6}", t_repeat))
+        .field("repeat_unfused_seconds", format_args!("{:.6}", t_unfused))
+        .field(
+            "fused_repeat_speedup",
+            format_args!("{:.3}", t_unfused / t_repeat),
+        )
         .field("plan_builds", fmm.plan_builds());
     o.finish()
 }
@@ -319,18 +373,62 @@ fn bench_spmd(seeded: bool) -> String {
     root.finish()
 }
 
-fn main() {
-    let seeded = std::env::args().any(|a| a == "--seeded");
-    let spmd = bench_spmd(seeded);
-    std::fs::write("BENCH_spmd.json", &spmd).expect("write BENCH_spmd.json");
-    println!("wrote BENCH_spmd.json");
-    if seeded {
-        // Deterministic mode for the CI byte-for-byte diff: the kernel
-        // timing sections are inherently noisy, so only the data-motion
-        // report (a pure function of the seed) is emitted.
-        return;
+/// All numeric values of `"key":<number>` occurrences, in document order.
+/// Enough of a parser for the JSON this binary writes itself.
+fn extract_numbers(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{}\":", key);
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        rest = &rest[pos + needle.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            out.push(v);
+        }
     }
+    out
+}
 
+/// Compare throughput metrics of a fresh run against the committed
+/// baseline. A metric regresses when it falls more than `tolerance`
+/// (fraction; default 0.15, overridable via `FMM_BENCH_TOLERANCE`) below
+/// the baseline. Keys absent from either file are skipped, so the gate
+/// survives schema growth and host-dependent kernel sets.
+fn check_regressions(old: &str, new: &str, tolerance: f64) -> Vec<String> {
+    // Higher-is-better rates only; wall-clock times are not gated.
+    let rate_keys = [
+        "scalar_gflops",
+        "avx2_fma_gflops",
+        "avx512_gflops",
+        "neon_gflops",
+        "target_centric_minteractions_per_s",
+        "colored_symmetric_minteractions_per_s",
+        "f32_minteractions_per_s",
+    ];
+    let mut failures = Vec::new();
+    for key in rate_keys {
+        let old_vals = extract_numbers(old, key);
+        let new_vals = extract_numbers(new, key);
+        for (i, (o, n)) in old_vals.iter().zip(&new_vals).enumerate() {
+            if *n < o * (1.0 - tolerance) {
+                failures.push(format!(
+                    "{}[{}]: {:.2} vs baseline {:.2} ({:+.1}%, tolerance -{:.0}%)",
+                    key,
+                    i,
+                    n,
+                    o,
+                    (n / o - 1.0) * 100.0,
+                    tolerance * 100.0
+                ));
+            }
+        }
+    }
+    failures
+}
+
+fn kernels_report() -> (String, f64) {
     let (gemm, speedup_k72) = bench_gemm();
     let near = bench_near();
     let eval = bench_evaluate();
@@ -341,8 +439,53 @@ fn main() {
         .field("gemm", gemm)
         .field("near_field", near)
         .field("evaluate", eval);
-    let json = root.finish();
+    (root.finish(), speedup_k72)
+}
 
+fn main() {
+    let seeded = std::env::args().any(|a| a == "--seeded");
+    let check = std::env::args().any(|a| a == "--check");
+
+    if check {
+        // Perf-regression gate: re-measure and compare against the
+        // committed BENCH_kernels.json without overwriting it. Tune the
+        // threshold with FMM_BENCH_TOLERANCE (fraction, default 0.15) —
+        // CI shared runners need a loose one.
+        let old = std::fs::read_to_string("BENCH_kernels.json")
+            .expect("--check needs a committed BENCH_kernels.json baseline");
+        let tolerance = std::env::var("FMM_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.15);
+        let (new, _) = kernels_report();
+        let failures = check_regressions(&old, &new, tolerance);
+        if failures.is_empty() {
+            println!(
+                "\nbench --check: no regressions beyond {:.0}%",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("\nbench --check: throughput regressions detected:");
+            for f in &failures {
+                eprintln!("  {}", f);
+            }
+            eprintln!("(override with FMM_BENCH_TOLERANCE=<fraction>, e.g. 0.5)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let spmd = bench_spmd(seeded);
+    std::fs::write("BENCH_spmd.json", &spmd).expect("write BENCH_spmd.json");
+    println!("wrote BENCH_spmd.json");
+    if seeded {
+        // Deterministic mode for the CI byte-for-byte diff: the kernel
+        // timing sections are inherently noisy, so only the data-motion
+        // report (a pure function of the seed) is emitted.
+        return;
+    }
+
+    let (json, speedup_k72) = kernels_report();
     std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
     println!("\nwrote BENCH_kernels.json");
     if Kernel::detect() != Kernel::Scalar && speedup_k72 < 1.5 {

@@ -1,6 +1,7 @@
 //! Configuration of the method: integration order, truncation, sphere
 //! radii, hierarchy depth, separation, supernodes.
 
+use fmm_linalg::Kernel;
 use fmm_sphere::SphereRule;
 use fmm_tree::Separation;
 
@@ -63,6 +64,26 @@ pub enum Executor {
     Spmd(usize),
 }
 
+/// Arithmetic precision tier for `evaluate()`.
+///
+/// The hierarchy traversal (translations, outer/inner expansions) always
+/// runs in f64 — its conditioning is what buys the method's tunable
+/// accuracy. The near field, which is arithmetic-bound direct summation,
+/// can optionally run in f32 with SIMD rsqrt kernels at roughly twice the
+/// lane throughput. See DESIGN.md §5.5 ("Kernel tiers and precision
+/// modes") for the error-bound derivation: on the standard 40k-particle
+/// depth-4 configuration the f32 near field stays within 1e-5 maximum
+/// relative error of the f64 near field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Everything in f64 (the default).
+    #[default]
+    F64,
+    /// f64 traversal + f32 SIMD near field (8 lanes on AVX2, 16 on
+    /// AVX-512, 4 on NEON).
+    Mixed,
+}
+
 /// Full configuration of Anderson's method.
 ///
 /// The defaults for sphere radii and truncation per integration order are
@@ -101,6 +122,18 @@ pub struct FmmConfig {
     /// the far-field approximations are not softened, which is exact in
     /// the ε → 0 limit and perturbs far interactions only by O(ε²/r²).
     pub softening: f64,
+    /// Arithmetic precision tier (f64 everywhere, or f32 near field).
+    pub precision: Precision,
+    /// Force a specific microkernel family instead of
+    /// [`Kernel::detect`]-ing the widest supported one. Rejected by
+    /// [`FmmConfig::validate`] if the host cannot run it. The resolved
+    /// choice is recorded on the cached [`crate::TraversalPlan`], so every
+    /// backend (including SPMD workers) runs the same kernel.
+    pub kernel: Option<Kernel>,
+    /// Fuse the P2O→leaf-T1 upward and leaf-T3→inner-evaluate downward
+    /// sweeps so leaf multipole panels stay cache-resident (bitwise
+    /// identical to the unfused phases; on by default).
+    pub fused: bool,
 }
 
 impl FmmConfig {
@@ -134,6 +167,9 @@ impl FmmConfig {
             parallel: true,
             executor: Executor::Rayon,
             softening: 0.0,
+            precision: Precision::F64,
+            kernel: None,
+            fused: true,
         }
     }
 
@@ -202,6 +238,30 @@ impl FmmConfig {
         self
     }
 
+    /// Builder-style: precision tier.
+    pub fn precision(mut self, p: Precision) -> Self {
+        self.precision = p;
+        self
+    }
+
+    /// Builder-style: force a specific microkernel family.
+    pub fn kernel(mut self, k: Kernel) -> Self {
+        self.kernel = Some(k);
+        self
+    }
+
+    /// Builder-style: enable/disable the fused level sweeps.
+    pub fn fused(mut self, on: bool) -> Self {
+        self.fused = on;
+        self
+    }
+
+    /// The microkernel family this configuration will run: the forced
+    /// choice if set, else the detected best (honouring `FMM_KERNEL`).
+    pub fn resolve_kernel(&self) -> Kernel {
+        self.kernel.unwrap_or_else(Kernel::detect)
+    }
+
     /// The sphere rule implied by the order.
     pub fn rule(&self) -> SphereRule {
         SphereRule::for_order(self.order)
@@ -238,6 +298,19 @@ impl FmmConfig {
         if self.softening < 0.0 {
             return Err("softening must be non-negative".into());
         }
+        if let Some(k) = self.kernel {
+            if !k.supported() {
+                return Err(format!(
+                    "kernel {} is not supported on this host (available: {})",
+                    k.name(),
+                    Kernel::available()
+                        .iter()
+                        .map(|k| k.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
         if let Executor::Spmd(p) = self.executor {
             if p == 0 || !p.is_power_of_two() {
                 return Err(format!("SPMD worker count {} must be a power of two", p));
@@ -245,6 +318,11 @@ impl FmmConfig {
             if self.supernodes {
                 return Err(
                     "the SPMD executor does not support the supernode decomposition".into(),
+                );
+            }
+            if self.precision == Precision::Mixed {
+                return Err(
+                    "the SPMD executor does not support the mixed-precision near field".into(),
                 );
             }
         }
@@ -289,6 +367,32 @@ mod tests {
         assert!(FmmConfig::order(5).radii(0.5, 1.0).validate().is_err());
         assert!(FmmConfig::order(5).radii(1.0, 0.5).validate().is_err());
         assert!(FmmConfig::order(5).radii(2.5, 1.0).validate().is_err());
+    }
+
+    #[test]
+    fn unsupported_kernel_rejected() {
+        // No host supports both AVX-512 and NEON; whichever is foreign
+        // here must be rejected, and every available one accepted.
+        let foreign = [Kernel::Avx512, Kernel::Neon]
+            .into_iter()
+            .find(|k| !k.supported())
+            .unwrap();
+        assert!(FmmConfig::order(5).kernel(foreign).validate().is_err());
+        for k in Kernel::available() {
+            FmmConfig::order(5).kernel(k).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn spmd_rejects_mixed_precision() {
+        let cfg = FmmConfig::order(5)
+            .executor(Executor::Spmd(4))
+            .precision(Precision::Mixed);
+        assert!(cfg.validate().is_err());
+        FmmConfig::order(5)
+            .precision(Precision::Mixed)
+            .validate()
+            .unwrap();
     }
 
     #[test]

@@ -2,14 +2,18 @@
 //! hierarchical method, wired together with binning, translation matrices
 //! and per-phase profiling.
 
-use crate::config::{Executor, FmmConfig};
+use crate::config::{Executor, FmmConfig, Precision};
 use crate::field::FieldHierarchy;
-use crate::near::{near_field_forces_softened, near_field_travelling, NearFieldStats};
+use crate::near::{near_field_forces_softened, near_field_travelling_with, NearFieldStats};
+use crate::near32::{near_field_forces_f32, near_field_potentials_f32};
 use crate::particles::BinnedParticles;
 use crate::plan::TraversalPlan;
 use crate::stats::{Phase, Profile, SpmdReport};
 use crate::translations::TranslationSet;
-use crate::traversal::{downward_pass, upward_pass, Aggregation, TraversalFlops};
+use crate::traversal::{
+    downward_level, downward_level_fused, downward_pass, fused_p2o_upward_leaf, upward_level,
+    upward_pass, Aggregation, TraversalFlops,
+};
 use fmm_sphere::{inner_kernel_row, inner_kernel_row_grad, norm, SphereRule};
 use fmm_tree::{BoxCoord, Domain, Hierarchy};
 use rayon::prelude::*;
@@ -130,7 +134,11 @@ impl Fmm {
             .entry(depth)
             .or_insert_with(|| {
                 self.plan_builds.fetch_add(1, Ordering::Relaxed);
-                Arc::new(TraversalPlan::build(depth, self.cfg.separation))
+                Arc::new(TraversalPlan::build_with(
+                    depth,
+                    self.cfg.separation,
+                    self.cfg.resolve_kernel(),
+                ))
             })
             .clone()
     }
@@ -332,84 +340,225 @@ impl Fmm {
             BinnedParticles::build(positions, charges, domain, depth)
         });
 
-        // Step 1: leaf-level outer approximations (P2O).
+        // Steps 1–4: the hierarchy sweeps. With `cfg.fused` (the default)
+        // the leaf-adjacent sweeps are fused so leaf panels are consumed
+        // while still cache-resident: P2O feeds the leaf T1 GEMM slab by
+        // slab, and the leaf-level downward sweep hands each finished slab
+        // straight to particle evaluation. Both fusions only reorder the
+        // loops — every per-box operation is unchanged — so fused and
+        // unfused runs are bitwise identical.
         let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
         let leaf_side = domain.box_side(depth);
         let a_leaf = self.cfg.outer_ratio * leaf_side;
-        let p2o_flops = profile.time(Phase::P2O, || {
-            p2o(
-                &bp,
-                &self.rule,
-                a_leaf,
-                depth,
-                par,
-                &mut fh.far[depth as usize],
-            )
-        });
-        profile.add_flops(Phase::P2O, p2o_flops);
-
-        // Step 2: upward pass.
-        let mut tflops = TraversalFlops::default();
-        let up = profile.time(Phase::Upward, || {
-            upward_pass(&mut fh, &self.translations, &plan, Aggregation::Gemm, par)
-        });
-        profile.add_flops(Phase::Upward, up.t1);
-        tflops.t1 = up.t1;
-
-        // Step 3: downward pass (T2 + T3 are timed together inside; the
-        // interactive field dominates, as in the paper).
-        let down = profile.time(Phase::Interactive, || {
-            downward_pass(
-                &mut fh,
-                &self.translations,
-                &plan,
-                self.cfg.supernodes,
-                Aggregation::Gemm,
-                par,
-            )
-        });
-        profile.add_flops(Phase::Interactive, down.t2);
-        profile.add_flops(Phase::Downward, down.t3);
-        tflops.t2 = down.t2;
-        tflops.t3 = down.t3;
-        tflops.copied = up.copied + down.copied;
-
-        // Step 4: evaluate leaf inner approximations at the particles.
         let b_leaf = self.cfg.inner_ratio * leaf_side;
+        let mut tflops = TraversalFlops::default();
         let mut far_pot = vec![0.0; bp.len()];
         let mut far_field = if with_fields {
             Some(vec![[0.0; 3]; bp.len()])
         } else {
             None
         };
-        let eval_flops = profile.time(Phase::Eval, || {
-            eval_local(
-                &bp,
-                &self.rule,
-                self.cfg.m_trunc,
-                b_leaf,
-                depth,
-                par,
-                &fh.local[depth as usize],
-                &mut far_pot,
-                far_field.as_deref_mut(),
-            )
-        });
-        profile.add_flops(Phase::Eval, eval_flops);
 
-        // Step 5: near-field direct evaluation.
+        if self.cfg.fused && depth >= 3 {
+            // Step 1+2a: fused P2O + leaf T1 (the upward pass is a no-op
+            // below depth 3, so there is nothing to fuse there).
+            let fill = |c0: usize, c1: usize, kids: &mut [f64]| {
+                for (b, g) in (c0..c1).zip(kids.chunks_mut(k)) {
+                    p2o_box(&bp, &self.rule, a_leaf, depth, b, g);
+                }
+            };
+            let leaf_up = profile.time(Phase::P2O, || {
+                fused_p2o_upward_leaf(&mut fh, &self.translations, &plan, par, &fill)
+            });
+            // P2O flops are analytic (Σ per-box work is exactly n·K·10);
+            // the leaf T1 GEMM that rode along is accounted to Upward.
+            profile.add_flops(Phase::P2O, (bp.len() * k) as u64 * 10);
+
+            // Step 2b: the remaining upward levels.
+            let up = profile.time(Phase::Upward, || {
+                let mut acc = TraversalFlops::default();
+                for l in (1..depth - 1).rev() {
+                    let f = upward_level(
+                        &mut fh,
+                        &self.translations,
+                        &plan,
+                        l,
+                        Aggregation::Gemm,
+                        par,
+                    );
+                    acc.t1 += f.t1;
+                    acc.copied += f.copied;
+                }
+                acc
+            });
+            tflops.t1 = leaf_up.t1 + up.t1;
+            tflops.copied = leaf_up.copied + up.copied;
+            profile.add_flops(Phase::Upward, tflops.t1);
+        } else {
+            // Step 1: leaf-level outer approximations (P2O).
+            let p2o_flops = profile.time(Phase::P2O, || {
+                p2o(
+                    &bp,
+                    &self.rule,
+                    a_leaf,
+                    depth,
+                    par,
+                    &mut fh.far[depth as usize],
+                )
+            });
+            profile.add_flops(Phase::P2O, p2o_flops);
+
+            // Step 2: upward pass.
+            let up = profile.time(Phase::Upward, || {
+                upward_pass(&mut fh, &self.translations, &plan, Aggregation::Gemm, par)
+            });
+            profile.add_flops(Phase::Upward, up.t1);
+            tflops.t1 = up.t1;
+            tflops.copied = up.copied;
+        }
+
+        if self.cfg.fused {
+            // Step 3a: downward levels above the leaves (T2 + T3 timed
+            // together; the interactive field dominates, as in the paper).
+            let down = profile.time(Phase::Interactive, || {
+                let mut acc = TraversalFlops::default();
+                for l in 2..depth {
+                    let f = downward_level(
+                        &mut fh,
+                        &self.translations,
+                        &plan,
+                        self.cfg.supernodes,
+                        Aggregation::Gemm,
+                        par,
+                        l,
+                    );
+                    acc.t2 += f.t2;
+                    acc.t3 += f.t3;
+                    acc.copied += f.copied;
+                }
+                acc
+            });
+
+            // Step 3b+4: leaf downward fused with particle evaluation.
+            // The whole fused sweep is timed as Eval; its T2/T3 flops are
+            // still attributed to Interactive/Downward.
+            let eval_flops = AtomicU64::new(0);
+            let out = FusedEvalOut {
+                pot: far_pot.as_mut_ptr(),
+                field: far_field.as_deref_mut().map(|f| f.as_mut_ptr()),
+            };
+            let bp_ref = &bp;
+            let rule = &self.rule;
+            let m_trunc = self.cfg.m_trunc;
+            let eval_flops_ref = &eval_flops;
+            let leaf_down = profile.time(Phase::Eval, || {
+                // `move` captures the wrapper as one (Sync) value rather
+                // than as bare raw-pointer fields.
+                let sink = move |c0: usize, c1: usize, chunk: &[f64]| {
+                    let (pot, field) = out.parts();
+                    let mut fl = 0u64;
+                    for b in c0..c1 {
+                        let range = bp_ref.range(b);
+                        if range.is_empty() {
+                            continue;
+                        }
+                        let g = &chunk[(b - c0) * k..(b - c0 + 1) * k];
+                        // SAFETY: leaf boxes own disjoint particle ranges
+                        // and concurrent sink invocations cover disjoint
+                        // boxes, so these slices never alias.
+                        let po = unsafe {
+                            std::slice::from_raw_parts_mut(pot.add(range.start), range.len())
+                        };
+                        // SAFETY: as above — same disjoint range of the
+                        // field buffer.
+                        let fo = field.map(|fp| unsafe {
+                            std::slice::from_raw_parts_mut(fp.add(range.start), range.len())
+                        });
+                        fl += eval_box(bp_ref, rule, m_trunc, b_leaf, depth, b, g, po, fo);
+                    }
+                    eval_flops_ref.fetch_add(fl, Ordering::Relaxed);
+                };
+                downward_level_fused(
+                    &mut fh,
+                    &self.translations,
+                    &plan,
+                    self.cfg.supernodes,
+                    Aggregation::Gemm,
+                    par,
+                    depth,
+                    &sink,
+                )
+            });
+            profile.add_flops(Phase::Interactive, down.t2 + leaf_down.t2);
+            profile.add_flops(Phase::Downward, down.t3 + leaf_down.t3);
+            profile.add_flops(Phase::Eval, eval_flops.load(Ordering::Relaxed));
+            tflops.t2 = down.t2 + leaf_down.t2;
+            tflops.t3 = down.t3 + leaf_down.t3;
+            tflops.copied += down.copied + leaf_down.copied;
+        } else {
+            // Step 3: downward pass (T2 + T3 are timed together inside;
+            // the interactive field dominates, as in the paper).
+            let down = profile.time(Phase::Interactive, || {
+                downward_pass(
+                    &mut fh,
+                    &self.translations,
+                    &plan,
+                    self.cfg.supernodes,
+                    Aggregation::Gemm,
+                    par,
+                )
+            });
+            profile.add_flops(Phase::Interactive, down.t2);
+            profile.add_flops(Phase::Downward, down.t3);
+            tflops.t2 = down.t2;
+            tflops.t3 = down.t3;
+            tflops.copied += down.copied;
+
+            // Step 4: evaluate leaf inner approximations at the particles.
+            let eval_flops = profile.time(Phase::Eval, || {
+                eval_local(
+                    &bp,
+                    &self.rule,
+                    self.cfg.m_trunc,
+                    b_leaf,
+                    depth,
+                    par,
+                    &fh.local[depth as usize],
+                    &mut far_pot,
+                    far_field.as_deref_mut(),
+                )
+            });
+            profile.add_flops(Phase::Eval, eval_flops);
+        }
+
+        // Step 5: near-field direct evaluation. `Precision::Mixed` swaps
+        // in the f32 SIMD sweeps (8 lanes on AVX2, 16 on AVX-512); the
+        // traversal above stays f64 either way.
+        let mixed = self.cfg.precision == Precision::Mixed;
         let mut near_pot = vec![0.0; bp.len()];
         let near_stats = if with_fields {
             let mut near_f = vec![[0.0; 3]; bp.len()];
             let st = profile.time(Phase::Near, || {
-                near_field_forces_softened(
-                    &bp,
-                    self.cfg.separation,
-                    par,
-                    self.cfg.softening,
-                    &mut near_pot,
-                    &mut near_f,
-                )
+                if mixed {
+                    near_field_forces_f32(
+                        plan.kernel,
+                        &bp,
+                        self.cfg.separation,
+                        par,
+                        self.cfg.softening,
+                        &mut near_pot,
+                        &mut near_f,
+                    )
+                } else {
+                    near_field_forces_softened(
+                        &bp,
+                        self.cfg.separation,
+                        par,
+                        self.cfg.softening,
+                        &mut near_pot,
+                        &mut near_f,
+                    )
+                }
             });
             if let Some(ff) = far_field.as_mut() {
                 for (a, b) in ff.iter_mut().zip(&near_f) {
@@ -425,15 +574,30 @@ impl Fmm {
             // the parallel scatter conflict-free, and the message-passing
             // executor runs the identical arithmetic — all backends are
             // bitwise interchangeable. Its stats report third-law-halved
-            // counts, identical to the sequential symmetric sweep.
+            // counts, identical to the sequential symmetric sweep. The
+            // mixed-precision variant runs the colored symmetric schedule
+            // recorded on the plan.
             profile.time(Phase::Near, || {
-                near_field_travelling(
-                    &bp,
-                    self.cfg.separation,
-                    par,
-                    self.cfg.softening,
-                    &mut near_pot,
-                )
+                if mixed {
+                    near_field_potentials_f32(
+                        plan.kernel,
+                        &bp,
+                        self.cfg.separation,
+                        &plan.near_schedule,
+                        par,
+                        self.cfg.softening,
+                        &mut near_pot,
+                    )
+                } else {
+                    near_field_travelling_with(
+                        plan.kernel,
+                        &bp,
+                        self.cfg.separation,
+                        par,
+                        self.cfg.softening,
+                        &mut near_pot,
+                    )
+                }
             })
         };
         profile.add_flops(Phase::Near, near_stats.flops);
@@ -458,6 +622,65 @@ impl Fmm {
     }
 }
 
+/// Shared output pointers for the fused leaf downward+eval sink. Each
+/// sink invocation only touches the particle ranges of its own slab's
+/// leaf boxes, which are disjoint across invocations.
+#[derive(Clone, Copy)]
+struct FusedEvalOut {
+    pot: *mut f64,
+    field: Option<*mut [f64; 3]>,
+}
+// SAFETY: concurrent sink invocations cover disjoint leaf boxes whose
+// particle ranges are disjoint, so no two threads ever touch the same
+// element behind these pointers.
+unsafe impl Sync for FusedEvalOut {}
+// SAFETY: as above — the pointers are only dereferenced inside disjoint
+// per-box ranges.
+unsafe impl Send for FusedEvalOut {}
+
+impl FusedEvalOut {
+    /// Split into the raw pointers. A method call on the whole receiver
+    /// makes closures capture the (Sync) wrapper rather than its bare
+    /// raw-pointer fields (RFC 2229 precise capture would otherwise split
+    /// the struct and lose the `Sync` impl).
+    fn parts(self) -> (*mut f64, Option<*mut [f64; 3]>) {
+        (self.pot, self.field)
+    }
+}
+
+/// One box of [`p2o`]: fill leaf box `b`'s outer samples `g`. Returns the
+/// flop count (0 for an empty box, whose samples are left untouched —
+/// they start zeroed). Shared by the plain pass and the fused fill.
+fn p2o_box(
+    bp: &BinnedParticles,
+    rule: &SphereRule,
+    a_leaf: f64,
+    depth: u32,
+    b: usize,
+    g: &mut [f64],
+) -> u64 {
+    let range = bp.range(b);
+    if range.is_empty() {
+        return 0;
+    }
+    let k = rule.len();
+    let c = bp.domain.box_center(BoxCoord::from_index(depth, b));
+    for (i, &s) in rule.points.iter().enumerate() {
+        let sp = [
+            c[0] + a_leaf * s[0],
+            c[1] + a_leaf * s[1],
+            c[2] + a_leaf * s[2],
+        ];
+        let mut acc = 0.0;
+        for j in range.clone() {
+            let d = [sp[0] - bp.x[j], sp[1] - bp.y[j], sp[2] - bp.z[j]];
+            acc += bp.q[j] / norm(d);
+        }
+        g[i] = acc;
+    }
+    (range.len() * k) as u64 * 10
+}
+
 /// Leaf-level particle → outer samples: g_i = Σ_j q_j / |c + a s_i − x_j|.
 /// Public (hidden) so the SPMD backend can run the identical per-box loop
 /// on its locally-owned boxes.
@@ -471,28 +694,7 @@ pub fn p2o(
     far_leaf: &mut [f64],
 ) -> u64 {
     let k = rule.len();
-    let domain = &bp.domain;
-    let work = |(b, g): (usize, &mut [f64])| -> u64 {
-        let range = bp.range(b);
-        if range.is_empty() {
-            return 0;
-        }
-        let c = domain.box_center(BoxCoord::from_index(depth, b));
-        for (i, &s) in rule.points.iter().enumerate() {
-            let sp = [
-                c[0] + a_leaf * s[0],
-                c[1] + a_leaf * s[1],
-                c[2] + a_leaf * s[2],
-            ];
-            let mut acc = 0.0;
-            for j in range.clone() {
-                let d = [sp[0] - bp.x[j], sp[1] - bp.y[j], sp[2] - bp.z[j]];
-                acc += bp.q[j] / norm(d);
-            }
-            g[i] = acc;
-        }
-        (range.len() * k) as u64 * 10
-    };
+    let work = |(b, g): (usize, &mut [f64])| -> u64 { p2o_box(bp, rule, a_leaf, depth, b, g) };
     // det: the reduction sums integer flop counts; the float outputs land
     // in disjoint chunks, untouched by the combine order.
     if parallel {
@@ -518,7 +720,6 @@ pub fn eval_local(
     mut fields: Option<&mut [[f64; 3]]>,
 ) -> u64 {
     let k = rule.len();
-    let domain = &bp.domain;
     let n_boxes = 1usize << (3 * depth);
 
     // Split outputs per box (contiguous ranges).
@@ -546,31 +747,8 @@ pub fn eval_local(
 
     #[allow(clippy::type_complexity)]
     let work = |(b, (po, fo)): (usize, (&mut &mut [f64], &mut Option<&mut [[f64; 3]]>))| -> u64 {
-        let range = bp.range(b);
-        if range.is_empty() {
-            return 0;
-        }
-        let c = domain.box_center(BoxCoord::from_index(depth, b));
         let g = &local_leaf[b * k..(b + 1) * k];
-        let mut row = vec![0.0; k];
-        let mut grad_rows = [vec![0.0; k], vec![0.0; k], vec![0.0; k]];
-        for (idx, j) in range.clone().enumerate() {
-            let x = [bp.x[j] - c[0], bp.y[j] - c[1], bp.z[j] - c[2]];
-            inner_kernel_row(rule, m, b_leaf, x, &mut row);
-            po[idx] += row.iter().zip(g).map(|(r, gg)| r * gg).sum::<f64>();
-            if let Some(f) = fo.as_mut() {
-                inner_kernel_row_grad(rule, m, b_leaf, x, &mut grad_rows);
-                for d in 0..3 {
-                    // field is −∇Φ
-                    f[idx][d] -= grad_rows[d]
-                        .iter()
-                        .zip(g)
-                        .map(|(r, gg)| r * gg)
-                        .sum::<f64>();
-                }
-            }
-        }
-        (range.len() * k * (m + 1)) as u64 * 6
+        eval_box(bp, rule, m, b_leaf, depth, b, g, po, fo.as_deref_mut())
     };
 
     // det: integer flop-count reduction; floats stay in disjoint slices.
@@ -589,6 +767,49 @@ pub fn eval_local(
             .map(work)
             .sum()
     }
+}
+
+/// One box of [`eval_local`]: evaluate leaf box `b`'s inner samples `g` at
+/// its particles, accumulating into the box's potential slice `po` (and
+/// field slice `fo`). Returns the flop count. Shared by the plain pass and
+/// the fused leaf downward+eval sink.
+#[allow(clippy::too_many_arguments)]
+fn eval_box(
+    bp: &BinnedParticles,
+    rule: &SphereRule,
+    m: usize,
+    b_leaf: f64,
+    depth: u32,
+    b: usize,
+    g: &[f64],
+    po: &mut [f64],
+    mut fo: Option<&mut [[f64; 3]]>,
+) -> u64 {
+    let range = bp.range(b);
+    if range.is_empty() {
+        return 0;
+    }
+    let k = rule.len();
+    let c = bp.domain.box_center(BoxCoord::from_index(depth, b));
+    let mut row = vec![0.0; k];
+    let mut grad_rows = [vec![0.0; k], vec![0.0; k], vec![0.0; k]];
+    for (idx, j) in range.clone().enumerate() {
+        let x = [bp.x[j] - c[0], bp.y[j] - c[1], bp.z[j] - c[2]];
+        inner_kernel_row(rule, m, b_leaf, x, &mut row);
+        po[idx] += row.iter().zip(g).map(|(r, gg)| r * gg).sum::<f64>();
+        if let Some(f) = fo.as_mut() {
+            inner_kernel_row_grad(rule, m, b_leaf, x, &mut grad_rows);
+            for d in 0..3 {
+                // field is −∇Φ
+                f[idx][d] -= grad_rows[d]
+                    .iter()
+                    .zip(g)
+                    .map(|(r, gg)| r * gg)
+                    .sum::<f64>();
+            }
+        }
+    }
+    (range.len() * k * (m + 1)) as u64 * 6
 }
 
 #[cfg(test)]
@@ -832,6 +1053,72 @@ mod tests {
             assert_eq!(x.to_bits(), y.to_bits(), "{} vs {}", x, y);
         }
         assert_eq!(first.near_stats, second.near_stats);
+    }
+
+    #[test]
+    fn fused_matches_unfused_bitwise() {
+        // The fused leaf sweeps only reorder loops, so potentials, fields
+        // and every counter must match the unfused phases exactly.
+        let (pts, q) = pseudo_mixed(1200, 47);
+        for depth in [2u32, 3] {
+            let fused = Fmm::new(FmmConfig::order(3).depth(depth)).unwrap();
+            let plain = Fmm::new(FmmConfig::order(3).depth(depth).fused(false)).unwrap();
+            let a = fused.evaluate_forces(&pts, &q).unwrap();
+            let b = plain.evaluate_forces(&pts, &q).unwrap();
+            for (x, y) in a.potentials.iter().zip(&b.potentials) {
+                assert_eq!(x.to_bits(), y.to_bits(), "depth {}", depth);
+            }
+            for (x, y) in a.fields.unwrap().iter().zip(b.fields.as_ref().unwrap()) {
+                for d in 0..3 {
+                    assert_eq!(x[d].to_bits(), y[d].to_bits(), "depth {}", depth);
+                }
+            }
+            assert_eq!(a.near_stats, b.near_stats);
+            assert_eq!(a.traversal_flops, b.traversal_flops);
+            assert_eq!(a.profile.total_flops(), b.profile.total_flops());
+        }
+    }
+
+    #[test]
+    fn forced_kernels_match_across_executors_bitwise() {
+        // Each kernel family must give one answer regardless of the
+        // shared-memory executor (scalar parity across families is the
+        // linalg proptests' job; families legitimately differ in the last
+        // ulps from each other).
+        let (pts, q) = pseudo_mixed(900, 53);
+        for kernel in crate::Kernel::available() {
+            let seq = Fmm::new(FmmConfig::order(3).depth(3).kernel(kernel).sequential()).unwrap();
+            let par = Fmm::new(FmmConfig::order(3).depth(3).kernel(kernel)).unwrap();
+            let a = seq.evaluate(&pts, &q).unwrap();
+            let b = par.evaluate(&pts, &q).unwrap();
+            for (x, y) in a.potentials.iter().zip(&b.potentials) {
+                assert_eq!(x.to_bits(), y.to_bits(), "kernel {}", kernel.name());
+            }
+            assert_eq!(a.near_stats, b.near_stats);
+        }
+    }
+
+    #[test]
+    fn mixed_precision_tracks_f64() {
+        let (pts, q) = pseudo_system(2000, 59);
+        let f64_fmm = Fmm::new(FmmConfig::order(3).depth(3)).unwrap();
+        let f32_fmm = Fmm::new(FmmConfig::order(3).depth(3).precision(Precision::Mixed)).unwrap();
+        let a = f64_fmm.evaluate(&pts, &q).unwrap();
+        let b = f32_fmm.evaluate(&pts, &q).unwrap();
+        // Near-field counters are identical; only the arithmetic width
+        // changes, and only in the near field.
+        assert_eq!(
+            a.near_stats.pair_interactions,
+            b.near_stats.pair_interactions
+        );
+        for (x, y) in a.potentials.iter().zip(&b.potentials) {
+            assert!(
+                (x - y).abs() <= 1e-5 * x.abs().max(1.0),
+                "mixed near field drifted: {} vs {}",
+                x,
+                y
+            );
+        }
     }
 
     #[test]

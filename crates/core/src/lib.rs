@@ -48,23 +48,27 @@ pub mod driver;
 pub mod error;
 pub mod field;
 pub mod near;
+pub mod near32;
 pub mod particles;
 pub mod plan;
 pub mod stats;
 pub mod translations;
 pub mod traversal;
 
-pub use config::{DepthPolicy, Executor, FmmConfig};
+pub use config::{DepthPolicy, Executor, FmmConfig, Precision};
 pub use driver::{EvalOutput, Fmm, FmmError};
 pub use error::{relative_error_stats, ErrorStats};
 pub use near::{
     near_field_potentials, near_field_symmetric, near_field_symmetric_colored,
-    near_field_travelling, ColorSchedule, NearFieldStats,
+    near_field_symmetric_colored_with, near_field_travelling, near_field_travelling_with,
+    ColorSchedule, NearFieldStats,
 };
+pub use near32::{near_field_forces_f32, near_field_potentials_f32, ParticlesF32};
 pub use plan::TraversalPlan;
 pub use stats::{Phase, Profile, SpmdPhase, SpmdReport};
 pub use translations::TranslationSet;
 
 /// Re-exported substrate types that appear in the public API.
+pub use fmm_linalg::Kernel;
 pub use fmm_sphere::{SphereRule, Vec3};
 pub use fmm_tree::{Domain, Separation};

@@ -22,11 +22,13 @@
 //!   analogue of the paper's travelling-accumulator conflict resolution.
 //!
 //! The innermost particle–particle loops stream the SoA coordinate arrays
-//! with an AVX2+FMA rsqrt kernel (three Newton–Raphson refinements, ~1 ulp)
-//! when the CPU supports it, falling back to the scalar loop otherwise.
+//! through the [`fmm_linalg::pairwise`] rsqrt microkernels (scalar, AVX2,
+//! AVX-512, or NEON), dispatched per sweep by the [`Kernel`] recorded on
+//! the traversal plan. The mixed-precision (f32 near field) sweeps live in
+//! [`crate::near32`].
 
 use crate::particles::BinnedParticles;
-use fmm_linalg::Kernel;
+use fmm_linalg::{pairwise, Kernel};
 use fmm_tree::{near_field_offsets, BoxCoord, Separation};
 use rayon::prelude::*;
 
@@ -49,36 +51,16 @@ pub struct NearFieldStats {
     pub flops: u64,
 }
 
-/// One target against a contiguous source run: Σ q_s / √(r² + ε²). Scalar
-/// reference path.
+/// Symmetric one-target update with an explicit kernel: the target
+/// gathers Σ q_s·r⁻¹ (returned) while each source accumulates q_t·r⁻¹
+/// into `s_out`. Public because the SPMD executor's travelling-accumulator
+/// sweep must apply the *same* kernel in the same order to stay bitwise
+/// identical to the shared-memory paths (it reads the kernel off the
+/// shared traversal plan).
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn gather_scalar(
-    tx: f64,
-    ty: f64,
-    tz: f64,
-    eps2: f64,
-    xs: &[f64],
-    ys: &[f64],
-    zs: &[f64],
-    qs: &[f64],
-) -> f64 {
-    let mut acc = 0.0;
-    for j in 0..xs.len() {
-        let dx = tx - xs[j];
-        let dy = ty - ys[j];
-        let dz = tz - zs[j];
-        let r2 = dx * dx + dy * dy + dz * dz + eps2;
-        acc += qs[j] / r2.sqrt();
-    }
-    acc
-}
-
-/// Symmetric variant: the target gathers Σ q_s·r⁻¹ (returned) while each
-/// source accumulates q_t·r⁻¹ into `s_out`. Scalar reference path.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn exchange_scalar(
+pub fn pair_exchange_with(
+    kernel: Kernel,
     tx: f64,
     ty: f64,
     tz: f64,
@@ -90,179 +72,10 @@ fn exchange_scalar(
     qs: &[f64],
     s_out: &mut [f64],
 ) -> f64 {
-    let mut acc = 0.0;
-    for j in 0..xs.len() {
-        let dx = tx - xs[j];
-        let dy = ty - ys[j];
-        let dz = tz - zs[j];
-        let inv_r = 1.0 / (dx * dx + dy * dy + dz * dz + eps2).sqrt();
-        acc += qs[j] * inv_r;
-        s_out[j] += tq * inv_r;
-    }
-    acc
+    pairwise::exchange_with(kernel, tx, ty, tz, tq, eps2, xs, ys, zs, qs, s_out)
 }
 
-#[cfg(target_arch = "x86_64")]
-mod simd {
-    //! AVX2+FMA pairwise kernels over the SoA particle arrays.
-    //!
-    //! `1/√r²` comes from the hardware single-precision reciprocal-sqrt
-    //! estimate widened to f64 and refined with three Newton–Raphson steps
-    //! (relative error ~4e-4 → 1e-7 → 1e-14 → < 1e-16, i.e. ~1 ulp), which
-    //! beats `sqrt + div` on every AVX2 part. The remainder (< 4 sources)
-    //! runs the scalar loop.
-    use core::arch::x86_64::*;
-
-    /// 4-lane `x^{-1/2}` via `rsqrt_ps` + 3 Newton–Raphson refinements.
-    #[inline]
-    #[target_feature(enable = "avx2,fma")]
-    unsafe fn rsqrt_nr(r2: __m256d) -> __m256d {
-        let mut y = _mm256_cvtps_pd(_mm_rsqrt_ps(_mm256_cvtpd_ps(r2)));
-        let half = _mm256_set1_pd(0.5);
-        let three = _mm256_set1_pd(3.0);
-        for _ in 0..3 {
-            // y ← ½·y·(3 − r²·y²)
-            let y2 = _mm256_mul_pd(y, y);
-            let t = _mm256_fnmadd_pd(r2, y2, three);
-            y = _mm256_mul_pd(_mm256_mul_pd(half, y), t);
-        }
-        y
-    }
-
-    #[inline]
-    #[target_feature(enable = "avx2,fma")]
-    unsafe fn hsum(v: __m256d) -> f64 {
-        let lo = _mm256_castpd256_pd128(v);
-        let hi = _mm256_extractf128_pd(v, 1);
-        let s = _mm_add_pd(lo, hi);
-        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
-    }
-
-    /// # Safety
-    /// Requires AVX2+FMA; `xs`, `ys`, `zs`, `qs` must have equal lengths.
-    #[target_feature(enable = "avx2,fma")]
-    #[allow(clippy::too_many_arguments)]
-    pub unsafe fn gather(
-        tx: f64,
-        ty: f64,
-        tz: f64,
-        eps2: f64,
-        xs: &[f64],
-        ys: &[f64],
-        zs: &[f64],
-        qs: &[f64],
-    ) -> f64 {
-        let n = xs.len();
-        let txv = _mm256_set1_pd(tx);
-        let tyv = _mm256_set1_pd(ty);
-        let tzv = _mm256_set1_pd(tz);
-        let e2v = _mm256_set1_pd(eps2);
-        let mut acc = _mm256_setzero_pd();
-        let mut j = 0;
-        while j + 4 <= n {
-            let dx = _mm256_sub_pd(txv, _mm256_loadu_pd(xs.as_ptr().add(j)));
-            let dy = _mm256_sub_pd(tyv, _mm256_loadu_pd(ys.as_ptr().add(j)));
-            let dz = _mm256_sub_pd(tzv, _mm256_loadu_pd(zs.as_ptr().add(j)));
-            let r2 = _mm256_fmadd_pd(
-                dz,
-                dz,
-                _mm256_fmadd_pd(dy, dy, _mm256_fmadd_pd(dx, dx, e2v)),
-            );
-            let qv = _mm256_loadu_pd(qs.as_ptr().add(j));
-            acc = _mm256_fmadd_pd(qv, rsqrt_nr(r2), acc);
-            j += 4;
-        }
-        let mut total = hsum(acc);
-        while j < n {
-            let dx = tx - xs[j];
-            let dy = ty - ys[j];
-            let dz = tz - zs[j];
-            total += qs[j] / (dx * dx + dy * dy + dz * dz + eps2).sqrt();
-            j += 1;
-        }
-        total
-    }
-
-    /// # Safety
-    /// Requires AVX2+FMA; all source slices (including `s_out`) must have
-    /// equal lengths.
-    #[target_feature(enable = "avx2,fma")]
-    #[allow(clippy::too_many_arguments)]
-    pub unsafe fn exchange(
-        tx: f64,
-        ty: f64,
-        tz: f64,
-        tq: f64,
-        eps2: f64,
-        xs: &[f64],
-        ys: &[f64],
-        zs: &[f64],
-        qs: &[f64],
-        s_out: &mut [f64],
-    ) -> f64 {
-        let n = xs.len();
-        let txv = _mm256_set1_pd(tx);
-        let tyv = _mm256_set1_pd(ty);
-        let tzv = _mm256_set1_pd(tz);
-        let tqv = _mm256_set1_pd(tq);
-        let e2v = _mm256_set1_pd(eps2);
-        let mut acc = _mm256_setzero_pd();
-        let mut j = 0;
-        while j + 4 <= n {
-            let dx = _mm256_sub_pd(txv, _mm256_loadu_pd(xs.as_ptr().add(j)));
-            let dy = _mm256_sub_pd(tyv, _mm256_loadu_pd(ys.as_ptr().add(j)));
-            let dz = _mm256_sub_pd(tzv, _mm256_loadu_pd(zs.as_ptr().add(j)));
-            let r2 = _mm256_fmadd_pd(
-                dz,
-                dz,
-                _mm256_fmadd_pd(dy, dy, _mm256_fmadd_pd(dx, dx, e2v)),
-            );
-            let inv_r = rsqrt_nr(r2);
-            acc = _mm256_fmadd_pd(_mm256_loadu_pd(qs.as_ptr().add(j)), inv_r, acc);
-            let so = s_out.as_mut_ptr().add(j);
-            _mm256_storeu_pd(so, _mm256_fmadd_pd(tqv, inv_r, _mm256_loadu_pd(so)));
-            j += 4;
-        }
-        let mut total = hsum(acc);
-        while j < n {
-            let dx = tx - xs[j];
-            let dy = ty - ys[j];
-            let dz = tz - zs[j];
-            let inv_r = 1.0 / (dx * dx + dy * dy + dz * dz + eps2).sqrt();
-            total += qs[j] * inv_r;
-            s_out[j] += tq * inv_r;
-            j += 1;
-        }
-        total
-    }
-}
-
-/// One target vs a contiguous source run, kernel-dispatched.
-#[inline]
-#[allow(clippy::too_many_arguments)]
-fn pair_gather(
-    tx: f64,
-    ty: f64,
-    tz: f64,
-    eps2: f64,
-    xs: &[f64],
-    ys: &[f64],
-    zs: &[f64],
-    qs: &[f64],
-) -> f64 {
-    #[cfg(target_arch = "x86_64")]
-    if Kernel::detect() == Kernel::Avx2Fma {
-        // SAFETY: feature presence established by detect().
-        return unsafe { simd::gather(tx, ty, tz, eps2, xs, ys, zs, qs) };
-    }
-    gather_scalar(tx, ty, tz, eps2, xs, ys, zs, qs)
-}
-
-/// Symmetric one-target update, kernel-dispatched: the target gathers
-/// Σ q_s·r⁻¹ (returned) while each source accumulates q_t·r⁻¹ into
-/// `s_out`. Public because the SPMD executor's travelling-accumulator
-/// sweep must apply the *same* kernel in the same order to stay bitwise
-/// identical to the shared-memory paths.
+/// [`pair_exchange_with`] using the host-detected kernel.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 pub fn pair_exchange(
@@ -277,18 +90,26 @@ pub fn pair_exchange(
     qs: &[f64],
     s_out: &mut [f64],
 ) -> f64 {
-    #[cfg(target_arch = "x86_64")]
-    if Kernel::detect() == Kernel::Avx2Fma {
-        // SAFETY: feature presence established by detect().
-        return unsafe { simd::exchange(tx, ty, tz, tq, eps2, xs, ys, zs, qs, s_out) };
-    }
-    exchange_scalar(tx, ty, tz, tq, eps2, xs, ys, zs, qs, s_out)
+    pairwise::exchange_with(
+        Kernel::detect(),
+        tx,
+        ty,
+        tz,
+        tq,
+        eps2,
+        xs,
+        ys,
+        zs,
+        qs,
+        s_out,
+    )
 }
 
 /// Accumulate potentials of particles in `t_range` due to particles in
 /// `s_range` (one direction).
 #[inline]
 fn box_pair_potential(
+    kernel: Kernel,
     bp: &BinnedParticles,
     t_range: std::ops::Range<usize>,
     s_range: std::ops::Range<usize>,
@@ -301,7 +122,7 @@ fn box_pair_potential(
     let qs = &bp.q[s_range.clone()];
     let mut pairs = 0u64;
     for (ti, o) in t_range.clone().zip(out.iter_mut()) {
-        *o += pair_gather(bp.x[ti], bp.y[ti], bp.z[ti], eps2, xs, ys, zs, qs);
+        *o += pairwise::gather_with(kernel, bp.x[ti], bp.y[ti], bp.z[ti], eps2, xs, ys, zs, qs);
         pairs += s_range.len() as u64;
     }
     pairs
@@ -379,6 +200,18 @@ pub fn near_field_potentials_softened(
     eps: f64,
     out: &mut [f64],
 ) -> NearFieldStats {
+    near_field_potentials_softened_with(Kernel::detect(), bp, sep, parallel, eps, out)
+}
+
+/// [`near_field_potentials_softened`] with an explicit kernel choice.
+pub fn near_field_potentials_softened_with(
+    kernel: Kernel,
+    bp: &BinnedParticles,
+    sep: Separation,
+    parallel: bool,
+    eps: f64,
+    out: &mut [f64],
+) -> NearFieldStats {
     let eps2 = eps * eps;
     assert_eq!(out.len(), bp.len());
     let offsets = near_field_offsets(sep);
@@ -396,7 +229,7 @@ pub fn near_field_potentials_softened(
                 let s_range = bp.range(s.index());
                 if !s_range.is_empty() {
                     st.pair_interactions +=
-                        box_pair_potential(bp, t_range.clone(), s_range, eps2, o);
+                        box_pair_potential(kernel, bp, t_range.clone(), s_range, eps2, o);
                     st.box_pairs += 1;
                 }
             }
@@ -592,6 +425,20 @@ pub fn near_field_symmetric_colored(
     eps: f64,
     out: &mut [f64],
 ) -> NearFieldStats {
+    near_field_symmetric_colored_with(Kernel::detect(), bp, sep, schedule, parallel, eps, out)
+}
+
+/// [`near_field_symmetric_colored`] with an explicit kernel choice.
+#[allow(clippy::too_many_arguments)]
+pub fn near_field_symmetric_colored_with(
+    kernel: Kernel,
+    bp: &BinnedParticles,
+    sep: Separation,
+    schedule: &ColorSchedule,
+    parallel: bool,
+    eps: f64,
+    out: &mut [f64],
+) -> NearFieldStats {
     assert_eq!(out.len(), bp.len());
     assert_eq!(
         schedule.level, bp.level,
@@ -640,8 +487,9 @@ pub fn near_field_symmetric_colored(
                         let zs = &bp.z[s_range.clone()];
                         let qs = &bp.q[s_range.clone()];
                         for (i, ti) in t_range.clone().enumerate() {
-                            t_out[i] += pair_exchange(
-                                bp.x[ti], bp.y[ti], bp.z[ti], bp.q[ti], eps2, xs, ys, zs, qs, s_out,
+                            t_out[i] += pair_exchange_with(
+                                kernel, bp.x[ti], bp.y[ti], bp.z[ti], bp.q[ti], eps2, xs, ys, zs,
+                                qs, s_out,
                             );
                             st.pair_interactions += s_range.len() as u64;
                         }
@@ -687,6 +535,18 @@ pub fn near_field_symmetric_colored(
 /// which runs the identical arithmetic per worker — are bitwise identical.
 /// Reports the same third-law-halved counts as [`near_field_symmetric`].
 pub fn near_field_travelling(
+    bp: &BinnedParticles,
+    sep: Separation,
+    parallel: bool,
+    eps: f64,
+    out: &mut [f64],
+) -> NearFieldStats {
+    near_field_travelling_with(Kernel::detect(), bp, sep, parallel, eps, out)
+}
+
+/// [`near_field_travelling`] with an explicit kernel choice.
+pub fn near_field_travelling_with(
+    kernel: Kernel,
     bp: &BinnedParticles,
     sep: Separation,
     parallel: bool,
@@ -762,8 +622,8 @@ pub fn near_field_travelling(
             let qs = &bp.q[s_range.clone()];
             let mut pairs = 0u64;
             for (i, ti) in t_range.clone().enumerate() {
-                t_out[i] += pair_exchange(
-                    bp.x[ti], bp.y[ti], bp.z[ti], bp.q[ti], eps2, xs, ys, zs, qs, s_acc,
+                t_out[i] += pair_exchange_with(
+                    kernel, bp.x[ti], bp.y[ti], bp.z[ti], bp.q[ti], eps2, xs, ys, zs, qs, s_acc,
                 );
                 pairs += s_range.len() as u64;
             }
@@ -1103,6 +963,48 @@ mod tests {
                     assert_eq!(st_col.box_pairs, st_seq.box_pairs);
                     assert_eq!(st_col.flops, st_seq.flops);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn colored_symmetric_agrees_across_kernels() {
+        // Every dispatched kernel family must reproduce the sequential
+        // scalar oracle (counters exactly, values to rounding).
+        let bp = build(2000, 3, 41);
+        let (seq, st_seq) = near_field_symmetric(&bp, Separation::Two);
+        let schedule = ColorSchedule::build(3);
+        for kernel in Kernel::available() {
+            let mut col = vec![0.0; bp.len()];
+            let st = near_field_symmetric_colored_with(
+                kernel,
+                &bp,
+                Separation::Two,
+                &schedule,
+                true,
+                0.0,
+                &mut col,
+            );
+            for (a, b) in seq.iter().zip(&col) {
+                assert!(
+                    (a - b).abs() < 1e-12 * (1.0 + a.abs()),
+                    "{:?}: {} vs {}",
+                    kernel,
+                    a,
+                    b
+                );
+            }
+            assert_eq!(st.pair_interactions, st_seq.pair_interactions);
+            assert_eq!(st.box_pairs, st_seq.box_pairs);
+
+            let mut trav = vec![0.0; bp.len()];
+            near_field_travelling_with(kernel, &bp, Separation::Two, true, 0.0, &mut trav);
+            for (a, b) in seq.iter().zip(&trav) {
+                assert!(
+                    (a - b).abs() < 1e-12 * (1.0 + a.abs()),
+                    "travelling {:?}",
+                    kernel
+                );
             }
         }
     }

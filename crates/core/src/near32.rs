@@ -1,0 +1,439 @@
+//! Mixed-precision near field: f32 SIMD sweeps over an f32 mirror of the
+//! binned particle arrays (8 lanes on AVX2, 16 on AVX-512, 4 on NEON).
+//!
+//! The near field is direct summation — arithmetic-bound, embarrassingly
+//! data-parallel, and *locally well-conditioned*: every target sums at
+//! most a few thousand terms q/r with r bounded below by particle spacing
+//! and above by (d+1) box sides, so no catastrophic cancellation is
+//! amplified by the precision drop. That makes it the natural place to
+//! trade precision for lane throughput (the far-field traversal stays in
+//! f64 — its conditioning is what buys the method's tunable accuracy).
+//! Kawai et al.'s low-accuracy GRAPE variants and Makino's
+//! pseudo-particle formulation (PAPERS.md) establish the precedent.
+//!
+//! Accuracy (derived in DESIGN.md §5.5): per interaction the f32 kernel
+//! carries ~1e-7 relative error (representation + refined rsqrt).
+//! Crucially, f32 accumulation chains are bounded by *one box pair*: each
+//! SIMD call sums at most one source box's terms (m ≈ 10–40 particles) in
+//! f32 lanes, and the partial is widened to f64 before joining the
+//! target's running sum. Source-side (third-law) contributions are
+//! widened per term. The worst-case f32 chain error is therefore
+//! m_box·ε_f32 ≈ 40·6e-8 ≈ 2.4e-6 relative — comfortably inside the
+//! ≤ 1e-5 bound on the standard 40k-particle depth-4 configuration,
+//! and validated against the f64 near field and `fmm-direct` by
+//! `tests/mixed.rs`. (A whole-neighbourhood f32 accumulator would grow
+//! linearly with the ~10³-term target sum and violate the bound.)
+//!
+//! Arithmetic is f32; accumulation across box pairs is f64, so repeated
+//! `evaluate()` calls stay deterministic for a fixed kernel choice.
+
+use crate::near::{NearFieldStats, PAIR_FLOPS, PAIR_FORCE_FLOPS};
+use crate::particles::BinnedParticles;
+use fmm_linalg::{pairwise, Kernel};
+use fmm_tree::{near_field_offsets, BoxCoord, Separation};
+use rayon::prelude::*;
+
+/// f32 mirror of the sorted SoA particle arrays.
+pub struct ParticlesF32 {
+    pub x: Vec<f32>,
+    pub y: Vec<f32>,
+    pub z: Vec<f32>,
+    pub q: Vec<f32>,
+}
+
+impl ParticlesF32 {
+    /// Demote the sorted coordinate/charge arrays of `bp`.
+    pub fn build(bp: &BinnedParticles) -> Self {
+        let narrow = |v: &[f64]| v.iter().map(|&x| x as f32).collect::<Vec<f32>>();
+        ParticlesF32 {
+            x: narrow(&bp.x),
+            y: narrow(&bp.y),
+            z: narrow(&bp.z),
+            q: narrow(&bp.q),
+        }
+    }
+}
+
+/// Shared f64 output buffer; same disjointness contract as the f64
+/// `SharedOut` in [`crate::near`].
+struct SharedOut32(*mut f64);
+
+// SAFETY: only dereferenced through `slice`, whose caller contract
+// guarantees disjoint ranges across concurrently running tasks.
+unsafe impl Sync for SharedOut32 {}
+// SAFETY: as above — no thread-affine state.
+unsafe impl Send for SharedOut32 {}
+
+impl SharedOut32 {
+    /// # Safety
+    /// `range` must be in bounds and not concurrently viewed by any other
+    /// task.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, range: std::ops::Range<usize>) -> &mut [f64] {
+        std::slice::from_raw_parts_mut(self.0.add(range.start), range.len())
+    }
+}
+
+/// Symmetric f32 potentials within one box, excluding self terms. f32
+/// arithmetic; each per-term contribution is widened to f64 on the
+/// scatter side, and the per-target f32 chain is bounded by the box size.
+fn self_box_potential_f32(
+    ps: &ParticlesF32,
+    range: std::ops::Range<usize>,
+    eps2: f32,
+    out: &mut [f64],
+) -> u64 {
+    let n = range.len();
+    let base = range.start;
+    let mut pairs = 0u64;
+    for a in 0..n {
+        let ia = base + a;
+        let (xa, ya, za, qa) = (ps.x[ia], ps.y[ia], ps.z[ia], ps.q[ia]);
+        let mut acc = 0.0f32;
+        for (b, ob) in out.iter_mut().enumerate().take(n).skip(a + 1) {
+            let ib = base + b;
+            let dx = xa - ps.x[ib];
+            let dy = ya - ps.y[ib];
+            let dz = za - ps.z[ib];
+            let inv_r = 1.0 / (dx * dx + dy * dy + dz * dz + eps2).sqrt();
+            acc += ps.q[ib] * inv_r;
+            *ob += (qa * inv_r) as f64;
+            pairs += 1;
+        }
+        out[a] += acc as f64;
+    }
+    pairs
+}
+
+#[inline]
+fn add_stats(a: NearFieldStats, b: NearFieldStats) -> NearFieldStats {
+    NearFieldStats {
+        pair_interactions: a.pair_interactions + b.pair_interactions,
+        box_pairs: a.box_pairs + b.box_pairs,
+        flops: 0,
+    }
+}
+
+/// Mixed-precision near-field potentials: the colored symmetric sweep run
+/// on the f32 mirror, with every box-pair partial widened to f64 before
+/// accumulation into `out`. Reports the same third-law-halved counters as
+/// the f64 symmetric sweeps.
+pub fn near_field_potentials_f32(
+    kernel: Kernel,
+    bp: &BinnedParticles,
+    sep: Separation,
+    schedule: &crate::near::ColorSchedule,
+    parallel: bool,
+    eps: f64,
+    out: &mut [f64],
+) -> NearFieldStats {
+    assert_eq!(out.len(), bp.len());
+    assert_eq!(schedule.level, bp.level);
+    let ps = ParticlesF32::build(bp);
+    let eps2 = (eps * eps) as f32;
+    let level = bp.level;
+    let side = 1u32 << level;
+    let half: Vec<[i32; 3]> = near_field_offsets(sep)
+        .into_iter()
+        .filter(|o| *o > [0, 0, 0])
+        .collect();
+
+    let shared = SharedOut32(out.as_mut_ptr());
+    let shared = &shared;
+    let ps_ref = &ps;
+
+    let process_block = |origin: &[u32; 3]| -> NearFieldStats {
+        let mut st = NearFieldStats::default();
+        let [ox, oy, oz] = *origin;
+        for z in oz..(oz + crate::near::COLOR_BLOCK).min(side) {
+            for y in oy..(oy + crate::near::COLOR_BLOCK).min(side) {
+                for x in ox..(ox + crate::near::COLOR_BLOCK).min(side) {
+                    let t = BoxCoord { level, x, y, z };
+                    let t_range = bp.range(t.index());
+                    if t_range.is_empty() {
+                        continue;
+                    }
+                    // SAFETY: within one color phase no other block's task
+                    // writes any box this task touches (the schedule's
+                    // disjointness argument is precision-independent).
+                    let t_out = unsafe { shared.slice(t_range.clone()) };
+                    st.pair_interactions +=
+                        self_box_potential_f32(ps_ref, t_range.clone(), eps2, t_out);
+                    st.box_pairs += 1;
+                    for &d in &half {
+                        let Some(s) = t.offset(d) else { continue };
+                        let s_range = bp.range(s.index());
+                        if s_range.is_empty() {
+                            continue;
+                        }
+                        // SAFETY: as above.
+                        let s_out = unsafe { shared.slice(s_range.clone()) };
+                        let xs = &ps_ref.x[s_range.clone()];
+                        let ys = &ps_ref.y[s_range.clone()];
+                        let zs = &ps_ref.z[s_range.clone()];
+                        let qs = &ps_ref.q[s_range.clone()];
+                        pairwise::exchange_f32_panel_with(
+                            kernel,
+                            &ps_ref.x[t_range.clone()],
+                            &ps_ref.y[t_range.clone()],
+                            &ps_ref.z[t_range.clone()],
+                            &ps_ref.q[t_range.clone()],
+                            eps2,
+                            xs,
+                            ys,
+                            zs,
+                            qs,
+                            t_out,
+                            s_out,
+                        );
+                        st.pair_interactions += (t_range.len() * s_range.len()) as u64;
+                        st.box_pairs += 1;
+                    }
+                }
+            }
+        }
+        st
+    };
+
+    let mut total = NearFieldStats::default();
+    for color in &schedule.colors {
+        // det: integer-counter reduction; block writes are conflict-free
+        // within a color.
+        let st = if parallel {
+            color
+                .par_iter()
+                .map(process_block)
+                .reduce(NearFieldStats::default, add_stats)
+        } else {
+            color
+                .iter()
+                .map(process_block)
+                .fold(NearFieldStats::default(), add_stats)
+        };
+        total = add_stats(total, st);
+    }
+    total.flops = total.pair_interactions * PAIR_FLOPS;
+    total
+}
+
+/// Mixed-precision near-field potentials **and** fields: target-centric
+/// f32 sweep; each box's partial (self box, then each neighbour box) is
+/// widened to f64 before joining the target's accumulator.
+pub fn near_field_forces_f32(
+    kernel: Kernel,
+    bp: &BinnedParticles,
+    sep: Separation,
+    parallel: bool,
+    eps: f64,
+    pot: &mut [f64],
+    field: &mut [[f64; 3]],
+) -> NearFieldStats {
+    assert_eq!(pot.len(), bp.len());
+    assert_eq!(field.len(), bp.len());
+    let ps = ParticlesF32::build(bp);
+    let eps2 = (eps * eps) as f32;
+    let offsets = near_field_offsets(sep);
+    let n_boxes = bp.binning.starts.len() - 1;
+
+    // Per-box output slices (same CSR split as the f64 path).
+    let mut pot_slices = Vec::with_capacity(n_boxes);
+    let mut pbuf: &mut [f64] = pot;
+    let mut field_slices = Vec::with_capacity(n_boxes);
+    let mut fbuf: &mut [[f64; 3]] = field;
+    for b in 0..n_boxes {
+        let cnt = bp.binning.count(b);
+        let (ph, pt) = pbuf.split_at_mut(cnt);
+        pot_slices.push(ph);
+        pbuf = pt;
+        let (fh, ft) = fbuf.split_at_mut(cnt);
+        field_slices.push(fh);
+        fbuf = ft;
+    }
+    let ps_ref = &ps;
+
+    let work = |(b, (po, fo)): (usize, (&mut &mut [f64], &mut &mut [[f64; 3]]))| -> u64 {
+        let t = BoxCoord::from_index(bp.level, b);
+        let t_range = bp.range(b);
+        let mut pairs = 0u64;
+        for (idx, ti) in t_range.clone().enumerate() {
+            let (tx, ty, tz) = (ps_ref.x[ti], ps_ref.y[ti], ps_ref.z[ti]);
+            // Self box: scalar f32 with the self-term skipped.
+            let mut p_acc = 0.0f32;
+            let mut f_acc = [0.0f32; 3];
+            for si in t_range.clone() {
+                if si == ti {
+                    continue;
+                }
+                let dx = tx - ps_ref.x[si];
+                let dy = ty - ps_ref.y[si];
+                let dz = tz - ps_ref.z[si];
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let inv_r = 1.0 / r2.sqrt();
+                let qr = ps_ref.q[si] * inv_r;
+                p_acc += qr;
+                let qr3 = qr * inv_r * inv_r;
+                f_acc[0] += qr3 * dx;
+                f_acc[1] += qr3 * dy;
+                f_acc[2] += qr3 * dz;
+            }
+            pairs += (t_range.len() - 1) as u64;
+            po[idx] += p_acc as f64;
+            for a in 0..3 {
+                fo[idx][a] += f_acc[a] as f64;
+            }
+            for &d in &offsets {
+                if let Some(s) = t.offset(d) {
+                    let s_range = bp.range(s.index());
+                    if s_range.is_empty() {
+                        continue;
+                    }
+                    pairs += s_range.len() as u64;
+                    let (p, f) = pairwise::force_gather_f32_with(
+                        kernel,
+                        tx,
+                        ty,
+                        tz,
+                        eps2,
+                        &ps_ref.x[s_range.clone()],
+                        &ps_ref.y[s_range.clone()],
+                        &ps_ref.z[s_range.clone()],
+                        &ps_ref.q[s_range.clone()],
+                    );
+                    po[idx] += p as f64;
+                    for a in 0..3 {
+                        fo[idx][a] += f[a] as f64;
+                    }
+                }
+            }
+        }
+        pairs
+    };
+
+    // det: integer pair-count reduction; floats live in disjoint slices.
+    let pairs: u64 = if parallel {
+        pot_slices
+            .par_iter_mut()
+            .zip(field_slices.par_iter_mut())
+            .enumerate()
+            .map(work)
+            .sum()
+    } else {
+        pot_slices
+            .iter_mut()
+            .zip(field_slices.iter_mut())
+            .enumerate()
+            .map(work)
+            .sum()
+    };
+    NearFieldStats {
+        pair_interactions: pairs,
+        box_pairs: 0,
+        flops: pairs * PAIR_FORCE_FLOPS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::near::{near_field_forces, near_field_symmetric, ColorSchedule};
+    use fmm_tree::Domain;
+
+    fn build(n: usize, level: u32, seed: u64) -> BinnedParticles {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<[f64; 3]> = (0..n).map(|_| [next(), next(), next()]).collect();
+        let q: Vec<f64> = (0..n).map(|_| next() * 2.0 - 1.0).collect();
+        BinnedParticles::build(&pts, &q, Domain::unit(), level)
+    }
+
+    // Accuracy assertions below use the repo's standard metric
+    // (`relative_error_stats`: error normalized by the *system RMS* of the
+    // reference, the paper's ε₁ convention). Mixed-sign charges are the
+    // hard case for potentials (the target sums cancel while the per-term
+    // f32 error doesn't); random uniform points are the hard case for max
+    // error (an unsoftened close pair at distance r amplifies the f32
+    // coordinate representation error ~ε₃₂·L by L/r — irreducible in any
+    // f32 scheme). The RMS bounds are tight; the max bounds carry the
+    // close-pair amplification. See the module docs and DESIGN.md §5.5.
+
+    #[test]
+    fn f32_potentials_track_f64_and_count_identically() {
+        let bp = build(3000, 3, 53);
+        let (f64_out, st64) = near_field_symmetric(&bp, Separation::Two);
+        let schedule = ColorSchedule::build(3);
+        for kernel in Kernel::available() {
+            for parallel in [false, true] {
+                let mut out = vec![0.0; bp.len()];
+                let st = near_field_potentials_f32(
+                    kernel,
+                    &bp,
+                    Separation::Two,
+                    &schedule,
+                    parallel,
+                    0.0,
+                    &mut out,
+                );
+                assert_eq!(st.pair_interactions, st64.pair_interactions);
+                assert_eq!(st.box_pairs, st64.box_pairs);
+                let stats = crate::error::relative_error_stats(&out, &f64_out);
+                // Measured: rms ≈ 6.3e-7, max ≈ 1.4e-5 for every kernel.
+                assert!(
+                    stats.rms_rel < 3e-6 && stats.max_rel < 5e-5,
+                    "{:?} par={}: rms {:.2e} max {:.2e}",
+                    kernel,
+                    parallel,
+                    stats.rms_rel,
+                    stats.max_rel
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn f32_forces_track_f64() {
+        let bp = build(1500, 2, 59);
+        let mut pot64 = vec![0.0; bp.len()];
+        let mut field64 = vec![[0.0; 3]; bp.len()];
+        let st64 = near_field_forces(&bp, Separation::Two, false, &mut pot64, &mut field64);
+        for kernel in Kernel::available() {
+            let mut pot = vec![0.0; bp.len()];
+            let mut field = vec![[0.0; 3]; bp.len()];
+            let st = near_field_forces_f32(
+                kernel,
+                &bp,
+                Separation::Two,
+                true,
+                0.0,
+                &mut pot,
+                &mut field,
+            );
+            assert_eq!(st.pair_interactions, st64.pair_interactions);
+            let stats = crate::error::relative_error_stats(&pot, &pot64);
+            // Measured: rms ≈ 8.4e-7, max ≈ 2.1e-5 for every kernel.
+            assert!(
+                stats.rms_rel < 3e-6 && stats.max_rel < 8e-5,
+                "{:?} pot: rms {:.2e} max {:.2e}",
+                kernel,
+                stats.rms_rel,
+                stats.max_rel
+            );
+            // Fields amplify the close-pair coordinate error by another
+            // 1/r. Measured: rms ≈ 7.0e-6, max ≈ 2.8e-4.
+            let flat: Vec<f64> = field.iter().flatten().copied().collect();
+            let flat64: Vec<f64> = field64.iter().flatten().copied().collect();
+            let fstats = crate::error::relative_error_stats(&flat, &flat64);
+            assert!(
+                fstats.rms_rel < 3e-5 && fstats.max_rel < 1e-3,
+                "{:?} field: rms {:.2e} max {:.2e}",
+                kernel,
+                fstats.rms_rel,
+                fstats.max_rel
+            );
+        }
+    }
+}

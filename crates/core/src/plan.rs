@@ -17,6 +17,7 @@
 
 use crate::near::ColorSchedule;
 use crate::translations::TranslationSet;
+use fmm_linalg::Kernel;
 use fmm_tree::{interactive_field_offsets, supernode_decomposition, BoxCoord, Separation};
 
 /// Children of one level's parents along one octant: for parent `p` (in
@@ -71,6 +72,11 @@ pub struct OctantPlan {
 pub struct TraversalPlan {
     pub depth: u32,
     pub separation: Separation,
+    /// Microkernel family this plan was resolved for. Every consumer of a
+    /// cached plan — the shared-memory passes, the near-field sweeps, the
+    /// SPMD workers — dispatches through this field, so one `Fmm` always
+    /// runs one kernel, bitwise-reproducibly, regardless of backend.
+    pub kernel: Kernel,
     /// Per child octant (0..8).
     pub octants: Vec<OctantPlan>,
     /// Parent levels 1..depth, indexed by `parent_level − 1`.
@@ -81,8 +87,14 @@ pub struct TraversalPlan {
 }
 
 impl TraversalPlan {
-    /// Build the plan for a hierarchy of `depth` levels at `separation`.
+    /// Build the plan for a hierarchy of `depth` levels at `separation`,
+    /// recording the host-detected kernel.
     pub fn build(depth: u32, separation: Separation) -> Self {
+        Self::build_with(depth, separation, Kernel::detect())
+    }
+
+    /// [`TraversalPlan::build`] with an explicit kernel choice.
+    pub fn build_with(depth: u32, separation: Separation, kernel: Kernel) -> Self {
         let octants = (0..8usize)
             .map(|oct| {
                 let o = [
@@ -142,6 +154,7 @@ impl TraversalPlan {
         TraversalPlan {
             depth,
             separation,
+            kernel,
             octants,
             levels,
             near_schedule: ColorSchedule::build(depth),
@@ -251,5 +264,15 @@ mod tests {
         let plan = TraversalPlan::build(3, Separation::Two);
         assert_eq!(plan.near_schedule.level, 3);
         assert!(plan.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn plan_records_kernel() {
+        assert_eq!(
+            TraversalPlan::build(2, Separation::Two).kernel,
+            Kernel::detect()
+        );
+        let forced = TraversalPlan::build_with(2, Separation::Two, Kernel::Scalar);
+        assert_eq!(forced.kernel, Kernel::Scalar);
     }
 }

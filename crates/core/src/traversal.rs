@@ -21,7 +21,7 @@
 use crate::field::FieldHierarchy;
 use crate::plan::TraversalPlan;
 use crate::translations::TranslationSet;
-use fmm_linalg::{gemm_acc, gemm_flops, multi_gemm_acc, Matrix, MultiGemmPlan};
+use fmm_linalg::{gemm_acc_with, gemm_flops, multi_gemm_acc_with, Matrix, MultiGemmPlan};
 use rayon::prelude::*;
 
 /// Flop counters from a traversal.
@@ -50,9 +50,12 @@ pub enum Aggregation {
 }
 
 /// Gather the children `cidx[p0..p1]` (one octant of parents `p0..p1`)
-/// into a `(p1-p0) × k` panel.
+/// into a `(p1-p0) × k` panel. `src` starts at child box index
+/// `src_base` (0 when it is the whole child level, `p0 * 8` when it is
+/// one slab's chunk).
 fn gather_children(
-    src_child_level: &[f64],
+    src: &[f64],
+    src_base: usize,
     cidx: &[u32],
     p0: usize,
     p1: usize,
@@ -61,8 +64,8 @@ fn gather_children(
 ) {
     debug_assert_eq!(panel.len(), (p1 - p0) * k);
     for (row, pi) in (p0..p1).enumerate() {
-        let ci = cidx[pi] as usize;
-        panel[row * k..(row + 1) * k].copy_from_slice(&src_child_level[ci * k..(ci + 1) * k]);
+        let ci = cidx[pi] as usize - src_base;
+        panel[row * k..(row + 1) * k].copy_from_slice(&src[ci * k..(ci + 1) * k]);
     }
 }
 
@@ -142,8 +145,16 @@ pub fn upward_level(
                     let mut panel = vec![0.0; (p1 - p0) * k];
                     for oct in 0..8 {
                         let cidx = &lvl.children[oct].idx;
-                        gather_children(children, cidx, p0, p1, k, &mut panel);
-                        gemm_acc(p1 - p0, k, k, &panel, ts.t1t[oct].as_slice(), out);
+                        gather_children(children, 0, cidx, p0, p1, k, &mut panel);
+                        gemm_acc_with(
+                            plan.kernel,
+                            p1 - p0,
+                            k,
+                            k,
+                            &panel,
+                            ts.t1t[oct].as_slice(),
+                            out,
+                        );
                     }
                 }
                 Aggregation::MultiGemm => {
@@ -155,7 +166,7 @@ pub fn upward_level(
                     let mut panel = vec![0.0; (p1 - p0) * k];
                     for oct in 0..8 {
                         let cidx = &lvl.children[oct].idx;
-                        gather_children(children, cidx, p0, p1, k, &mut panel);
+                        gather_children(children, 0, cidx, p0, p1, k, &mut panel);
                         let mut mplan = MultiGemmPlan::new(row_len, k, k);
                         for r in 0..n_rows {
                             // A = the row's gathered child panel, B = the
@@ -163,7 +174,13 @@ pub fn upward_level(
                             // parents.
                             mplan.push(r * row_len * k, 0, r * row_len * k);
                         }
-                        multi_gemm_acc(&mplan, &panel, ts.t1t[oct].as_slice(), out);
+                        multi_gemm_acc_with(
+                            plan.kernel,
+                            &mplan,
+                            &panel,
+                            ts.t1t[oct].as_slice(),
+                            out,
+                        );
                     }
                 }
                 Aggregation::Gemv => {
@@ -204,6 +221,86 @@ pub fn upward_level(
         flops.t1 += gemm_flops(n_parents, k, k) * 8;
         flops.copied += (n_parents * 8 * k) as u64;
     }
+    flops
+}
+
+/// Fused P2O + leaf T1: fill the leaf level's outer samples slab by slab
+/// and immediately combine each slab's freshly written children into their
+/// parents while the panel is still cache-resident.
+///
+/// `fill_children(c0, c1, chunk)` must write the outer samples of leaf
+/// boxes `c0..c1` into `chunk` (row `i` ↔ box `c0 + i`); the driver passes
+/// the per-box P2O loop. The slab decomposition guarantees the children of
+/// parents `p0..p1` occupy exactly boxes `p0*8..p1*8`, so each slab owns a
+/// disjoint contiguous chunk of both levels.
+///
+/// Bitwise identical to running the fill over the whole leaf level and
+/// then [`upward_level`] at `l = depth − 1` with [`Aggregation::Gemm`]:
+/// the per-box arithmetic is unchanged, only the loop order moves.
+/// One fused-upward slab work item: ((slab bounds, parent panel), child
+/// panel) — the zipped shape rayon hands `do_slab` below.
+type SlabItem<'a> = ((&'a (usize, usize), &'a mut [f64]), &'a mut [f64]);
+
+/// Sub-slab consumer for the fused downward sweep: `(c0, c1, chunk)` with
+/// row `i` of `chunk` holding the inner samples of box `c0 + i`.
+pub type EvalSink<'a> = &'a (dyn Fn(usize, usize, &[f64]) + Sync);
+
+pub fn fused_p2o_upward_leaf(
+    fh: &mut FieldHierarchy,
+    ts: &TranslationSet,
+    plan: &TraversalPlan,
+    parallel: bool,
+    fill_children: &(dyn Fn(usize, usize, &mut [f64]) + Sync),
+) -> TraversalFlops {
+    let depth = fh.hierarchy.depth;
+    debug_assert!(depth >= 2, "fused P2O+T1 needs a parent level");
+    let l = depth - 1;
+    let k = fh.k;
+    let mut flops = TraversalFlops::default();
+    let n_parents = fh.hierarchy.boxes_at_level(l);
+    let (lo, hi) = fh.far.split_at_mut(l as usize + 1);
+    let parents = &mut lo[l as usize];
+    let children = &mut hi[0];
+    let lvl = plan.level(l);
+    let slabs = &lvl.slabs;
+    let plane = slabs[0].1 - slabs[0].0;
+
+    let do_slab = |((slab, out), kids): SlabItem| {
+        let (p0, p1) = *slab;
+        fill_children(p0 * 8, p1 * 8, kids);
+        let mut panel = vec![0.0; (p1 - p0) * k];
+        for oct in 0..8 {
+            let cidx = &lvl.children[oct].idx;
+            gather_children(kids, p0 * 8, cidx, p0, p1, k, &mut panel);
+            gemm_acc_with(
+                plan.kernel,
+                p1 - p0,
+                k,
+                k,
+                &panel,
+                ts.t1t[oct].as_slice(),
+                out,
+            );
+        }
+    };
+
+    if parallel {
+        slabs
+            .par_iter()
+            .zip(parents.par_chunks_mut(plane * k))
+            .zip(children.par_chunks_mut(plane * 8 * k))
+            .for_each(do_slab);
+    } else {
+        for item in slabs
+            .iter()
+            .zip(parents.chunks_mut(plane * k))
+            .zip(children.chunks_mut(plane * 8 * k))
+        {
+            do_slab(item);
+        }
+    }
+    flops.t1 += gemm_flops(n_parents, k, k) * 8;
+    flops.copied += (n_parents * 8 * k) as u64;
     flops
 }
 
@@ -281,6 +378,41 @@ pub fn downward_level(
     parallel: bool,
     l: u32,
 ) -> TraversalFlops {
+    downward_level_impl(fh, ts, plan, supernodes, agg, parallel, l, None)
+}
+
+/// [`downward_level`] fused with a per-slab consumer: once a slab's
+/// children hold their complete inner samples (T3 + all T2 octants), the
+/// sink runs on `(c0, c1, chunk)` — the slab's first child box, one past
+/// its last, and its chunk of `local[l]` — while the samples are still
+/// cache-resident. The driver uses this at the leaf level to fuse the
+/// final downward sweep with particle evaluation. Bitwise identical to
+/// [`downward_level`] followed by a separate pass over `local[l]`.
+#[allow(clippy::too_many_arguments)]
+pub fn downward_level_fused(
+    fh: &mut FieldHierarchy,
+    ts: &TranslationSet,
+    plan: &TraversalPlan,
+    supernodes: bool,
+    agg: Aggregation,
+    parallel: bool,
+    l: u32,
+    sink: EvalSink,
+) -> TraversalFlops {
+    downward_level_impl(fh, ts, plan, supernodes, agg, parallel, l, Some(sink))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn downward_level_impl(
+    fh: &mut FieldHierarchy,
+    ts: &TranslationSet,
+    plan: &TraversalPlan,
+    supernodes: bool,
+    agg: Aggregation,
+    parallel: bool,
+    l: u32,
+    sink: Option<EvalSink>,
+) -> TraversalFlops {
     let k = fh.k;
     let mut flops = TraversalFlops::default();
 
@@ -303,12 +435,23 @@ pub fn downward_level(
 
         let apply_t3 = l >= 3; // local field is zero above level 2
 
-        let do_slab = |(slab, out): (&(usize, usize), &mut [f64])| {
-            let (p0, p1) = *slab;
-            let np = p1 - p0;
+        // Sub-slab width when a sink consumes finished children: one
+        // parent row (8 parents, 64 children) keeps the panels and the
+        // consumed chunk cache-resident between production and
+        // consumption — a whole slab's T2 streams far more than any
+        // cache level holds, which made slab-granular fusion a net
+        // loss. Without a sink the whole slab runs as one panel
+        // (larger GEMMs, nothing downstream to keep warm).
+        const SINK_SUB_PARENTS: usize = 8;
+
+        let do_panel = |s0: usize,
+                        s1: usize,
+                        p0: usize,
+                        out: &mut [f64],
+                        src_panel: &mut [f64],
+                        acc_panel: &mut [f64]| {
+            let np = s1 - s0;
             let dst_base = p0 * 8; // first child box index of the slab
-            let mut src_panel = vec![0.0; np * k];
-            let mut acc_panel = vec![0.0; np * k];
             for (oct, mats) in oct_mats.iter().enumerate() {
                 acc_panel.iter_mut().for_each(|x| *x = 0.0);
 
@@ -316,18 +459,19 @@ pub fn downward_level(
                 if apply_t3 {
                     match agg {
                         Aggregation::Gemm | Aggregation::MultiGemm => {
-                            gemm_acc(
+                            gemm_acc_with(
+                                plan.kernel,
                                 np,
                                 k,
                                 k,
-                                &local_parent[p0 * k..p1 * k],
+                                &local_parent[s0 * k..s1 * k],
                                 ts.t3t[oct].as_slice(),
-                                &mut acc_panel,
+                                acc_panel,
                             );
                         }
                         Aggregation::Gemv => {
                             for row in 0..np {
-                                let g = &local_parent[(p0 + row) * k..(p0 + row + 1) * k];
+                                let g = &local_parent[(s0 + row) * k..(s0 + row + 1) * k];
                                 let t = &ts.t3t[oct];
                                 let dst = &mut acc_panel[row * k..(row + 1) * k];
                                 for (i, &gi) in g.iter().enumerate() {
@@ -341,7 +485,7 @@ pub fn downward_level(
                 }
 
                 // ---- T2: interactive field ----------------------------
-                // Targets: the octant-`oct` children of parents p0..p1, in
+                // Targets: the octant-`oct` children of parents s0..s1, in
                 // parent order (rows of the panels); their coordinates come
                 // straight from the plan's child map.
                 let n_axis = 1i64 << l;
@@ -357,7 +501,7 @@ pub fn downward_level(
                             // Gather sources; out-of-domain sources are zero.
                             let mut any = false;
                             for row in 0..np {
-                                let s = to_src(coords[p0 + row], off);
+                                let s = to_src(coords[s0 + row], off);
                                 let dst = &mut src_panel[row * k..(row + 1) * k];
                                 if s[0] >= 0
                                     && s[1] >= 0
@@ -378,7 +522,15 @@ pub fn downward_level(
                             }
                             match agg {
                                 Aggregation::Gemm | Aggregation::MultiGemm => {
-                                    gemm_acc(np, k, k, &src_panel, m.as_slice(), &mut acc_panel);
+                                    gemm_acc_with(
+                                        plan.kernel,
+                                        np,
+                                        k,
+                                        k,
+                                        src_panel,
+                                        m.as_slice(),
+                                        acc_panel,
+                                    );
                                 }
                                 Aggregation::Gemv => {
                                     for row in 0..np {
@@ -435,7 +587,49 @@ pub fn downward_level(
                 }
 
                 // Scatter the accumulated panel into the children.
-                scatter_add_children(out, dst_base, &lvl.children[oct].idx, p0, p1, k, &acc_panel);
+                scatter_add_children(out, dst_base, &lvl.children[oct].idx, s0, s1, k, acc_panel);
+            }
+        };
+
+        let n_par = 1usize << (l_parent); // parent-level axis length
+        let do_slab = |(slab, out): (&(usize, usize), &mut [f64])| {
+            let (p0, p1) = *slab;
+            // A sub-slab must be whole parent rows so its children form
+            // contiguous child-index segments (one per child z-half).
+            let step = if sink.is_some() {
+                n_par.max(SINK_SUB_PARENTS).min(p1 - p0)
+            } else {
+                p1 - p0
+            };
+            let mut src_panel = vec![0.0; step * k];
+            let mut acc_panel = vec![0.0; step * k];
+            let cax = 2 * n_par; // child-level axis length
+            let mut s0 = p0;
+            while s0 < p1 {
+                let s1 = (s0 + step).min(p1);
+                do_panel(
+                    s0,
+                    s1,
+                    p0,
+                    &mut *out,
+                    &mut src_panel[..(s1 - s0) * k],
+                    &mut acc_panel[..(s1 - s0) * k],
+                );
+                // The sub-slab's children are now final — consume them
+                // while the chunk is still hot. Parent rows [r0, r1) of
+                // plane z_p own child rows [2r0, 2r1) in each of the two
+                // child planes 2z_p and 2z_p + 1.
+                if let Some(s) = sink {
+                    let z_p = p0 / (n_par * n_par);
+                    let r0 = (s0 - p0) / n_par;
+                    let r1 = (s1 - p0) / n_par;
+                    for h in 0..2 {
+                        let c0 = ((2 * z_p + h) * cax + 2 * r0) * cax;
+                        let c1 = ((2 * z_p + h) * cax + 2 * r1) * cax;
+                        s(c0, c1, &out[(c0 - p0 * 8) * k..(c1 - p0 * 8) * k]);
+                    }
+                }
+                s0 = s1;
             }
         };
 
@@ -584,6 +778,66 @@ mod tests {
         // Levels 3, 2 and 1 are computed: 8·2K²·(8³ + 8² + 8) with K = 6.
         let k = 6u64;
         assert_eq!(f.t1, 8 * 2 * k * k * (512 + 64 + 8));
+    }
+
+    #[test]
+    fn fused_p2o_upward_is_bitwise_identical() {
+        let (mut plain, ts, plan) = small_setup(4);
+        fill_pseudo(&mut plain);
+        let leaf = plain.far[4].clone();
+        upward_level(&mut plain, &ts, &plan, 3, Aggregation::Gemm, false);
+
+        for parallel in [false, true] {
+            let (mut fused, _, _) = small_setup(4);
+            let k = fused.k;
+            let fill = |c0: usize, c1: usize, kids: &mut [f64]| {
+                kids.copy_from_slice(&leaf[c0 * k..c1 * k]);
+            };
+            let f = fused_p2o_upward_leaf(&mut fused, &ts, &plan, parallel, &fill);
+            assert!(f.t1 > 0);
+            for (x, y) in plain.far[4].iter().zip(&fused.far[4]) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            for (x, y) in plain.far[3].iter().zip(&fused.far[3]) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn downward_fused_sink_is_bitwise_identical() {
+        let (mut plain, ts, plan) = small_setup(3);
+        fill_pseudo(&mut plain);
+        upward_pass(&mut plain, &ts, &plan, Aggregation::Gemm, false);
+        let mut fused = plain.clone();
+        downward_pass(&mut plain, &ts, &plan, false, Aggregation::Gemm, false);
+
+        // Run levels 2..depth plain, then the leaf level fused; the sink
+        // reassembles local[3] from the per-slab chunks it is handed.
+        downward_level(&mut fused, &ts, &plan, false, Aggregation::Gemm, false, 2);
+        let n_leaf = 1usize << (3 * 3);
+        let k = fused.k;
+        let collected = std::sync::Mutex::new(vec![0.0f64; n_leaf * k]);
+        let sink = |c0: usize, c1: usize, chunk: &[f64]| {
+            collected.lock().unwrap()[c0 * k..c1 * k].copy_from_slice(chunk);
+        };
+        downward_level_fused(
+            &mut fused,
+            &ts,
+            &plan,
+            false,
+            Aggregation::Gemm,
+            true,
+            3,
+            &sink,
+        );
+        let collected = collected.into_inner().unwrap();
+        for (x, y) in plain.local[3].iter().zip(&fused.local[3]) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in fused.local[3].iter().zip(&collected) {
+            assert_eq!(x.to_bits(), y.to_bits(), "sink saw a stale chunk");
+        }
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! AVX-512 microkernels. The GEMM walks 32-column panels with a 4-row ×
+//! 4-ZMM register tile (16 independent FMA chains); the trailing
+//! `n mod 32` columns reuse the same tile with fewer registers and an
+//! AVX-512 write-mask on the final, partial one. Panels are the *outer*
+//! loop: one panel's B stripe (`k × 32` doubles) stays L1-resident while
+//! every row block streams past it. A 2-row × 4-register tile with rows
+//! outermost — the AVX2 layout doubled — re-reads the whole B stripe per
+//! row pair from L2 and measures slower than AVX2 on the translation
+//! shapes this repo runs (n = K ∈ {12, 72, 120}); narrow column tiles
+//! (2 rows × 1 register) are latency-bound. The 4-row masked tile handles
+//! both ends.
+//!
+//! Everything here is gated on `avx512f` only (loads, stores, FMA, masked
+//! 512-bit loads/stores and the reduce intrinsics are all in the F
+//! subset), so the kernels run on every AVX-512 part from Skylake-X
+//! onward.
+
+#![cfg(target_arch = "x86_64")]
+
+use core::arch::x86_64::*;
+
+/// Register-tiled `C += A·B`: 32-column panels under a 4-row × 4-ZMM
+/// tile, with a masked tile on the trailing `n mod 32` columns.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX-512F, and that the slice
+/// lengths match (checked by the public wrapper in [`crate::kernel`]).
+#[target_feature(enable = "avx512f")]
+pub unsafe fn gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let cp = c.as_mut_ptr();
+    let mut j = 0;
+    while j + 32 <= n {
+        col_panel::<4>(m, k, n, j, 32, ap, bp, cp);
+        j += 32;
+    }
+    let rem = n - j;
+    if rem > 0 {
+        match rem.div_ceil(8) {
+            1 => col_panel::<1>(m, k, n, j, rem, ap, bp, cp),
+            2 => col_panel::<2>(m, k, n, j, rem, ap, bp, cp),
+            3 => col_panel::<3>(m, k, n, j, rem, ap, bp, cp),
+            _ => col_panel::<4>(m, k, n, j, rem, ap, bp, cp),
+        }
+    }
+}
+
+/// Lane masks for a column panel of `rem` columns split over `REGS`
+/// 8-lane registers: all-ones except the final, partial register.
+#[inline]
+fn panel_masks<const REGS: usize>(rem: usize) -> [u8; REGS] {
+    let mut masks = [0u8; REGS];
+    for (q, mk) in masks.iter_mut().enumerate() {
+        let lanes = (rem - 8 * q).min(8);
+        *mk = if lanes == 8 { 0xff } else { (1u8 << lanes) - 1 };
+    }
+    masks
+}
+
+/// One panel of `rem ≤ 32` columns starting at `j0`, for all `m` rows:
+/// 4 rows at a time, `REGS` masked ZMM accumulators per row (up to 16
+/// FMA chains).
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn col_panel<const REGS: usize>(
+    m: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    rem: usize,
+    ap: *const f64,
+    bp: *const f64,
+    cp: *mut f64,
+) {
+    let masks = panel_masks::<REGS>(rem);
+    let mut i = 0;
+    while i + 4 <= m {
+        panel_block::<REGS, 4>(i, k, n, j0, masks, ap, bp, cp);
+        i += 4;
+    }
+    while i < m {
+        panel_block::<REGS, 1>(i, k, n, j0, masks, ap, bp, cp);
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn panel_block<const REGS: usize, const ROWS: usize>(
+    i: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    masks: [u8; REGS],
+    ap: *const f64,
+    bp: *const f64,
+    cp: *mut f64,
+) {
+    let mut acc = [[_mm512_setzero_pd(); REGS]; ROWS];
+    for (r, row) in acc.iter_mut().enumerate() {
+        for (q, v) in row.iter_mut().enumerate() {
+            *v = _mm512_maskz_loadu_pd(masks[q], cp.add((i + r) * n + j0 + 8 * q));
+        }
+    }
+    for p in 0..k {
+        let mut bv = [_mm512_setzero_pd(); REGS];
+        for (q, v) in bv.iter_mut().enumerate() {
+            *v = _mm512_maskz_loadu_pd(masks[q], bp.add(p * n + j0 + 8 * q));
+        }
+        for (r, row) in acc.iter_mut().enumerate() {
+            let av = _mm512_set1_pd(*ap.add((i + r) * k + p));
+            for (q, v) in row.iter_mut().enumerate() {
+                *v = _mm512_fmadd_pd(av, bv[q], *v);
+            }
+        }
+    }
+    for (r, row) in acc.iter().enumerate() {
+        for (q, v) in row.iter().enumerate() {
+            _mm512_mask_storeu_pd(cp.add((i + r) * n + j0 + 8 * q), masks[q], *v);
+        }
+    }
+}
+
+/// Row-wise dot products, 4 accumulators × 8 lanes per row.
+///
+/// # Safety
+/// Caller must ensure AVX-512F support and matching slice lengths.
+#[target_feature(enable = "avx512f")]
+pub unsafe fn gemv(_m: usize, k: usize, a: &[f64], x: &[f64], y: &mut [f64], accumulate: bool) {
+    let ap = a.as_ptr();
+    let xp = x.as_ptr();
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = ap.add(i * k);
+        let mut q0 = _mm512_setzero_pd();
+        let mut q1 = _mm512_setzero_pd();
+        let mut q2 = _mm512_setzero_pd();
+        let mut q3 = _mm512_setzero_pd();
+        let mut p = 0;
+        while p + 32 <= k {
+            q0 = _mm512_fmadd_pd(_mm512_loadu_pd(row.add(p)), _mm512_loadu_pd(xp.add(p)), q0);
+            q1 = _mm512_fmadd_pd(
+                _mm512_loadu_pd(row.add(p + 8)),
+                _mm512_loadu_pd(xp.add(p + 8)),
+                q1,
+            );
+            q2 = _mm512_fmadd_pd(
+                _mm512_loadu_pd(row.add(p + 16)),
+                _mm512_loadu_pd(xp.add(p + 16)),
+                q2,
+            );
+            q3 = _mm512_fmadd_pd(
+                _mm512_loadu_pd(row.add(p + 24)),
+                _mm512_loadu_pd(xp.add(p + 24)),
+                q3,
+            );
+            p += 32;
+        }
+        while p + 8 <= k {
+            q0 = _mm512_fmadd_pd(_mm512_loadu_pd(row.add(p)), _mm512_loadu_pd(xp.add(p)), q0);
+            p += 8;
+        }
+        let mut acc =
+            _mm512_reduce_add_pd(_mm512_add_pd(_mm512_add_pd(q0, q1), _mm512_add_pd(q2, q3)));
+        while p < k {
+            acc += *row.add(p) * *xp.add(p);
+            p += 1;
+        }
+        if accumulate {
+            *yi += acc;
+        } else {
+            *yi = acc;
+        }
+    }
+}

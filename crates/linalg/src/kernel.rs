@@ -4,56 +4,154 @@
 //! K×K translation matrix (K = 12–120) and `B`/`C` gathered panels whose row
 //! length `n` is the number of aggregated boxes (hundreds to thousands). The
 //! paper leans on CMSSL's tuned multiple-instance GEMM for exactly this
-//! shape (§3.3, Table 3); here the equivalent is an explicit AVX2+FMA
-//! microkernel, selected at runtime behind the [`Kernel`] enum with the
+//! shape (§3.3, Table 3); here the equivalent is a family of explicit SIMD
+//! microkernels, selected at runtime behind the [`Kernel`] enum with the
 //! portable scalar loop kept as the reference implementation.
 //!
-//! The AVX2 GEMM uses a 2×16 register tile: two C rows × four 4-lane
-//! accumulators each (8 independent FMA chains, enough to cover FMA latency
-//! on any recent x86), broadcasting one `A` element per row per `k` step and
-//! streaming unit-stride over `B`. Edges fall back to a 2×4 tile and then
-//! scalar columns. The GEMV kernel runs four accumulators over one row
-//! (4×-unrolled by 4 lanes) and reduces horizontally once per row.
+//! Three SIMD tiers exist:
+//!
+//! * **AVX2+FMA** (x86-64): a 2×16 register tile — two C rows × four 4-lane
+//!   accumulators each (8 independent FMA chains, enough to cover FMA
+//!   latency on any recent x86), broadcasting one `A` element per row per
+//!   `k` step and streaming unit-stride over `B`. Edges fall back to a 2×4
+//!   tile and then scalar columns. The GEMV kernel runs four accumulators
+//!   over one row (4×-unrolled by 4 lanes) and reduces horizontally once
+//!   per row.
+//! * **AVX-512** ([`crate::avx512`], x86-64): the same tiling doubled to
+//!   8-lane ZMM registers — a 2×32 main tile, 8 FMA chains.
+//! * **NEON** ([`crate::neon`], aarch64): 2-lane f64 vectors, a 2×8 main
+//!   tile with 8 independent `vfmaq_f64` chains.
+//!
+//! Detection runs once (cached in a `OnceLock`) and can be overridden for
+//! reproducible benchmarking via `FMM_KERNEL=scalar|avx2|avx512|neon`; an
+//! override naming a family the host cannot run falls back to the best
+//! supported kernel instead of faulting.
 
 /// Which microkernel family to run. `detect()` is cheap (cached) and the
 /// enum is `Copy`, so callers can hoist it out of loops or pass it down.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Kernel {
     /// Portable blocked scalar loops (the auto-vectorized reference).
     Scalar,
     /// Explicit AVX2 + FMA microkernels (x86-64 only, runtime-detected).
     Avx2Fma,
+    /// Explicit AVX-512 microkernels, f64×8 lanes (x86-64 only,
+    /// runtime-detected via `avx512f`).
+    Avx512,
+    /// Explicit NEON microkernels, f64×2 lanes (aarch64, where NEON is
+    /// architecturally guaranteed).
+    Neon,
 }
 
 impl Kernel {
-    /// The best kernel the running CPU supports. Detection runs once and is
-    /// cached.
+    /// The kernel to use: `FMM_KERNEL` if set to a supported family, else
+    /// the best the running CPU supports. Resolution runs once and is
+    /// cached for the life of the process.
     pub fn detect() -> Kernel {
         use std::sync::OnceLock;
         static BEST: OnceLock<Kernel> = OnceLock::new();
         *BEST.get_or_init(|| {
-            #[cfg(target_arch = "x86_64")]
-            {
-                if std::arch::is_x86_feature_detected!("avx2")
-                    && std::arch::is_x86_feature_detected!("fma")
-                {
-                    return Kernel::Avx2Fma;
+            if let Ok(name) = std::env::var("FMM_KERNEL") {
+                match Kernel::from_name(&name) {
+                    Some(k) if k.supported() => return k,
+                    Some(k) => eprintln!(
+                        "FMM_KERNEL={} ({}) is not supported on this host; using {}",
+                        name,
+                        k.name(),
+                        Kernel::best_supported().name()
+                    ),
+                    None => eprintln!(
+                        "FMM_KERNEL={} not recognized (scalar|avx2|avx512|neon); using {}",
+                        name,
+                        Kernel::best_supported().name()
+                    ),
                 }
             }
-            Kernel::Scalar
+            Kernel::best_supported()
         })
+    }
+
+    /// The widest kernel the running CPU supports, ignoring `FMM_KERNEL`.
+    pub fn best_supported() -> Kernel {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return Kernel::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Kernel::Avx2Fma;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            return Kernel::Neon;
+        }
+        #[allow(unreachable_code)]
+        Kernel::Scalar
+    }
+
+    /// Can this family run on the current host?
+    pub fn supported(self) -> bool {
+        match self {
+            Kernel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx2Fma => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Kernel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(target_arch = "aarch64")]
+            Kernel::Neon => true,
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Avx2Fma => false,
+            #[cfg(not(target_arch = "x86_64"))]
+            Kernel::Avx512 => false,
+            #[cfg(not(target_arch = "aarch64"))]
+            Kernel::Neon => false,
+        }
+    }
+
+    /// Every family the running CPU supports, narrowest first. Benchmarks
+    /// and parity tests iterate this to cover the whole dispatch matrix.
+    pub fn available() -> Vec<Kernel> {
+        [
+            Kernel::Scalar,
+            Kernel::Avx2Fma,
+            Kernel::Avx512,
+            Kernel::Neon,
+        ]
+        .into_iter()
+        .filter(|k| k.supported())
+        .collect()
+    }
+
+    /// Parse an `FMM_KERNEL`-style name. Accepts the short spellings used
+    /// by the env override and the display names.
+    pub fn from_name(s: &str) -> Option<Kernel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Kernel::Scalar),
+            "avx2" | "avx2+fma" => Some(Kernel::Avx2Fma),
+            "avx512" | "avx-512" | "avx512f" => Some(Kernel::Avx512),
+            "neon" => Some(Kernel::Neon),
+            _ => None,
+        }
     }
 
     pub fn name(self) -> &'static str {
         match self {
             Kernel::Scalar => "scalar",
             Kernel::Avx2Fma => "avx2+fma",
+            Kernel::Avx512 => "avx512",
+            Kernel::Neon => "neon",
         }
     }
 }
 
 /// `C += A * B` with an explicit kernel choice. `gemm_acc` calls this with
-/// `Kernel::detect()`; benchmarks call it with both variants to compare.
+/// `Kernel::detect()`; benchmarks call it with every variant to compare.
 pub fn gemm_acc_with(
     kernel: Kernel,
     m: usize,
@@ -72,8 +170,14 @@ pub fn gemm_acc_with(
         // SAFETY: Avx2Fma is only handed out by detect() after the feature
         // check (or chosen explicitly by tests/benches on the same CPU).
         Kernel::Avx2Fma => unsafe { avx2::gemm_acc(m, k, n, a, b, c) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2Fma => gemm_acc_scalar(m, k, n, a, b, c),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above, gated on avx512f.
+        Kernel::Avx512 => unsafe { crate::avx512::gemm_acc(m, k, n, a, b, c) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is architecturally guaranteed on aarch64.
+        Kernel::Neon => unsafe { crate::neon::gemm_acc(m, k, n, a, b, c) },
+        #[allow(unreachable_patterns)]
+        _ => gemm_acc_scalar(m, k, n, a, b, c),
     }
 }
 
@@ -96,8 +200,14 @@ pub fn gemv_with(
         #[cfg(target_arch = "x86_64")]
         // SAFETY: see gemm_acc_with.
         Kernel::Avx2Fma => unsafe { avx2::gemv(m, k, a, x, y, accumulate) },
-        #[cfg(not(target_arch = "x86_64"))]
-        Kernel::Avx2Fma => gemv_scalar(m, k, a, x, y, accumulate),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: see gemm_acc_with.
+        Kernel::Avx512 => unsafe { crate::avx512::gemv(m, k, a, x, y, accumulate) },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: NEON is architecturally guaranteed on aarch64.
+        Kernel::Neon => unsafe { crate::neon::gemv(m, k, a, x, y, accumulate) },
+        #[allow(unreachable_patterns)]
+        _ => gemv_scalar(m, k, a, x, y, accumulate),
     }
 }
 
@@ -135,7 +245,14 @@ pub fn gemm_acc_scalar(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &m
     }
 }
 
-fn gemv_scalar(_m: usize, k: usize, a: &[f64], x: &[f64], y: &mut [f64], accumulate: bool) {
+pub(crate) fn gemv_scalar(
+    _m: usize,
+    k: usize,
+    a: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+    accumulate: bool,
+) {
     for (i, yi) in y.iter_mut().enumerate() {
         let row = &a[i * k..(i + 1) * k];
         let mut acc = 0.0;
@@ -382,59 +499,94 @@ mod tests {
     }
 
     #[test]
-    fn gemm_kernels_agree_on_awkward_shapes() {
-        let kernel = Kernel::detect();
-        // Shapes chosen to hit every edge path: 16-wide main tile, 4-wide
-        // tile, scalar columns, and the odd trailing row.
-        for &(m, k, n) in &[
-            (1, 1, 1),
-            (2, 3, 4),
-            (3, 5, 7),
-            (5, 12, 16),
-            (12, 12, 33),
-            (7, 72, 21),
-            (72, 72, 129),
-            (13, 129, 63),
+    fn available_contains_scalar_and_detected() {
+        let avail = Kernel::available();
+        assert!(avail.contains(&Kernel::Scalar));
+        assert!(avail.contains(&Kernel::detect()));
+        for k in avail {
+            assert!(k.supported());
+        }
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in [
+            Kernel::Scalar,
+            Kernel::Avx2Fma,
+            Kernel::Avx512,
+            Kernel::Neon,
         ] {
-            let a = pseudo(1 + m as u64, m * k);
-            let b = pseudo(2 + n as u64, k * n);
-            let mut c1 = pseudo(3, m * n);
-            let mut c2 = c1.clone();
-            gemm_acc_with(kernel, m, k, n, &a, &b, &mut c1);
-            gemm_naive(m, k, n, &a, &b, &mut c2);
-            for (x, y) in c1.iter().zip(&c2) {
-                assert!(
-                    (x - y).abs() < 1e-11 * (1.0 + y.abs()),
-                    "{:?} mismatch for {}x{}x{}: {} vs {}",
-                    kernel,
-                    m,
-                    k,
-                    n,
-                    x,
-                    y
-                );
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+        }
+        assert_eq!(Kernel::from_name("avx2"), Some(Kernel::Avx2Fma));
+        assert_eq!(Kernel::from_name("AVX512"), Some(Kernel::Avx512));
+        assert_eq!(Kernel::from_name("riscv-v"), None);
+    }
+
+    #[test]
+    fn gemm_kernels_agree_on_awkward_shapes() {
+        // Shapes chosen to hit every edge path of every family: 32- and
+        // 16-wide main tiles, 8- and 4-wide tiles, scalar columns, and the
+        // odd trailing row.
+        for kernel in Kernel::available() {
+            for &(m, k, n) in &[
+                (1, 1, 1),
+                (2, 3, 4),
+                (3, 5, 7),
+                (5, 12, 16),
+                (12, 12, 33),
+                (7, 72, 21),
+                (72, 72, 129),
+                (13, 129, 63),
+                (2, 12, 40),
+            ] {
+                let a = pseudo(1 + m as u64, m * k);
+                let b = pseudo(2 + n as u64, k * n);
+                let mut c1 = pseudo(3, m * n);
+                let mut c2 = c1.clone();
+                gemm_acc_with(kernel, m, k, n, &a, &b, &mut c1);
+                gemm_naive(m, k, n, &a, &b, &mut c2);
+                for (x, y) in c1.iter().zip(&c2) {
+                    assert!(
+                        (x - y).abs() < 1e-11 * (1.0 + y.abs()),
+                        "{:?} mismatch for {}x{}x{}: {} vs {}",
+                        kernel,
+                        m,
+                        k,
+                        n,
+                        x,
+                        y
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn gemv_kernels_agree() {
-        let kernel = Kernel::detect();
-        for &(m, k) in &[(1, 1), (3, 5), (12, 12), (7, 17), (72, 72), (33, 129)] {
-            let a = pseudo(5 + m as u64, m * k);
-            let x = pseudo(7 + k as u64, k);
-            let mut y1 = pseudo(9, m);
-            let mut y2 = y1.clone();
-            gemv_with(kernel, m, k, &a, &x, &mut y1, true);
-            gemv_with(Kernel::Scalar, m, k, &a, &x, &mut y2, true);
-            for (p, q) in y1.iter().zip(&y2) {
-                assert!((p - q).abs() < 1e-11 * (1.0 + q.abs()), "{}x{}", m, k);
-            }
-            gemv_with(kernel, m, k, &a, &x, &mut y1, false);
-            gemv_with(Kernel::Scalar, m, k, &a, &x, &mut y2, false);
-            assert_eq!(y1.len(), y2.len());
-            for (p, q) in y1.iter().zip(&y2) {
-                assert!((p - q).abs() < 1e-11 * (1.0 + q.abs()));
+        for kernel in Kernel::available() {
+            for &(m, k) in &[(1, 1), (3, 5), (12, 12), (7, 17), (72, 72), (33, 129)] {
+                let a = pseudo(5 + m as u64, m * k);
+                let x = pseudo(7 + k as u64, k);
+                let mut y1 = pseudo(9, m);
+                let mut y2 = y1.clone();
+                gemv_with(kernel, m, k, &a, &x, &mut y1, true);
+                gemv_with(Kernel::Scalar, m, k, &a, &x, &mut y2, true);
+                for (p, q) in y1.iter().zip(&y2) {
+                    assert!(
+                        (p - q).abs() < 1e-11 * (1.0 + q.abs()),
+                        "{:?} {}x{}",
+                        kernel,
+                        m,
+                        k
+                    );
+                }
+                gemv_with(kernel, m, k, &a, &x, &mut y1, false);
+                gemv_with(Kernel::Scalar, m, k, &a, &x, &mut y2, false);
+                assert_eq!(y1.len(), y2.len());
+                for (p, q) in y1.iter().zip(&y2) {
+                    assert!((p - q).abs() < 1e-11 * (1.0 + q.abs()));
+                }
             }
         }
     }

@@ -16,16 +16,21 @@
 //! Rust Performance Book guidance: no allocation and no bounds checks in
 //! hot loops.
 
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod avx512;
 pub mod gemm;
 pub mod kernel;
 pub mod matrix;
 pub mod multi;
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+pub mod pairwise;
 pub mod perm;
 
 pub use gemm::{gemm_acc, gemm_naive, gemv, gemv_acc};
 pub use kernel::{gemm_acc_scalar, gemm_acc_with, gemv_with, Kernel};
 pub use matrix::Matrix;
-pub use multi::{multi_gemm_acc, MultiGemmPlan};
+pub use multi::{multi_gemm_acc, multi_gemm_acc_with, MultiGemmPlan};
 pub use perm::Permutation;
 
 /// Number of floating point operations for an `m×k` by `k×n` matrix product

@@ -7,8 +7,6 @@
 //! batch of products that share shapes but have distinct operand offsets in
 //! flat buffers; [`multi_gemm_acc`] executes the batch.
 
-use crate::gemm::gemm_acc;
-
 /// One instance of a batched product: offsets of A, B and C in their
 /// respective flat buffers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,12 +75,23 @@ impl MultiGemmPlan {
 ///
 /// Panics if any instance would read or write out of bounds.
 pub fn multi_gemm_acc(plan: &MultiGemmPlan, a: &[f64], b: &[f64], c: &mut [f64]) {
+    multi_gemm_acc_with(crate::Kernel::detect(), plan, a, b, c)
+}
+
+/// [`multi_gemm_acc`] with an explicit microkernel family.
+pub fn multi_gemm_acc_with(
+    kernel: crate::Kernel,
+    plan: &MultiGemmPlan,
+    a: &[f64],
+    b: &[f64],
+    c: &mut [f64],
+) {
     let (m, k, n) = (plan.m, plan.k, plan.n);
     for inst in &plan.instances {
         let ai = &a[inst.a_off..inst.a_off + m * k];
         let bi = &b[inst.b_off..inst.b_off + k * n];
         let ci = &mut c[inst.c_off..inst.c_off + m * n];
-        gemm_acc(m, k, n, ai, bi, ci);
+        crate::gemm_acc_with(kernel, m, k, n, ai, bi, ci);
     }
 }
 

@@ -1,0 +1,176 @@
+//! NEON microkernels for aarch64: 2-lane f64 vectors. The GEMM main tile
+//! is 2 C-rows × 4 q-registers (8 columns) — 8 independent `vfmaq_f64`
+//! chains, matching the ILP structure of the x86 kernels at NEON's width.
+//! NEON is architecturally guaranteed on aarch64, so these paths need no
+//! runtime feature probe; they are compile-verified by the CI aarch64
+//! cross-build job.
+
+#![cfg(target_arch = "aarch64")]
+
+use core::arch::aarch64::*;
+
+/// 2-row × 8-column register-tiled `C += A·B`.
+///
+/// # Safety
+/// Slice lengths must match the `m/k/n` shape (checked by the public
+/// wrapper in [`crate::kernel`]). NEON itself is always present on aarch64.
+pub unsafe fn gemm_acc(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let cp = c.as_mut_ptr();
+    let mut i = 0;
+    while i + 2 <= m {
+        row_pair(i, k, n, ap, bp, cp);
+        i += 2;
+    }
+    if i < m {
+        row_single(i, k, n, ap, bp, cp);
+    }
+}
+
+unsafe fn row_pair(i: usize, k: usize, n: usize, ap: *const f64, bp: *const f64, cp: *mut f64) {
+    let a0row = ap.add(i * k);
+    let a1row = ap.add((i + 1) * k);
+    let c0row = cp.add(i * n);
+    let c1row = cp.add((i + 1) * n);
+    let mut j = 0;
+    while j + 8 <= n {
+        let mut q00 = vld1q_f64(c0row.add(j));
+        let mut q01 = vld1q_f64(c0row.add(j + 2));
+        let mut q02 = vld1q_f64(c0row.add(j + 4));
+        let mut q03 = vld1q_f64(c0row.add(j + 6));
+        let mut q10 = vld1q_f64(c1row.add(j));
+        let mut q11 = vld1q_f64(c1row.add(j + 2));
+        let mut q12 = vld1q_f64(c1row.add(j + 4));
+        let mut q13 = vld1q_f64(c1row.add(j + 6));
+        for p in 0..k {
+            let brow = bp.add(p * n + j);
+            let b0 = vld1q_f64(brow);
+            let b1 = vld1q_f64(brow.add(2));
+            let b2 = vld1q_f64(brow.add(4));
+            let b3 = vld1q_f64(brow.add(6));
+            let a0 = vdupq_n_f64(*a0row.add(p));
+            let a1 = vdupq_n_f64(*a1row.add(p));
+            q00 = vfmaq_f64(q00, a0, b0);
+            q01 = vfmaq_f64(q01, a0, b1);
+            q02 = vfmaq_f64(q02, a0, b2);
+            q03 = vfmaq_f64(q03, a0, b3);
+            q10 = vfmaq_f64(q10, a1, b0);
+            q11 = vfmaq_f64(q11, a1, b1);
+            q12 = vfmaq_f64(q12, a1, b2);
+            q13 = vfmaq_f64(q13, a1, b3);
+        }
+        vst1q_f64(c0row.add(j), q00);
+        vst1q_f64(c0row.add(j + 2), q01);
+        vst1q_f64(c0row.add(j + 4), q02);
+        vst1q_f64(c0row.add(j + 6), q03);
+        vst1q_f64(c1row.add(j), q10);
+        vst1q_f64(c1row.add(j + 2), q11);
+        vst1q_f64(c1row.add(j + 4), q12);
+        vst1q_f64(c1row.add(j + 6), q13);
+        j += 8;
+    }
+    while j + 2 <= n {
+        let mut q0 = vld1q_f64(c0row.add(j));
+        let mut q1 = vld1q_f64(c1row.add(j));
+        for p in 0..k {
+            let bv = vld1q_f64(bp.add(p * n + j));
+            q0 = vfmaq_f64(q0, vdupq_n_f64(*a0row.add(p)), bv);
+            q1 = vfmaq_f64(q1, vdupq_n_f64(*a1row.add(p)), bv);
+        }
+        vst1q_f64(c0row.add(j), q0);
+        vst1q_f64(c1row.add(j), q1);
+        j += 2;
+    }
+    while j < n {
+        let mut s0 = 0.0;
+        let mut s1 = 0.0;
+        for p in 0..k {
+            let bv = *bp.add(p * n + j);
+            s0 += *a0row.add(p) * bv;
+            s1 += *a1row.add(p) * bv;
+        }
+        *c0row.add(j) += s0;
+        *c1row.add(j) += s1;
+        j += 1;
+    }
+}
+
+unsafe fn row_single(i: usize, k: usize, n: usize, ap: *const f64, bp: *const f64, cp: *mut f64) {
+    let arow = ap.add(i * k);
+    let crow = cp.add(i * n);
+    let mut j = 0;
+    while j + 8 <= n {
+        let mut q0 = vld1q_f64(crow.add(j));
+        let mut q1 = vld1q_f64(crow.add(j + 2));
+        let mut q2 = vld1q_f64(crow.add(j + 4));
+        let mut q3 = vld1q_f64(crow.add(j + 6));
+        for p in 0..k {
+            let brow = bp.add(p * n + j);
+            let av = vdupq_n_f64(*arow.add(p));
+            q0 = vfmaq_f64(q0, av, vld1q_f64(brow));
+            q1 = vfmaq_f64(q1, av, vld1q_f64(brow.add(2)));
+            q2 = vfmaq_f64(q2, av, vld1q_f64(brow.add(4)));
+            q3 = vfmaq_f64(q3, av, vld1q_f64(brow.add(6)));
+        }
+        vst1q_f64(crow.add(j), q0);
+        vst1q_f64(crow.add(j + 2), q1);
+        vst1q_f64(crow.add(j + 4), q2);
+        vst1q_f64(crow.add(j + 6), q3);
+        j += 8;
+    }
+    while j + 2 <= n {
+        let mut q = vld1q_f64(crow.add(j));
+        for p in 0..k {
+            q = vfmaq_f64(q, vdupq_n_f64(*arow.add(p)), vld1q_f64(bp.add(p * n + j)));
+        }
+        vst1q_f64(crow.add(j), q);
+        j += 2;
+    }
+    while j < n {
+        let mut s = 0.0;
+        for p in 0..k {
+            s += *arow.add(p) * *bp.add(p * n + j);
+        }
+        *crow.add(j) += s;
+        j += 1;
+    }
+}
+
+/// Row-wise dot products, 4 accumulators × 2 lanes per row.
+///
+/// # Safety
+/// Slice lengths must match (checked by the public wrapper).
+pub unsafe fn gemv(_m: usize, k: usize, a: &[f64], x: &[f64], y: &mut [f64], accumulate: bool) {
+    let ap = a.as_ptr();
+    let xp = x.as_ptr();
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = ap.add(i * k);
+        let mut q0 = vdupq_n_f64(0.0);
+        let mut q1 = vdupq_n_f64(0.0);
+        let mut q2 = vdupq_n_f64(0.0);
+        let mut q3 = vdupq_n_f64(0.0);
+        let mut p = 0;
+        while p + 8 <= k {
+            q0 = vfmaq_f64(q0, vld1q_f64(row.add(p)), vld1q_f64(xp.add(p)));
+            q1 = vfmaq_f64(q1, vld1q_f64(row.add(p + 2)), vld1q_f64(xp.add(p + 2)));
+            q2 = vfmaq_f64(q2, vld1q_f64(row.add(p + 4)), vld1q_f64(xp.add(p + 4)));
+            q3 = vfmaq_f64(q3, vld1q_f64(row.add(p + 6)), vld1q_f64(xp.add(p + 6)));
+            p += 8;
+        }
+        while p + 2 <= k {
+            q0 = vfmaq_f64(q0, vld1q_f64(row.add(p)), vld1q_f64(xp.add(p)));
+            p += 2;
+        }
+        let mut acc = vaddvq_f64(vaddq_f64(vaddq_f64(q0, q1), vaddq_f64(q2, q3)));
+        while p < k {
+            acc += *row.add(p) * *xp.add(p);
+            p += 1;
+        }
+        if accumulate {
+            *yi += acc;
+        } else {
+            *yi = acc;
+        }
+    }
+}

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use fmm_core::driver::{eval_local, p2o, Fmm};
 use fmm_core::field::FieldHierarchy;
 use fmm_core::near::{
-    near_field_forces_box, pair_exchange, self_box_potential, NearFieldStats, PAIR_FLOPS,
+    near_field_forces_box, pair_exchange_with, self_box_potential, NearFieldStats, PAIR_FLOPS,
     PAIR_FORCE_FLOPS,
 };
 use fmm_core::particles::BinnedParticles;
@@ -29,7 +29,7 @@ use fmm_core::stats::SpmdPhase;
 use fmm_core::translations::TranslationSet;
 use fmm_core::traversal::{downward_level, upward_level, Aggregation};
 use fmm_core::TraversalPlan;
-use fmm_linalg::gemm_acc;
+use fmm_linalg::gemm_acc_with;
 use fmm_machine::{subgrid_extent, BlockLayout};
 use fmm_tree::{near_field_offsets, BoxCoord, Domain, Hierarchy};
 
@@ -163,7 +163,8 @@ fn downward_owned(
         }
         if apply_t3 {
             let pi = c.parent().expect("l >= 3").index();
-            gemm_acc(
+            gemm_acc_with(
+                plan.kernel,
                 1,
                 k,
                 k,
@@ -188,7 +189,8 @@ fn downward_owned(
             let s = [c.x as i64 + off[0] as i64, c.y as i64 + off[1] as i64, sz];
             if s.iter().all(|&v| v >= 0 && v < n_axis) {
                 let si = ((s[2] * n_axis + s[1]) * n_axis + s[0]) as usize;
-                gemm_acc(
+                gemm_acc_with(
+                    plan.kernel,
                     1,
                     k,
                     k,
@@ -198,7 +200,7 @@ fn downward_owned(
                 );
             } else {
                 // The slab GEMM ran with this row zeroed; do the same.
-                gemm_acc(1, k, k, &zero_row, m.as_slice(), &mut acc);
+                gemm_acc_with(plan.kernel, 1, k, k, &zero_row, m.as_slice(), &mut acc);
             }
         }
         let ci = c.index();
@@ -303,7 +305,8 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                     };
                     for oct in 0..8 {
                         let ci = pb.child(oct).index();
-                        gemm_acc(
+                        gemm_acc_with(
+                            sh.plan.kernel,
                             1,
                             k,
                             k,
@@ -548,7 +551,8 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                 }
                 let t_out = &mut near_pot[t_range.clone()];
                 for (i, ti) in t_range.clone().enumerate() {
-                    t_out[i] += pair_exchange(
+                    t_out[i] += pair_exchange_with(
+                        sh.plan.kernel,
                         bp.x[ti],
                         bp.y[ti],
                         bp.z[ti],

@@ -117,3 +117,39 @@ fn oversubscribed_workers_is_an_error() {
     let err = fmm.evaluate(&pts, &q).unwrap_err();
     assert!(matches!(err, fmm_core::FmmError::InvalidConfig(_)));
 }
+
+#[test]
+fn forced_kernels_bitwise_across_all_executors() {
+    // Satellite invariant of the kernel-dispatch work: for a *fixed*
+    // microkernel family, Serial, Rayon and Spmd produce bit-identical
+    // results — the family is recorded in the traversal plan and every
+    // executor dispatches through it, so distribution and threading move
+    // data, never bits. (Different families legitimately differ in
+    // rounding; identical families must not.)
+    fmm_spmd::install();
+    let (pts, q) = pseudo_system(2200, 0xbeef);
+    for kernel in fmm_core::Kernel::available() {
+        let mk = |ex: Executor| {
+            Fmm::new(config(3, ex).kernel(kernel))
+                .unwrap()
+                .evaluate_forces(&pts, &q)
+                .unwrap()
+        };
+        let serial = mk(Executor::Serial);
+        for out in [mk(Executor::Rayon), mk(Executor::Spmd(4))] {
+            for (a, b) in serial.potentials.iter().zip(&out.potentials) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?} potential");
+            }
+            let (fa, fb) = (
+                serial.fields.as_ref().unwrap(),
+                out.fields.as_ref().unwrap(),
+            );
+            for (a, b) in fa.iter().zip(fb) {
+                for d in 0..3 {
+                    assert_eq!(a[d].to_bits(), b[d].to_bits(), "{kernel:?} field");
+                }
+            }
+            assert_eq!(serial.near_stats, out.near_stats, "{kernel:?} counters");
+        }
+    }
+}

@@ -32,4 +32,5 @@ pub use fmm_sphere;
 pub use fmm_spmd;
 pub use fmm_tree;
 
-pub use fmm_core::{DepthPolicy, EvalOutput, Fmm, FmmConfig, FmmError};
+pub use fmm_core::{DepthPolicy, EvalOutput, Executor, Fmm, FmmConfig, FmmError, Precision};
+pub use fmm_linalg::Kernel;
