@@ -1,0 +1,264 @@
+//! Service-layer benchmark: emits `BENCH_serve.json`.
+//!
+//! Measures the payoff of the serving subsystem's two pieces:
+//!
+//! 1. **Coalesced batching** — 64 small same-shape requests evaluated as
+//!    one [`Fmm::evaluate_batch`] call (the multiple-instance GEMM path
+//!    the server's batcher feeds) vs the same 64 requests evaluated
+//!    serially, one [`Fmm::evaluate`] each. Requests/sec for both, the
+//!    speedup, a bitwise-identity check of every potential, and the
+//!    plan-registry build count for the whole batch (must be exactly 1).
+//! 2. **End-to-end service** — an in-process [`fmm_serve::Server`] on a
+//!    loopback port, stormed by concurrent binary clients; reports
+//!    requests/sec through the full socket → batcher → engine path and
+//!    the largest coalesced batch observed.
+//!
+//! JSON is written by hand — the harness has no serde dependency.
+//!
+//! Run: `cargo run --release -p fmm-bench --bin bench_serve`
+//!
+//! Exits non-zero if any served/batched potential differs bitwise from
+//! solo evaluation, if the batch needs more than one plan build, or if
+//! the coalesced batch fails the 3x requests/sec acceptance bar.
+
+use fmm_bench::util::best_of;
+use fmm_core::{BatchRequest, Fmm, FmmConfig};
+use fmm_serve::protocol::{self, EvalRequest, Shape};
+use fmm_serve::{ServeConfig, Server};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Minimal JSON object builder (strings, numbers, raw nested values).
+#[derive(Default)]
+struct Obj {
+    body: String,
+}
+
+impl Obj {
+    fn field(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        let _ = write!(self.body, "\"{}\":{}", key, value);
+        self
+    }
+
+    fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.field(key, format_args!("\"{}\"", value))
+    }
+
+    fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+fn system(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pts: Vec<[f64; 3]> = (0..n).map(|_| [next(), next(), next()]).collect();
+    let q: Vec<f64> = (0..n).map(|_| next() * 2.0 - 1.0).collect();
+    (pts, q)
+}
+
+struct BatchResult {
+    json: String,
+    speedup: f64,
+    bitwise: bool,
+    plan_builds: u64,
+}
+
+/// The acceptance measurement: R small same-shape requests, coalesced vs
+/// serial, on one `Fmm` (so the serial path also enjoys its plan cache —
+/// the speedup measured here is pure GEMM aggregation, not plan reuse).
+fn bench_batch(order: usize, depth: u32, requests: usize, n_per: usize) -> BatchResult {
+    let fmm = Fmm::new(FmmConfig::order(order).depth(depth)).expect("config");
+    let systems: Vec<(Vec<[f64; 3]>, Vec<f64>)> = (0..requests)
+        .map(|i| system(n_per, 9000 + i as u64))
+        .collect();
+    let reqs: Vec<BatchRequest> = systems
+        .iter()
+        .map(|(p, q)| BatchRequest {
+            positions: p,
+            charges: q,
+        })
+        .collect();
+
+    // Warm both paths (plan build, page faults) before timing.
+    let solo_warm: Vec<Vec<f64>> = systems
+        .iter()
+        .map(|(p, q)| fmm.evaluate(p, q).expect("solo").potentials)
+        .collect();
+    fmm.evaluate_batch(&reqs).expect("batch");
+
+    let (t_serial, _) = best_of(5, || {
+        for (p, q) in &systems {
+            std::hint::black_box(fmm.evaluate(p, q).expect("solo"));
+        }
+    });
+    let (t_batch, out) = best_of(5, || fmm.evaluate_batch(&reqs).expect("batch"));
+
+    // Bitwise identity of the coalesced result against solo evaluation.
+    let mut bitwise = true;
+    for (i, want) in solo_warm.iter().enumerate() {
+        let got = out.potentials_of(i);
+        if got.len() != want.len()
+            || got
+                .iter()
+                .zip(want)
+                .any(|(a, b)| a.to_bits() != b.to_bits())
+        {
+            bitwise = false;
+        }
+    }
+
+    // The whole batch (and every solo rep) resolved one plan, built once.
+    let plan_builds = fmm.plan_builds();
+
+    let rps_serial = requests as f64 / t_serial;
+    let rps_batch = requests as f64 / t_batch;
+    let speedup = rps_batch / rps_serial;
+    let mut o = Obj::default();
+    o.field("order", order)
+        .field("depth", depth)
+        .field("requests", requests)
+        .field("particles_per_request", n_per)
+        .field("serial_requests_per_s", format_args!("{:.1}", rps_serial))
+        .field("batched_requests_per_s", format_args!("{:.1}", rps_batch))
+        .field("speedup", format_args!("{:.2}", speedup))
+        .field("bitwise_identical", bitwise)
+        .field("plan_builds", plan_builds);
+    println!(
+        "batch  order {order} depth {depth}: {requests} x {n_per} particles  \
+         serial {rps_serial:.0} req/s  batched {rps_batch:.0} req/s  \
+         speedup {speedup:.2}x  bitwise {bitwise}  plan_builds {plan_builds}"
+    );
+    BatchResult {
+        json: o.finish(),
+        speedup,
+        bitwise,
+        plan_builds,
+    }
+}
+
+/// Storm an in-process server with concurrent binary clients and report
+/// throughput through the full socket -> batcher -> engine path.
+fn bench_service(clients: usize, rounds: usize, n_per: usize) -> String {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        conn_threads: clients.min(16),
+        exec_threads: 2,
+        window: Duration::from_micros(500),
+        max_batch: 64,
+        registry_capacity: 16,
+        read_timeout: Duration::from_secs(30),
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let shape = Shape {
+        order: 5,
+        depth: 2,
+        separation: 2,
+        mixed: false,
+        forces: false,
+    };
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> usize {
+                let mut max_batch = 0usize;
+                for r in 0..rounds {
+                    let (pts, q) = system(n_per, (7000 + c * rounds + r) as u64);
+                    let mut s = TcpStream::connect(&addr).expect("connect");
+                    s.write_all(&protocol::MAGIC).expect("magic");
+                    let req = EvalRequest {
+                        shape,
+                        positions: pts,
+                        charges: q,
+                    };
+                    protocol::write_frame(&mut s, &protocol::encode_evaluate(&req)).expect("write");
+                    let frame = protocol::read_frame(&mut s).expect("read");
+                    let resp = protocol::decode_eval_response(&frame, false).expect("decode");
+                    max_batch = max_batch.max(resp.batch_size);
+                }
+                max_batch
+            })
+        })
+        .collect();
+    let max_batch = handles
+        .into_iter()
+        .map(|h| h.join().expect("client"))
+        .max()
+        .unwrap_or(0);
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total = clients * rounds;
+    let stats = server.engine().registry().stats();
+    server.shutdown();
+    server.join();
+
+    let rps = total as f64 / elapsed;
+    let mut o = Obj::default();
+    o.field("clients", clients)
+        .field("requests", total)
+        .field("particles_per_request", n_per)
+        .field("requests_per_s", format_args!("{:.1}", rps))
+        .field("max_coalesced_batch", max_batch)
+        .field("plan_builds", stats.plan_builds)
+        .field("plan_hits", stats.plan_hits);
+    println!(
+        "serve  {clients} clients x {rounds} rounds: {rps:.0} req/s end-to-end, \
+         max batch {max_batch}, plan builds {}",
+        stats.plan_builds
+    );
+    o.finish()
+}
+
+fn main() {
+    // The acceptance shape: 64 small same-shape requests.
+    let accept = bench_batch(5, 2, 64, 64);
+    let deep = bench_batch(5, 3, 64, 128);
+    let service = bench_service(16, 4, 64);
+
+    let mut root = Obj::default();
+    root.str_field("bench", "serve");
+    root.str_field(
+        "note",
+        "coalesced multi-instance evaluation vs serial per-request evaluation; \
+         single plan shared via the registry",
+    );
+    root.field(
+        "nproc",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    root.field(
+        "coalesced_batch",
+        format_args!("[{},{}]", accept.json, deep.json),
+    );
+    root.field("service", service);
+    std::fs::write("BENCH_serve.json", root.finish() + "\n").expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
+    if !accept.bitwise || !deep.bitwise {
+        eprintln!("FAIL: batched potentials are not bitwise identical to solo evaluation");
+        std::process::exit(1);
+    }
+    if accept.plan_builds != 1 || deep.plan_builds != 1 {
+        eprintln!("FAIL: a coalesced batch must build exactly one plan");
+        std::process::exit(1);
+    }
+    if accept.speedup < 3.0 {
+        eprintln!(
+            "FAIL: coalesced batch speedup {:.2}x is below the 3x acceptance bar",
+            accept.speedup
+        );
+        std::process::exit(1);
+    }
+}

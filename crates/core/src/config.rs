@@ -53,7 +53,7 @@ impl DepthPolicy {
 /// and `Rayon` share one code path whose parallel loops are
 /// write-disjoint, and `Spmd(p)` (provided by the `fmm-spmd` crate) runs
 /// the same arithmetic per worker over explicit message channels.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Executor {
     /// Single-threaded reference execution.
     Serial,
@@ -74,7 +74,7 @@ pub enum Executor {
 /// modes") for the error-bound derivation: on the standard 40k-particle
 /// depth-4 configuration the f32 near field stays within 1e-5 maximum
 /// relative error of the f64 near field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Precision {
     /// Everything in f64 (the default).
     #[default]

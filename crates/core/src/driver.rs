@@ -8,6 +8,7 @@ use crate::near::{near_field_forces_softened, near_field_travelling_with, NearFi
 use crate::near32::{near_field_forces_f32, near_field_potentials_f32};
 use crate::particles::BinnedParticles;
 use crate::plan::TraversalPlan;
+use crate::registry::{PlanKey, PlanRegistry};
 use crate::stats::{Phase, Profile, SpmdReport};
 use crate::translations::TranslationSet;
 use crate::traversal::{
@@ -17,10 +18,9 @@ use crate::traversal::{
 use fmm_sphere::{inner_kernel_row, inner_kernel_row_grad, norm, SphereRule};
 use fmm_tree::{BoxCoord, Domain, Hierarchy};
 use rayon::prelude::*;
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Errors from building or running an [`Fmm`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,22 +89,32 @@ pub fn install_spmd_backend(backend: SpmdBackend) {
 /// matrices (the paper precomputes all 1331 + 16 matrices once and reuses
 /// them across evaluations and levels).
 pub struct Fmm {
-    cfg: FmmConfig,
-    rule: SphereRule,
-    translations: TranslationSet,
-    /// Traversal plans, cached per hierarchy depth (separation and K are
-    /// fixed per instance). Interior mutability keeps `evaluate(&self)`
-    /// shareable across threads.
-    // det: plans are looked up by depth key only, never iterated.
-    plan_cache: Mutex<HashMap<u32, Arc<TraversalPlan>>>,
-    /// How many plans have been built (cache misses); diagnostics only.
-    plan_builds: AtomicU64,
+    pub(crate) cfg: FmmConfig,
+    pub(crate) rule: SphereRule,
+    pub(crate) translations: TranslationSet,
+    /// Plan registry this instance resolves its traversal plans from. A
+    /// private registry by default (preserving per-instance `plan_builds`
+    /// semantics); services share one process-wide registry across many
+    /// instances via [`Fmm::with_registry`].
+    registry: Arc<PlanRegistry>,
 }
 
 impl Fmm {
     /// Build an instance: validates the configuration and precomputes the
-    /// translation matrices.
+    /// translation matrices. Plans are cached in a private
+    /// [`PlanRegistry`]; use [`Fmm::with_registry`] to share one.
     pub fn new(cfg: FmmConfig) -> Result<Self, FmmError> {
+        Self::with_registry(
+            cfg,
+            Arc::new(PlanRegistry::new(PlanRegistry::DEFAULT_CAPACITY)),
+        )
+    }
+
+    /// [`Fmm::new`] resolving plans from a shared registry — the
+    /// "millions of users" configuration: every instance whose
+    /// `(depth, K, separation, executor, kernel, precision)` shape matches
+    /// an already-admitted plan reuses it without building.
+    pub fn with_registry(cfg: FmmConfig, registry: Arc<PlanRegistry>) -> Result<Self, FmmError> {
         cfg.validate().map_err(FmmError::InvalidConfig)?;
         let rule = cfg.rule();
         let translations = TranslationSet::build(
@@ -119,34 +129,40 @@ impl Fmm {
             cfg,
             rule,
             translations,
-            // det: keyed lookups only (see the field's justification).
-            plan_cache: Mutex::new(HashMap::new()),
-            plan_builds: AtomicU64::new(0),
+            registry,
         })
+    }
+
+    /// The registry key this instance uses for plans at `depth`.
+    pub fn plan_key(&self, depth: u32) -> PlanKey {
+        PlanKey {
+            depth,
+            k: self.rule.len(),
+            separation: self.cfg.separation,
+            executor: self.cfg.effective_executor(),
+            kernel: self.cfg.resolve_kernel(),
+            precision: self.cfg.precision,
+        }
     }
 
     /// The traversal plan for `depth`, building and caching it on first
     /// use. Repeated evaluations at the same depth reuse the cached plan
     /// and pay only for the GEMMs and particle work.
     pub fn plan_for(&self, depth: u32) -> Arc<TraversalPlan> {
-        let mut cache = self.plan_cache.lock().unwrap();
-        cache
-            .entry(depth)
-            .or_insert_with(|| {
-                self.plan_builds.fetch_add(1, Ordering::Relaxed);
-                Arc::new(TraversalPlan::build_with(
-                    depth,
-                    self.cfg.separation,
-                    self.cfg.resolve_kernel(),
-                ))
-            })
-            .clone()
+        self.registry.get_or_build(self.plan_key(depth))
     }
 
-    /// Number of traversal plans built so far (i.e. plan-cache misses).
+    /// Number of traversal plans built so far (i.e. plan-registry misses).
     /// Repeated evaluations at the same depth must not increase this.
+    /// Counts the whole registry: for a default (private) registry that is
+    /// exactly this instance's builds; for a shared one it is process-wide.
     pub fn plan_builds(&self) -> u64 {
-        self.plan_builds.load(Ordering::Relaxed)
+        self.registry.stats().plan_builds
+    }
+
+    /// The plan registry this instance resolves from.
+    pub fn plan_registry(&self) -> &Arc<PlanRegistry> {
+        &self.registry
     }
 
     pub fn config(&self) -> &FmmConfig {

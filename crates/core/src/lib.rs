@@ -43,6 +43,7 @@
 //! assert_eq!(result.potentials.len(), positions.len());
 //! ```
 
+pub mod batch;
 pub mod config;
 pub mod driver;
 pub mod error;
@@ -51,10 +52,12 @@ pub mod near;
 pub mod near32;
 pub mod particles;
 pub mod plan;
+pub mod registry;
 pub mod stats;
 pub mod translations;
 pub mod traversal;
 
+pub use batch::{BatchOutput, BatchRequest};
 pub use config::{DepthPolicy, Executor, FmmConfig, Precision};
 pub use driver::{EvalOutput, Fmm, FmmError};
 pub use error::{relative_error_stats, ErrorStats};
@@ -65,6 +68,7 @@ pub use near::{
 };
 pub use near32::{near_field_forces_f32, near_field_potentials_f32, ParticlesF32};
 pub use plan::TraversalPlan;
+pub use registry::{PlanKey, PlanRegistry, RegistryStats};
 pub use stats::{Phase, Profile, SpmdPhase, SpmdReport};
 pub use translations::TranslationSet;
 

@@ -51,6 +51,16 @@ pub struct NearFieldStats {
     pub flops: u64,
 }
 
+impl NearFieldStats {
+    /// Accumulate another sweep's counters (batched evaluation sums its
+    /// per-request sweeps).
+    pub fn merge(&mut self, other: &NearFieldStats) {
+        self.pair_interactions += other.pair_interactions;
+        self.box_pairs += other.box_pairs;
+        self.flops += other.flops;
+    }
+}
+
 /// Symmetric one-target update with an explicit kernel: the target
 /// gathers Σ q_s·r⁻¹ (returned) while each source accumulates q_t·r⁻¹
 /// into `s_out`. Public because the SPMD executor's travelling-accumulator
@@ -651,6 +661,107 @@ pub fn near_field_travelling_with(
     // Return shifts: every accumulator goes home and is added once.
     for (o, a) in out.iter_mut().zip(&acc) {
         *o += *a;
+    }
+    total.flops = total.pair_interactions * PAIR_FLOPS;
+    total
+}
+
+/// Multi-instance travelling near field: `R` same-depth particle sets
+/// sweep the canonical path together. The geometry — the path itself,
+/// each step's `t ↦ t + cum` box map and its domain clipping — depends
+/// only on the hierarchy depth and separation, so the batched form
+/// computes it once per (step, box) and loops instances innermost,
+/// instead of `R` full sweeps re-deriving it. For small requests the
+/// sweep is geometry-bound (tens of steps × every box, a few particles
+/// each), so this is where batching a serving workload actually pays.
+///
+/// Per instance the arithmetic replays [`near_field_travelling_with`]
+/// exactly: same self pass in box order, same ordered steps, same box
+/// order within a step, same gather/scatter into a per-instance
+/// accumulator, same return shift — so each instance's output is bitwise
+/// identical to its solo sweep (sequential or parallel; the solo forms
+/// are themselves bitwise equal). Runs sequentially: the instance loop
+/// already aggregates the work the solo form would spread over threads.
+///
+/// `outs[i]` is instance `i`'s potentials in **sorted** particle order;
+/// counters are summed over the batch.
+pub fn near_field_travelling_batch_with(
+    kernel: Kernel,
+    bps: &[BinnedParticles],
+    sep: Separation,
+    eps: f64,
+    outs: &mut [Vec<f64>],
+) -> NearFieldStats {
+    assert_eq!(bps.len(), outs.len());
+    let Some(first) = bps.first() else {
+        return NearFieldStats::default();
+    };
+    let eps2 = eps * eps;
+    let level = first.level;
+    let n_boxes = first.binning.starts.len() - 1;
+    for (bp, out) in bps.iter().zip(outs.iter()) {
+        assert_eq!(bp.level, level, "batched near field needs one depth");
+        assert_eq!(out.len(), bp.len());
+    }
+    let path = fmm_machine::TravelPath::new(sep.d());
+    let mut accs: Vec<Vec<f64>> = bps.iter().map(|bp| vec![0.0; bp.len()]).collect();
+    let mut total = NearFieldStats::default();
+
+    // Self interactions: box-outer, instance-inner (per instance this is
+    // the solo sweep's ascending box order).
+    for b in 0..n_boxes {
+        for (bp, out) in bps.iter().zip(outs.iter_mut()) {
+            let t_range = bp.range(b);
+            if t_range.is_empty() {
+                continue;
+            }
+            total.pair_interactions +=
+                self_box_potential(bp, t_range.clone(), eps2, &mut out[t_range]);
+            total.box_pairs += 1;
+        }
+    }
+
+    // The travelling sweep over the shared path: each step's source map is
+    // resolved once per box and reused by every instance.
+    let coords: Vec<BoxCoord> = (0..n_boxes)
+        .map(|b| BoxCoord::from_index(level, b))
+        .collect();
+    for step in &path.steps {
+        let cum = step.cum;
+        for (b, t) in coords.iter().enumerate() {
+            let Some(s) = t.offset(cum) else { continue };
+            let s_idx = s.index();
+            for ((bp, out), acc) in bps.iter().zip(outs.iter_mut()).zip(accs.iter_mut()) {
+                let t_range = bp.range(b);
+                if t_range.is_empty() {
+                    continue;
+                }
+                let s_range = bp.range(s_idx);
+                if s_range.is_empty() {
+                    continue;
+                }
+                let t_out = &mut out[t_range.clone()];
+                let s_acc = &mut acc[s_range.clone()];
+                let xs = &bp.x[s_range.clone()];
+                let ys = &bp.y[s_range.clone()];
+                let zs = &bp.z[s_range.clone()];
+                let qs = &bp.q[s_range.clone()];
+                for (i, ti) in t_range.clone().enumerate() {
+                    t_out[i] += pair_exchange_with(
+                        kernel, bp.x[ti], bp.y[ti], bp.z[ti], bp.q[ti], eps2, xs, ys, zs, qs, s_acc,
+                    );
+                    total.pair_interactions += s_range.len() as u64;
+                }
+                total.box_pairs += 1;
+            }
+        }
+    }
+
+    // Return shifts, per instance.
+    for (out, acc) in outs.iter_mut().zip(&accs) {
+        for (o, a) in out.iter_mut().zip(acc) {
+            *o += *a;
+        }
     }
     total.flops = total.pair_interactions * PAIR_FLOPS;
     total

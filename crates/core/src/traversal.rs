@@ -304,6 +304,251 @@ pub fn fused_p2o_upward_leaf(
     flops
 }
 
+/// Multi-instance upward level: `R` instances share one plan and one
+/// translation set; every (slab, octant) gathers all instances' child
+/// panels into a single instance-major panel and issues ONE GEMM of
+/// `R · np` rows — the paper's §2 aggregation trick replayed across
+/// *requests* instead of boxes. The GEMM microkernels compute every
+/// output row with per-row accumulators and an identical k-loop order
+/// regardless of the total row count, and `np` (a parent z-plane,
+/// `4^l`) is a multiple of the widest row-tile, so concatenating
+/// instances changes no row's bits: each instance's parents come out
+/// bitwise identical to a solo [`upward_level`] run.
+pub(crate) fn upward_level_batch(
+    fhs: &mut [FieldHierarchy],
+    ts: &TranslationSet,
+    plan: &TraversalPlan,
+    l: u32,
+) -> TraversalFlops {
+    let r = fhs.len();
+    let k = fhs[0].k;
+    let lvl = plan.level(l);
+    let n_parents = fhs[0].hierarchy.boxes_at_level(l);
+    let mut flops = TraversalFlops::default();
+    for &(p0, p1) in lvl.slabs.iter() {
+        let np = p1 - p0;
+        let rows = r * np;
+        let mut panel = vec![0.0; rows * k];
+        let mut acc = vec![0.0; rows * k];
+        for oct in 0..8 {
+            let cidx = &lvl.children[oct].idx;
+            for (ri, fh) in fhs.iter().enumerate() {
+                gather_children(
+                    &fh.far[l as usize + 1],
+                    0,
+                    cidx,
+                    p0,
+                    p1,
+                    k,
+                    &mut panel[ri * np * k..(ri + 1) * np * k],
+                );
+            }
+            gemm_acc_with(
+                plan.kernel,
+                rows,
+                k,
+                k,
+                &panel,
+                ts.t1t[oct].as_slice(),
+                &mut acc,
+            );
+        }
+        // The parents start zeroed and are written only here, so a plain
+        // copy lands the accumulated octant sum bit-for-bit.
+        for (ri, fh) in fhs.iter_mut().enumerate() {
+            fh.far[l as usize][p0 * k..p1 * k]
+                .copy_from_slice(&acc[ri * np * k..(ri + 1) * np * k]);
+        }
+    }
+    flops.t1 = gemm_flops(n_parents, k, k) * 8 * r as u64;
+    flops.copied = (n_parents * 8 * k * r) as u64;
+    flops
+}
+
+/// How a T2 offset list maps a child coordinate to its source box.
+enum SourceMap {
+    /// Same-level interactive sources: `t + off`.
+    SameLevel,
+    /// Parent-level supernode sources: `(t >> 1) + off`.
+    ParentLevel,
+}
+
+/// Multi-instance downward level, the batched analogue of
+/// [`downward_level`]: T2 source geometry (offset application, domain
+/// bounds, the all-rows-invalid skip) is computed once per offset and
+/// shared by every instance, and each offset's GEMM runs once over
+/// `R · np` rows. Bitwise identical per instance to a solo
+/// [`downward_level`] for the same reasons as [`upward_level_batch`]
+/// (the T3 gather-then-GEMM sees the same row values as the solo
+/// direct-slice GEMM).
+pub(crate) fn downward_level_batch(
+    fhs: &mut [FieldHierarchy],
+    ts: &TranslationSet,
+    plan: &TraversalPlan,
+    supernodes: bool,
+    l: u32,
+) -> TraversalFlops {
+    let r = fhs.len();
+    let k = fhs[0].k;
+    let mut flops = TraversalFlops::default();
+    let oct_mats = resolve_octant_matrices(ts, plan, supernodes);
+    let n_boxes = fhs[0].hierarchy.boxes_at_level(l);
+    let l_parent = l - 1;
+    let lvl = plan.level(l_parent);
+    let apply_t3 = l >= 3; // local field is zero above level 2
+    let n_axis = 1i64 << l;
+    let parent_axis = 1i64 << l_parent;
+
+    for fh in fhs.iter_mut() {
+        fh.local[l as usize].iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    for &(p0, p1) in lvl.slabs.iter() {
+        let np = p1 - p0;
+        let rows = r * np;
+        let mut src_panel = vec![0.0; rows * k];
+        let mut acc_panel = vec![0.0; rows * k];
+        // Per-row source index of the current offset, shared by all
+        // instances (the geometry depends only on the plan).
+        let mut src_idx = vec![-1isize; np];
+        for (oct, mats) in oct_mats.iter().enumerate() {
+            acc_panel.iter_mut().for_each(|x| *x = 0.0);
+
+            // ---- T3: parent inner → child inner -----------------------
+            if apply_t3 {
+                for (ri, fh) in fhs.iter().enumerate() {
+                    src_panel[ri * np * k..(ri + 1) * np * k]
+                        .copy_from_slice(&fh.local[l_parent as usize][p0 * k..p1 * k]);
+                }
+                gemm_acc_with(
+                    plan.kernel,
+                    rows,
+                    k,
+                    k,
+                    &src_panel,
+                    ts.t3t[oct].as_slice(),
+                    &mut acc_panel,
+                );
+            }
+
+            // ---- T2: interactive field --------------------------------
+            let coords = &lvl.children[oct].coord;
+            let op = &plan.octants[oct];
+            #[allow(clippy::type_complexity)]
+            let lists: Vec<(&[[i32; 3]], &[&Matrix], usize, i64, SourceMap)> = if supernodes {
+                vec![
+                    (
+                        &op.sn_parent_offsets,
+                        &mats.sn_parent,
+                        l_parent as usize,
+                        parent_axis,
+                        SourceMap::ParentLevel,
+                    ),
+                    (
+                        &op.sn_child_offsets,
+                        &mats.sn_child,
+                        l as usize,
+                        n_axis,
+                        SourceMap::SameLevel,
+                    ),
+                ]
+            } else {
+                vec![(
+                    &op.offsets,
+                    &mats.plain,
+                    l as usize,
+                    n_axis,
+                    SourceMap::SameLevel,
+                )]
+            };
+            for (offsets, matrices, src_level, src_axis, map) in lists {
+                for (&off, &m) in offsets.iter().zip(matrices) {
+                    let mut any = false;
+                    for (row, si) in src_idx.iter_mut().enumerate() {
+                        let t = coords[p0 + row];
+                        let s = match map {
+                            SourceMap::SameLevel => [
+                                (t[0] + off[0]) as i64,
+                                (t[1] + off[1]) as i64,
+                                (t[2] + off[2]) as i64,
+                            ],
+                            SourceMap::ParentLevel => [
+                                ((t[0] >> 1) + off[0]) as i64,
+                                ((t[1] >> 1) + off[1]) as i64,
+                                ((t[2] >> 1) + off[2]) as i64,
+                            ],
+                        };
+                        *si = if s[0] >= 0
+                            && s[1] >= 0
+                            && s[2] >= 0
+                            && s[0] < src_axis
+                            && s[1] < src_axis
+                            && s[2] < src_axis
+                        {
+                            any = true;
+                            ((s[2] * src_axis + s[1]) * src_axis + s[0]) as isize
+                        } else {
+                            -1
+                        };
+                    }
+                    // Same decision as the solo pass: the flag depends
+                    // only on geometry, which every instance shares.
+                    if !any {
+                        continue;
+                    }
+                    for (ri, fh) in fhs.iter().enumerate() {
+                        let source = &fh.far[src_level];
+                        for (row, &si) in src_idx.iter().enumerate() {
+                            let dst = &mut src_panel[(ri * np + row) * k..(ri * np + row + 1) * k];
+                            if si >= 0 {
+                                let s = si as usize;
+                                dst.copy_from_slice(&source[s * k..(s + 1) * k]);
+                            } else {
+                                dst.iter_mut().for_each(|x| *x = 0.0);
+                            }
+                        }
+                    }
+                    gemm_acc_with(
+                        plan.kernel,
+                        rows,
+                        k,
+                        k,
+                        &src_panel,
+                        m.as_slice(),
+                        &mut acc_panel,
+                    );
+                }
+            }
+
+            // Scatter the accumulated panel into each instance's children.
+            for (ri, fh) in fhs.iter_mut().enumerate() {
+                let out = &mut fh.local[l as usize][p0 * 8 * k..p1 * 8 * k];
+                scatter_add_children(
+                    out,
+                    p0 * 8,
+                    &lvl.children[oct].idx,
+                    p0,
+                    p1,
+                    k,
+                    &acc_panel[ri * np * k..(ri + 1) * np * k],
+                );
+            }
+        }
+    }
+
+    let per_box_t2 = if supernodes {
+        plan.octants[0].sn_translation_count as u64
+    } else {
+        plan.octants[0].offsets.len() as u64
+    };
+    flops.t2 += per_box_t2 * gemm_flops(n_boxes, k, k) * r as u64;
+    if apply_t3 {
+        flops.t3 += gemm_flops(n_boxes, k, k) * r as u64;
+    }
+    flops.copied += (n_boxes * k * r) as u64 * (per_box_t2 + 2);
+    flops
+}
+
 /// Per-octant translation matrices, resolved once per pass from the plan's
 /// stored indices/keys (no hash lookups inside the slab loops).
 struct OctantMatrices<'a> {

@@ -1,0 +1,232 @@
+//! The coalescing batcher: requests with identical [`Shape`]s are merged
+//! within a time/size window into one multiple-instance evaluation.
+//!
+//! Window semantics: the first request of a shape opens that shape's
+//! window; the batch closes when either `window` has elapsed since it
+//! opened or `max_batch` requests have accumulated, whichever comes
+//! first. A closing batch takes at most `max_batch` requests (oldest
+//! first); any overflow stays queued with its original arrival-ordering
+//! and is immediately ready. During shutdown every pending batch closes
+//! at once, so no request is dropped.
+//!
+//! Plain std concurrency: a `Mutex` over a `BTreeMap` of per-shape
+//! queues plus one `Condvar`; executor workers block in
+//! [`Batcher::next_batch`] with a deadline-aware timed wait. Each
+//! submitted job carries a oneshot (an `mpsc` channel of capacity one)
+//! on which the executor delivers the result.
+
+use crate::protocol::{EvalRequest, EvalResponse, Shape};
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One queued request plus its response channel.
+pub struct Job {
+    pub positions: Vec<[f64; 3]>,
+    pub charges: Vec<f64>,
+    pub tx: mpsc::SyncSender<Result<EvalResponse, String>>,
+}
+
+struct ShapeQueue {
+    jobs: Vec<Job>,
+    /// When the currently-pending batch opened (first job's arrival).
+    opened: Instant,
+}
+
+struct State {
+    // det: a BTreeMap (Shape: Ord), so batch pick order under equal
+    // deadlines is the key order, never hash order.
+    queues: BTreeMap<Shape, ShapeQueue>,
+    shutdown: bool,
+}
+
+pub struct Batcher {
+    state: Mutex<State>,
+    cond: Condvar,
+    window: Duration,
+    max_batch: usize,
+}
+
+impl Batcher {
+    pub fn new(window: Duration, max_batch: usize) -> Self {
+        Batcher {
+            state: Mutex::new(State {
+                queues: BTreeMap::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            window,
+            max_batch: max_batch.max(1),
+        }
+    }
+
+    /// Enqueue a request; returns the receiver its result arrives on.
+    /// Returns `Err` with the request if the batcher is shutting down.
+    pub fn submit(
+        &self,
+        req: EvalRequest,
+    ) -> Result<mpsc::Receiver<Result<EvalResponse, String>>, String> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            positions: req.positions,
+            charges: req.charges,
+            tx,
+        };
+        let mut st = self.state.lock().unwrap();
+        if st.shutdown {
+            return Err("server is shutting down".into());
+        }
+        let q = st.queues.entry(req.shape).or_insert_with(|| ShapeQueue {
+            jobs: Vec::new(),
+            opened: Instant::now(),
+        });
+        if q.jobs.is_empty() {
+            q.opened = Instant::now();
+        }
+        q.jobs.push(job);
+        // Wake a worker: either to run a now-full batch or to arm the
+        // window timer for a fresh one.
+        self.cond.notify_all();
+        Ok(rx)
+    }
+
+    /// Total requests currently queued (all shapes).
+    pub fn queue_depth(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.queues.values().map(|q| q.jobs.len()).sum()
+    }
+
+    /// Block until a batch is ready and take it. Returns `None` once the
+    /// batcher is shut down *and* fully drained.
+    pub fn next_batch(&self) -> Option<(Shape, Vec<Job>)> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let now = Instant::now();
+            // Ready: full, window elapsed, or draining at shutdown.
+            let ready = st
+                .queues
+                .iter()
+                .find(|(_, q)| {
+                    !q.jobs.is_empty()
+                        && (st.shutdown
+                            || q.jobs.len() >= self.max_batch
+                            || now.duration_since(q.opened) >= self.window)
+                })
+                .map(|(s, _)| *s);
+            if let Some(shape) = ready {
+                let q = st.queues.get_mut(&shape).unwrap();
+                let take = q.jobs.len().min(self.max_batch);
+                let jobs: Vec<Job> = q.jobs.drain(..take).collect();
+                // Leftovers keep their original opening time, so they
+                // are immediately ready for the next worker.
+                return Some((shape, jobs));
+            }
+            if st.shutdown {
+                return None;
+            }
+            // Sleep until the earliest pending window closes (or forever
+            // if nothing is queued — a submit will notify).
+            let earliest = st
+                .queues
+                .values()
+                .filter(|q| !q.jobs.is_empty())
+                .map(|q| q.opened + self.window)
+                .min();
+            st = match earliest {
+                None => self.cond.wait(st).unwrap(),
+                Some(deadline) => {
+                    let timeout = deadline.saturating_duration_since(now);
+                    self.cond.wait_timeout(st, timeout).unwrap().0
+                }
+            };
+        }
+    }
+
+    /// Begin draining: no new submissions; queued batches close at once;
+    /// `next_batch` returns `None` once empty.
+    pub fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.shutdown = true;
+        self.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(depth: u32) -> Shape {
+        Shape {
+            order: 3,
+            depth,
+            separation: 2,
+            mixed: false,
+            forces: false,
+        }
+    }
+
+    fn request(depth: u32, n: usize) -> EvalRequest {
+        EvalRequest {
+            shape: shape(depth),
+            positions: vec![[0.5; 3]; n],
+            charges: vec![1.0; n],
+        }
+    }
+
+    #[test]
+    fn full_batch_closes_before_the_window() {
+        let b = Batcher::new(Duration::from_secs(3600), 4);
+        for _ in 0..4 {
+            b.submit(request(2, 1)).unwrap();
+        }
+        let t0 = Instant::now();
+        let (s, jobs) = b.next_batch().unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "did not wait the window"
+        );
+        assert_eq!(s, shape(2));
+        assert_eq!(jobs.len(), 4);
+    }
+
+    #[test]
+    fn window_closes_a_partial_batch() {
+        let b = Batcher::new(Duration::from_millis(20), 1000);
+        b.submit(request(2, 1)).unwrap();
+        b.submit(request(2, 1)).unwrap();
+        let (_, jobs) = b.next_batch().unwrap();
+        assert_eq!(jobs.len(), 2);
+    }
+
+    #[test]
+    fn shapes_do_not_mix_and_overflow_stays_queued() {
+        let b = Batcher::new(Duration::from_millis(5), 3);
+        for _ in 0..4 {
+            b.submit(request(2, 1)).unwrap();
+        }
+        b.submit(request(3, 1)).unwrap();
+        let (s1, j1) = b.next_batch().unwrap();
+        assert_eq!((s1.depth, j1.len()), (2, 3));
+        // The overflow job and the depth-3 job drain as separate batches.
+        let mut rest: Vec<(u32, usize)> = (0..2)
+            .map(|_| {
+                let (s, j) = b.next_batch().unwrap();
+                (s.depth, j.len())
+            })
+            .collect();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![(2, 1), (3, 1)]);
+    }
+
+    #[test]
+    fn shutdown_drains_and_terminates() {
+        let b = Batcher::new(Duration::from_secs(3600), 1000);
+        b.submit(request(2, 1)).unwrap();
+        b.shutdown();
+        assert!(b.submit(request(2, 1)).is_err());
+        let (_, jobs) = b.next_batch().unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert!(b.next_batch().is_none());
+    }
+}

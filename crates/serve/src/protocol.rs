@@ -1,0 +1,326 @@
+//! Wire protocol shared by both front doors.
+//!
+//! The binary protocol is length-prefixed frames over TCP:
+//!
+//! ```text
+//! magic  "FMM1"          (4 bytes, once per connection, client → server)
+//! frame  u32 LE length | payload               (both directions)
+//! ```
+//!
+//! A request payload is `opcode (u8)` followed by opcode-specific data;
+//! a response payload is `status (u8)` — 0 = ok, 1 = error — followed by
+//! the result (ok) or a UTF-8 message (error). All integers are
+//! little-endian; all reals are `f64` LE bit patterns, so a round-trip
+//! is bitwise by construction.
+//!
+//! `Evaluate` request data:
+//!
+//! ```text
+//! flags (u8: bit0 = forces, bit1 = mixed precision)
+//! separation (u8: 1 | 2) · order (u16) · depth (u32) · n (u32)
+//! positions: 3·n f64 · charges: n f64
+//! ```
+//!
+//! `Evaluate` ok-response data: `n (u32)`, `n` potentials, then (iff
+//! forces) `3·n` field components. `Info` and `Metrics` ok-responses
+//! carry UTF-8 text (JSON and Prometheus-style respectively); `Shutdown`
+//! acknowledges with an empty ok before the server begins draining.
+
+use std::io::{self, Read, Write};
+
+/// Connection preamble identifying the binary protocol (HTTP requests
+/// never start with these bytes).
+pub const MAGIC: [u8; 4] = *b"FMM1";
+
+/// Largest accepted frame (64 MiB): bounds a single request at ~2.7M
+/// particles and keeps a malformed length prefix from looking like an
+/// allocation request.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Opcode {
+    Evaluate = 1,
+    Info = 2,
+    Metrics = 3,
+    Shutdown = 4,
+}
+
+impl Opcode {
+    pub fn from_u8(x: u8) -> Option<Opcode> {
+        match x {
+            1 => Some(Opcode::Evaluate),
+            2 => Some(Opcode::Info),
+            3 => Some(Opcode::Metrics),
+            4 => Some(Opcode::Shutdown),
+            _ => None,
+        }
+    }
+}
+
+/// The evaluation parameters every request carries; requests whose shapes
+/// agree are coalescable (they resolve to the same `Fmm` instance and
+/// plan key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Shape {
+    pub order: u16,
+    pub depth: u32,
+    /// Well-separateness d ∈ {1, 2}.
+    pub separation: u8,
+    /// Mixed-precision near field.
+    pub mixed: bool,
+    /// Forces (potentials + fields) rather than potentials only.
+    pub forces: bool,
+}
+
+/// One parsed evaluation request.
+#[derive(Debug, Clone)]
+pub struct EvalRequest {
+    pub shape: Shape,
+    pub positions: Vec<[f64; 3]>,
+    pub charges: Vec<f64>,
+}
+
+/// One evaluation result (request particle order).
+#[derive(Debug, Clone)]
+pub struct EvalResponse {
+    pub potentials: Vec<f64>,
+    pub fields: Option<Vec<[f64; 3]>>,
+    /// How many requests shared the batch this one rode in (≥ 1).
+    pub batch_size: usize,
+}
+
+/// Read one length-prefixed frame payload.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds the {} byte cap", len, MAX_FRAME),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Encode an `Evaluate` request payload (opcode byte included).
+pub fn encode_evaluate(req: &EvalRequest) -> Vec<u8> {
+    let n = req.positions.len();
+    let mut out = Vec::with_capacity(13 + 8 * (3 * n + n));
+    out.push(Opcode::Evaluate as u8);
+    let mut flags = 0u8;
+    if req.shape.forces {
+        flags |= 1;
+    }
+    if req.shape.mixed {
+        flags |= 2;
+    }
+    out.push(flags);
+    out.push(req.shape.separation);
+    out.extend_from_slice(&req.shape.order.to_le_bytes());
+    out.extend_from_slice(&req.shape.depth.to_le_bytes());
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    for p in &req.positions {
+        for c in p {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+    }
+    for q in &req.charges {
+        out.extend_from_slice(&q.to_le_bytes());
+    }
+    out
+}
+
+fn take<'a>(b: &mut &'a [u8], n: usize) -> Result<&'a [u8], String> {
+    if b.len() < n {
+        return Err(format!(
+            "truncated payload: wanted {} bytes, had {}",
+            n,
+            b.len()
+        ));
+    }
+    let (head, tail) = b.split_at(n);
+    *b = tail;
+    Ok(head)
+}
+
+fn take_f64s(b: &mut &[u8], n: usize) -> Result<Vec<f64>, String> {
+    let raw = take(b, 8 * n)?;
+    Ok(raw
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+        .collect())
+}
+
+/// Decode an `Evaluate` request payload (after the opcode byte).
+pub fn decode_evaluate(mut b: &[u8]) -> Result<EvalRequest, String> {
+    let head = take(&mut b, 12)?;
+    let flags = head[0];
+    let separation = head[1];
+    let order = u16::from_le_bytes(head[2..4].try_into().unwrap());
+    let depth = u32::from_le_bytes(head[4..8].try_into().unwrap());
+    let n = u32::from_le_bytes(head[8..12].try_into().unwrap()) as usize;
+    let pos_flat = take_f64s(&mut b, 3 * n)?;
+    let charges = take_f64s(&mut b, n)?;
+    if !b.is_empty() {
+        return Err(format!("{} trailing bytes after evaluate payload", b.len()));
+    }
+    let positions = pos_flat
+        .chunks_exact(3)
+        .map(|c| [c[0], c[1], c[2]])
+        .collect();
+    Ok(EvalRequest {
+        shape: Shape {
+            order,
+            depth,
+            separation,
+            mixed: flags & 2 != 0,
+            forces: flags & 1 != 0,
+        },
+        positions,
+        charges,
+    })
+}
+
+/// Encode an ok response for `Evaluate`.
+pub fn encode_eval_response(resp: &EvalResponse) -> Vec<u8> {
+    let n = resp.potentials.len();
+    let mut out = Vec::with_capacity(9 + 8 * n);
+    out.push(0u8); // status ok
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(resp.batch_size as u32).to_le_bytes());
+    for p in &resp.potentials {
+        out.extend_from_slice(&p.to_le_bytes());
+    }
+    if let Some(f) = &resp.fields {
+        for row in f {
+            for c in row {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Decode an `Evaluate` response payload. `forces` must match the request.
+pub fn decode_eval_response(mut b: &[u8], forces: bool) -> Result<EvalResponse, String> {
+    let status = take(&mut b, 1)?[0];
+    if status != 0 {
+        return Err(String::from_utf8_lossy(b).into_owned());
+    }
+    let head = take(&mut b, 8)?;
+    let n = u32::from_le_bytes(head[0..4].try_into().unwrap()) as usize;
+    let batch_size = u32::from_le_bytes(head[4..8].try_into().unwrap()) as usize;
+    let potentials = take_f64s(&mut b, n)?;
+    let fields = if forces {
+        let flat = take_f64s(&mut b, 3 * n)?;
+        Some(flat.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect())
+    } else {
+        None
+    };
+    if !b.is_empty() {
+        return Err(format!("{} trailing bytes after response", b.len()));
+    }
+    Ok(EvalResponse {
+        potentials,
+        fields,
+        batch_size,
+    })
+}
+
+/// Encode an error response.
+pub fn encode_error(msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + msg.len());
+    out.push(1u8);
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Encode an ok response carrying UTF-8 text (`Info` / `Metrics`).
+pub fn encode_text(text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + text.len());
+    out.push(0u8);
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// Decode a text response (`Info` / `Metrics` / `Shutdown` ack).
+pub fn decode_text(mut b: &[u8]) -> Result<String, String> {
+    let status = take(&mut b, 1)?[0];
+    let text = String::from_utf8_lossy(b).into_owned();
+    if status != 0 {
+        return Err(text);
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_request_round_trips_bitwise() {
+        let req = EvalRequest {
+            shape: Shape {
+                order: 5,
+                depth: 2,
+                separation: 2,
+                mixed: false,
+                forces: true,
+            },
+            positions: vec![[0.1, 0.2, 0.3], [1.0 / 3.0, -0.0, 1e-200]],
+            charges: vec![1.0, -2.5],
+        };
+        let enc = encode_evaluate(&req);
+        assert_eq!(enc[0], Opcode::Evaluate as u8);
+        let dec = decode_evaluate(&enc[1..]).unwrap();
+        assert_eq!(dec.shape, req.shape);
+        for (a, b) in dec.positions.iter().zip(&req.positions) {
+            for d in 0..3 {
+                assert_eq!(a[d].to_bits(), b[d].to_bits());
+            }
+        }
+        for (a, b) in dec.charges.iter().zip(&req.charges) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn eval_response_round_trips() {
+        let resp = EvalResponse {
+            potentials: vec![1.5, -2.25, 1.0 / 7.0],
+            fields: Some(vec![[1.0, 2.0, 3.0]; 3]),
+            batch_size: 17,
+        };
+        let dec = decode_eval_response(&encode_eval_response(&resp), true).unwrap();
+        assert_eq!(dec.batch_size, 17);
+        for (a, b) in dec.potentials.iter().zip(&resp.potentials) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(dec.fields.unwrap().len(), 3);
+    }
+
+    #[test]
+    fn error_and_text_paths() {
+        assert_eq!(
+            decode_text(&encode_error("boom")).unwrap_err(),
+            "boom".to_string()
+        );
+        assert_eq!(decode_text(&encode_text("ok")).unwrap(), "ok");
+    }
+
+    #[test]
+    fn frame_cap_is_enforced() {
+        let mut buf: &[u8] = &(MAX_FRAME + 1).to_le_bytes();
+        assert!(read_frame(&mut buf).is_err());
+    }
+}

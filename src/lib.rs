@@ -18,7 +18,9 @@
 //!   (`Executor::Spmd(p)`: worker threads as VUs, explicit channels,
 //!   measured per-phase data motion),
 //! * [`fmm_direct`] / [`fmm_bh`] — O(N²) and Barnes–Hut baselines,
-//! * [`fmm2d`] — the two-dimensional (log-kernel) variant of the method.
+//! * [`fmm2d`] — the two-dimensional (log-kernel) variant of the method,
+//! * [`fmm_serve`] — a batched, multi-tenant evaluation service
+//!   (coalescing batcher + shared [`PlanRegistry`]).
 //!
 //! See `examples/quickstart.rs` for a five-line end-to-end use.
 
@@ -28,9 +30,11 @@ pub use fmm_core;
 pub use fmm_direct;
 pub use fmm_linalg;
 pub use fmm_machine;
+pub use fmm_serve;
 pub use fmm_sphere;
 pub use fmm_spmd;
 pub use fmm_tree;
 
+pub use fmm_core::{BatchOutput, BatchRequest, PlanKey, PlanRegistry, RegistryStats};
 pub use fmm_core::{DepthPolicy, EvalOutput, Executor, Fmm, FmmConfig, FmmError, Precision};
 pub use fmm_linalg::Kernel;
