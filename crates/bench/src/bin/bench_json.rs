@@ -373,60 +373,16 @@ fn bench_spmd(seeded: bool) -> String {
     root.finish()
 }
 
-/// All numeric values of `"key":<number>` occurrences, in document order.
-/// Enough of a parser for the JSON this binary writes itself.
-fn extract_numbers(json: &str, key: &str) -> Vec<f64> {
-    let needle = format!("\"{}\":", key);
-    let mut out = Vec::new();
-    let mut rest = json;
-    while let Some(pos) = rest.find(&needle) {
-        rest = &rest[pos + needle.len()..];
-        let end = rest
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
-            .unwrap_or(rest.len());
-        if let Ok(v) = rest[..end].parse::<f64>() {
-            out.push(v);
-        }
-    }
-    out
-}
-
-/// Compare throughput metrics of a fresh run against the committed
-/// baseline. A metric regresses when it falls more than `tolerance`
-/// (fraction; default 0.15, overridable via `FMM_BENCH_TOLERANCE`) below
-/// the baseline. Keys absent from either file are skipped, so the gate
-/// survives schema growth and host-dependent kernel sets.
-fn check_regressions(old: &str, new: &str, tolerance: f64) -> Vec<String> {
-    // Higher-is-better rates only; wall-clock times are not gated.
-    let rate_keys = [
-        "scalar_gflops",
-        "avx2_fma_gflops",
-        "avx512_gflops",
-        "neon_gflops",
-        "target_centric_minteractions_per_s",
-        "colored_symmetric_minteractions_per_s",
-        "f32_minteractions_per_s",
-    ];
-    let mut failures = Vec::new();
-    for key in rate_keys {
-        let old_vals = extract_numbers(old, key);
-        let new_vals = extract_numbers(new, key);
-        for (i, (o, n)) in old_vals.iter().zip(&new_vals).enumerate() {
-            if *n < o * (1.0 - tolerance) {
-                failures.push(format!(
-                    "{}[{}]: {:.2} vs baseline {:.2} ({:+.1}%, tolerance -{:.0}%)",
-                    key,
-                    i,
-                    n,
-                    o,
-                    (n / o - 1.0) * 100.0,
-                    tolerance * 100.0
-                ));
-            }
-        }
-    }
-    failures
-}
+/// Higher-is-better rates only; wall-clock times are not gated.
+const RATE_KEYS: [&str; 7] = [
+    "scalar_gflops",
+    "avx2_fma_gflops",
+    "avx512_gflops",
+    "neon_gflops",
+    "target_centric_minteractions_per_s",
+    "colored_symmetric_minteractions_per_s",
+    "f32_minteractions_per_s",
+];
 
 fn kernels_report() -> (String, f64) {
     let (gemm, speedup_k72) = bench_gemm();
@@ -453,12 +409,9 @@ fn main() {
         // CI shared runners need a loose one.
         let old = std::fs::read_to_string("BENCH_kernels.json")
             .expect("--check needs a committed BENCH_kernels.json baseline");
-        let tolerance = std::env::var("FMM_BENCH_TOLERANCE")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .unwrap_or(0.15);
+        let tolerance = fmm_bench::util::bench_tolerance(0.15);
         let (new, _) = kernels_report();
-        let failures = check_regressions(&old, &new, tolerance);
+        let failures = fmm_bench::util::check_regressions(&old, &new, &RATE_KEYS, tolerance);
         if failures.is_empty() {
             println!(
                 "\nbench --check: no regressions beyond {:.0}%",

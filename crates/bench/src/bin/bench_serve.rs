@@ -15,11 +15,20 @@
 //!
 //! JSON is written by hand — the harness has no serde dependency.
 //!
-//! Run: `cargo run --release -p fmm-bench --bin bench_serve`
+//! Run: `cargo run --release -p fmm-bench --bin bench_serve [--check]`
 //!
 //! Exits non-zero if any served/batched potential differs bitwise from
 //! solo evaluation, if the batch needs more than one plan build, or if
 //! the coalesced batch fails the 3x requests/sec acceptance bar.
+//!
+//! `--check` is the perf-regression gate (the `bench_json --check`
+//! counterpart for the service layer): re-measures the requests/sec
+//! rates and fails (exit 1) if any drops more than 15% below the
+//! committed `BENCH_serve.json`, without overwriting it. Override the
+//! threshold with `FMM_BENCH_TOLERANCE=<fraction>` — CI shared runners
+//! use 0.5. The bitwise-identity and single-plan-build invariants stay
+//! enforced in `--check` mode too; only the 3x speedup bar is relaxed to
+//! the relative gate (absolute speedup depends on host core count).
 
 use fmm_bench::util::best_of;
 use fmm_core::{BatchRequest, Fmm, FmmConfig};
@@ -221,7 +230,17 @@ fn bench_service(clients: usize, rounds: usize, n_per: usize) -> String {
     o.finish()
 }
 
+/// Higher-is-better rates gated by `--check`; wall-clock-free invariants
+/// (bitwise identity, single plan build) are enforced unconditionally.
+const RATE_KEYS: [&str; 3] = [
+    "serial_requests_per_s",
+    "batched_requests_per_s",
+    "requests_per_s",
+];
+
 fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+
     // The acceptance shape: 64 small same-shape requests.
     let accept = bench_batch(5, 2, 64, 64);
     let deep = bench_batch(5, 3, 64, 128);
@@ -243,8 +262,7 @@ fn main() {
         format_args!("[{},{}]", accept.json, deep.json),
     );
     root.field("service", service);
-    std::fs::write("BENCH_serve.json", root.finish() + "\n").expect("write BENCH_serve.json");
-    println!("wrote BENCH_serve.json");
+    let report = root.finish() + "\n";
 
     if !accept.bitwise || !deep.bitwise {
         eprintln!("FAIL: batched potentials are not bitwise identical to solo evaluation");
@@ -254,6 +272,33 @@ fn main() {
         eprintln!("FAIL: a coalesced batch must build exactly one plan");
         std::process::exit(1);
     }
+
+    if check {
+        // Perf-regression gate: compare against the committed baseline
+        // without overwriting it.
+        let old = std::fs::read_to_string("BENCH_serve.json")
+            .expect("--check needs a committed BENCH_serve.json baseline");
+        let tolerance = fmm_bench::util::bench_tolerance(0.15);
+        let failures = fmm_bench::util::check_regressions(&old, &report, &RATE_KEYS, tolerance);
+        if failures.is_empty() {
+            println!(
+                "\nbench_serve --check: no regressions beyond {:.0}%",
+                tolerance * 100.0
+            );
+        } else {
+            eprintln!("\nbench_serve --check: throughput regressions detected:");
+            for f in &failures {
+                eprintln!("  {}", f);
+            }
+            eprintln!("(override with FMM_BENCH_TOLERANCE=<fraction>, e.g. 0.5)");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    std::fs::write("BENCH_serve.json", report).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
+
     if accept.speedup < 3.0 {
         eprintln!(
             "FAIL: coalesced batch speedup {:.2}x is below the 3x acceptance bar",

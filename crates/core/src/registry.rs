@@ -20,10 +20,11 @@
 use crate::config::{Executor, Precision};
 use crate::plan::TraversalPlan;
 use fmm_linalg::Kernel;
+use fmm_sync::atomic::{AtomicU64, Ordering};
+use fmm_sync::RwLock;
 use fmm_tree::Separation;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, OnceLock};
 
 /// Everything a cached plan is keyed by. `depth`, `separation` and
 /// `kernel` determine the plan's contents; `k` (sphere-rule size),
@@ -121,6 +122,25 @@ impl PlanRegistry {
     /// The plan for `key`, built (and admitted) on first use. Hits take
     /// the shared lock only.
     pub fn get_or_build(&self, key: PlanKey) -> Arc<TraversalPlan> {
+        self.get_or_build_with(key, || {
+            Arc::new(TraversalPlan::build_with(
+                key.depth,
+                key.separation,
+                key.kernel,
+            ))
+        })
+    }
+
+    /// [`Self::get_or_build`] with a caller-supplied constructor: the
+    /// seam that lets the fmm-check interleaving models and the
+    /// Miri/TSan stress tests exercise the full locking protocol
+    /// (read-path hit, double-checked write-path build, LRU eviction)
+    /// without paying for real plan builds on every explored schedule.
+    pub fn get_or_build_with(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> Arc<TraversalPlan>,
+    ) -> Arc<TraversalPlan> {
         {
             let map = self.map.read().unwrap();
             if let Some(e) = map.get(&key) {
@@ -141,11 +161,7 @@ impl PlanRegistry {
         // Build inside the exclusive section so a key is built exactly
         // once (plan builds are milliseconds; a herd re-building the same
         // plan would cost more than the serialization does).
-        let plan = Arc::new(TraversalPlan::build_with(
-            key.depth,
-            key.separation,
-            key.kernel,
-        ));
+        let plan = build();
         self.builds.fetch_add(1, Ordering::Relaxed);
         map.insert(
             key,
@@ -258,5 +274,65 @@ mod tests {
         mixed.precision = Precision::Mixed;
         r.get_or_build(mixed);
         assert_eq!(r.stats().plan_builds, 2);
+    }
+
+    // The `concurrent_*` tests below use `get_or_build_with` with a
+    // cheap constructor (cloning one prebuilt plan) so they stay fast
+    // enough for Miri and ThreadSanitizer, which run them in CI.
+
+    #[test]
+    fn concurrent_get_or_build_with_builds_once() {
+        let proto = Arc::new(TraversalPlan::build_with(
+            2,
+            Separation::Two,
+            Kernel::Scalar,
+        ));
+        let r = Arc::new(PlanRegistry::new(4));
+        let invocations = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (r, proto, invocations) = (r.clone(), proto.clone(), invocations.clone());
+                std::thread::spawn(move || {
+                    let p = r.get_or_build_with(key(2), || {
+                        invocations.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                        proto.clone()
+                    });
+                    assert!(Arc::ptr_eq(&p, &proto));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(invocations.load(std::sync::atomic::Ordering::SeqCst), 1);
+        let s = r.stats();
+        assert_eq!((s.plan_builds, s.plan_hits, s.entries), (1, 3, 1));
+    }
+
+    #[test]
+    fn concurrent_distinct_keys_build_each_once() {
+        let proto = Arc::new(TraversalPlan::build_with(
+            2,
+            Separation::Two,
+            Kernel::Scalar,
+        ));
+        let r = Arc::new(PlanRegistry::new(8));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let (r, proto) = (r.clone(), proto.clone());
+                std::thread::spawn(move || {
+                    for depth in 2..5 {
+                        let _ = r.get_or_build_with(key(depth), || proto.clone());
+                    }
+                    i
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = r.stats();
+        assert_eq!(s.plan_builds, 3, "one build per distinct key");
+        assert_eq!(s.plan_hits, 4 * 3 - 3);
     }
 }

@@ -9,17 +9,20 @@
 //! and is immediately ready. During shutdown every pending batch closes
 //! at once, so no request is dropped.
 //!
-//! Plain std concurrency: a `Mutex` over a `BTreeMap` of per-shape
-//! queues plus one `Condvar`; executor workers block in
-//! [`Batcher::next_batch`] with a deadline-aware timed wait. Each
-//! submitted job carries a oneshot (an `mpsc` channel of capacity one)
-//! on which the executor delivers the result.
+//! Plain mutex-and-condvar concurrency — via the `fmm_sync` facade, so
+//! the identical code path runs under `std::sync` in production and
+//! under the fmm-check model scheduler during verification: a `Mutex`
+//! over a `BTreeMap` of per-shape queues plus one `Condvar`; executor
+//! workers block in [`Batcher::next_batch`] with a deadline-aware timed
+//! wait. Each submitted job carries a oneshot (an `mpsc` channel of
+//! capacity one) on which the executor delivers the result.
 
 use crate::protocol::{EvalRequest, EvalResponse, Shape};
+use fmm_sync::mpsc;
+use fmm_sync::time::Instant;
+use fmm_sync::{Condvar, Mutex};
 use std::collections::BTreeMap;
-use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One queued request plus its response channel.
 pub struct Job {
@@ -95,6 +98,20 @@ impl Batcher {
     pub fn queue_depth(&self) -> usize {
         let st = self.state.lock().unwrap();
         st.queues.values().map(|q| q.jobs.len()).sum()
+    }
+
+    /// When the pending batch for `shape` will close if no further
+    /// traffic arrives (its opening instant plus the window), or `None`
+    /// when nothing is queued for that shape. Introspection for tests
+    /// and the fmm-check models: "overflow keeps its opening tick" is
+    /// asserted against this value — a batcher that reset `opened` on
+    /// drain would report a strictly later deadline for the leftovers.
+    pub fn pending_deadline(&self, shape: &Shape) -> Option<Instant> {
+        let st = self.state.lock().unwrap();
+        st.queues
+            .get(shape)
+            .filter(|q| !q.jobs.is_empty())
+            .map(|q| q.opened + self.window)
     }
 
     /// Block until a batch is ready and take it. Returns `None` once the

@@ -7,8 +7,9 @@ use crate::batcher::Job;
 use crate::metrics::Metrics;
 use crate::protocol::{EvalResponse, Shape};
 use fmm_core::{BatchRequest, Fmm, FmmConfig, PlanRegistry, Precision, Separation};
+use fmm_sync::RwLock;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Depth bound on requests: deeper hierarchies than this are almost
 /// certainly hostile (8^9 boxes) rather than useful.
@@ -133,7 +134,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc;
+    use fmm_sync::mpsc;
 
     fn shape() -> Shape {
         Shape {

@@ -28,6 +28,7 @@ pub mod batcher;
 pub mod engine;
 pub mod http;
 pub mod json;
+pub mod lifecycle;
 pub mod metrics;
 pub mod protocol;
 pub mod server;

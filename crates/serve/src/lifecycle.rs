@@ -1,0 +1,277 @@
+//! The serve request lifecycle as a typed state machine.
+//!
+//! Every evaluation request walks the same path through the server:
+//! its connection is **accept**ed, a **frame** is read (binary frame or
+//! HTTP request), the decoded job is **enqueue**d into the batcher, a
+//! worker **batch**es it, and exactly one terminal is reached — a
+//! **reply** carrying the result (or a diagnostic for a malformed
+//! frame), or the **drain** terminal when shutdown rejects the request
+//! before it is queued. This module lifts that path out of the handler
+//! control flow into data: [`Lifecycle`] is the transition relation
+//! itself, and [`Tracker`] is a runtime witness the handlers drive, so
+//! a handler that strays from the machine panics at the exact illegal
+//! step instead of silently inventing a new path.
+//!
+//! The machine is what `fmm-verify` analyzes statically (its
+//! `lifecycle-progress` and `no-reply-after-shutdown` passes walk
+//! [`Lifecycle::serve`]), and what the handlers follow dynamically (the
+//! [`Tracker`] only permits transitions the machine contains). The two
+//! views pin each other: the passes prove the machine is sound, the
+//! tracker proves the code implements the machine.
+//!
+//! Transitions taken only while shutdown is in effect carry a
+//! `during_shutdown` tag. The drain guarantee — a job accepted by
+//! [`crate::Batcher::submit`] is *always* completed, even across
+//! shutdown — is deliberately not re-modelled here; it is the
+//! `shutdown-drains-all-jobs` property fmm-check proves over every
+//! interleaving. Here it shows up as the absence of shutdown-tagged
+//! edges out of `Enqueue`/`Batch` on the happy path.
+
+/// One request's position in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum State {
+    /// Connection accepted, no frame read yet.
+    Accept,
+    /// A raw frame (or HTTP request) is in hand.
+    Frame,
+    /// The decoded job sits in the batcher queue.
+    Enqueue,
+    /// A worker has coalesced the job into a running batch.
+    Batch,
+    /// Terminal: a response was written (result, or a diagnostic for a
+    /// malformed/invalid frame).
+    Reply,
+    /// Terminal: the request ended on the shutdown path — rejected
+    /// before queueing, or its connection wound down with the server.
+    Drain,
+}
+
+impl State {
+    pub const ALL: [State; 6] = [
+        State::Accept,
+        State::Frame,
+        State::Enqueue,
+        State::Batch,
+        State::Reply,
+        State::Drain,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            State::Accept => "accept",
+            State::Frame => "frame",
+            State::Enqueue => "enqueue",
+            State::Batch => "batch",
+            State::Reply => "reply",
+            State::Drain => "drain",
+        }
+    }
+
+    /// Terminal states have no outgoing transitions: reaching one ends
+    /// the request, and a request reaches exactly one.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, State::Reply | State::Drain)
+    }
+}
+
+/// One edge of the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    pub from: State,
+    pub to: State,
+    /// What the server does on this edge (diagnostics and reports).
+    pub label: &'static str,
+    /// Taken only once shutdown has been observed. The
+    /// `no-reply-after-shutdown` pass requires every tagged edge to end
+    /// in [`State::Drain`].
+    pub during_shutdown: bool,
+}
+
+/// A request-lifecycle state machine: the transition relation plus the
+/// fixed start state [`State::Accept`].
+#[derive(Debug, Clone)]
+pub struct Lifecycle {
+    transitions: Vec<Transition>,
+}
+
+impl Lifecycle {
+    /// The machine the production handlers implement.
+    pub fn serve() -> Lifecycle {
+        let t = |from, to, label, during_shutdown| Transition {
+            from,
+            to,
+            label,
+            during_shutdown,
+        };
+        Lifecycle {
+            transitions: vec![
+                t(State::Accept, State::Frame, "read-frame", false),
+                t(State::Accept, State::Drain, "listener-closed", true),
+                t(State::Frame, State::Reply, "error-reply", false),
+                t(State::Frame, State::Enqueue, "submit-accepted", false),
+                t(State::Frame, State::Drain, "rejected-shutting-down", true),
+                t(State::Enqueue, State::Batch, "coalesced", false),
+                // Defensive edge: an executor lost mid-flight abandons
+                // the job. fmm-check's shutdown-drains model proves the
+                // protocol never takes it; the handler keeps it so a
+                // violated drain guarantee is a tracked Drain, not an
+                // untracked code path.
+                t(State::Enqueue, State::Drain, "executor-lost", true),
+                t(State::Batch, State::Reply, "result-delivered", false),
+            ],
+        }
+    }
+
+    /// `self` plus one extra edge — the seam `fmm-verify --mutate
+    /// reply-after-shutdown` uses to prove its passes reject a machine
+    /// that answers on the shutdown path.
+    pub fn with_edge(
+        mut self,
+        from: State,
+        to: State,
+        label: &'static str,
+        during_shutdown: bool,
+    ) -> Lifecycle {
+        self.transitions.push(Transition {
+            from,
+            to,
+            label,
+            during_shutdown,
+        });
+        self
+    }
+
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// The edge `from → to`, if the machine contains one.
+    pub fn edge(&self, from: State, to: State) -> Option<&Transition> {
+        self.transitions
+            .iter()
+            .find(|t| t.from == from && t.to == to)
+    }
+
+    /// Start a runtime witness at [`State::Accept`].
+    pub fn track(&self) -> Tracker<'_> {
+        Tracker {
+            machine: self,
+            state: State::Accept,
+        }
+    }
+}
+
+/// The machine the handlers witness against (built once).
+pub fn serve_machine() -> &'static Lifecycle {
+    static MACHINE: std::sync::OnceLock<Lifecycle> = std::sync::OnceLock::new();
+    MACHINE.get_or_init(Lifecycle::serve)
+}
+
+/// A runtime witness: one request's walk through a [`Lifecycle`].
+/// Every step is checked against the machine; an illegal step panics
+/// with the attempted edge, which turns "handler drifted from the
+/// documented lifecycle" from a review finding into a test failure.
+#[derive(Debug)]
+pub struct Tracker<'a> {
+    machine: &'a Lifecycle,
+    state: State,
+}
+
+impl Tracker<'_> {
+    /// Take the edge to `to`. Panics if the machine has no such edge.
+    pub fn advance(&mut self, to: State) {
+        match self.machine.edge(self.state, to) {
+            Some(_) => self.state = to,
+            None => panic!(
+                "lifecycle violation: no transition {} -> {} in the serve machine",
+                self.state.name(),
+                to.name()
+            ),
+        }
+    }
+
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    pub fn finished(&self) -> bool {
+        self.state.is_terminal()
+    }
+
+    /// Assert the walk ended (used by handlers after writing the
+    /// response): exactly one terminal, no request left mid-machine.
+    pub fn finish(&self) {
+        assert!(
+            self.finished(),
+            "lifecycle violation: request ended in non-terminal state {}",
+            self.state.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_walks_to_reply() {
+        let m = Lifecycle::serve();
+        let mut t = m.track();
+        for s in [State::Frame, State::Enqueue, State::Batch, State::Reply] {
+            t.advance(s);
+        }
+        t.finish();
+    }
+
+    #[test]
+    fn shutdown_reject_walks_to_drain() {
+        let m = Lifecycle::serve();
+        let mut t = m.track();
+        t.advance(State::Frame);
+        t.advance(State::Drain);
+        t.finish();
+    }
+
+    #[test]
+    fn error_reply_is_terminal_from_frame() {
+        let m = Lifecycle::serve();
+        let mut t = m.track();
+        t.advance(State::Frame);
+        t.advance(State::Reply);
+        t.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "no transition accept -> batch")]
+    fn skipping_states_panics() {
+        let m = Lifecycle::serve();
+        let mut t = m.track();
+        t.advance(State::Batch);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-terminal state enqueue")]
+    fn finishing_mid_machine_panics() {
+        let m = Lifecycle::serve();
+        let mut t = m.track();
+        t.advance(State::Frame);
+        t.advance(State::Enqueue);
+        t.finish();
+    }
+
+    #[test]
+    fn every_shutdown_edge_targets_drain() {
+        for t in Lifecycle::serve().transitions() {
+            if t.during_shutdown {
+                assert_eq!(t.to, State::Drain, "{} -> {}", t.from.name(), t.to.name());
+            }
+        }
+    }
+
+    #[test]
+    fn terminals_have_no_outgoing_edges() {
+        for t in Lifecycle::serve().transitions() {
+            assert!(!t.from.is_terminal());
+        }
+    }
+}

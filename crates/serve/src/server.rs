@@ -14,14 +14,17 @@ use crate::batcher::Batcher;
 use crate::engine::Engine;
 use crate::http;
 use crate::json::{self, Value};
+use crate::lifecycle::{self, State, Tracker};
 use crate::metrics::Metrics;
 use crate::protocol::{self, Opcode};
+use fmm_sync::atomic::{AtomicBool, Ordering};
+use fmm_sync::mpsc;
+use fmm_sync::thread::JoinHandle;
+use fmm_sync::Mutex;
 use std::collections::BTreeMap;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Server configuration.
@@ -106,7 +109,7 @@ impl Server {
             let eng = Arc::clone(&engine);
             let bat = Arc::clone(&batcher);
             threads.push(
-                std::thread::Builder::new()
+                fmm_sync::thread::Builder::new()
                     .name(format!("fmm-exec-{i}"))
                     .spawn(move || {
                         while let Some((shape, jobs)) = bat.next_batch() {
@@ -126,7 +129,7 @@ impl Server {
             let sd = Arc::clone(&shutdown);
             let read_timeout = cfg.read_timeout;
             threads.push(
-                std::thread::Builder::new()
+                fmm_sync::thread::Builder::new()
                     .name(format!("fmm-conn-{i}"))
                     .spawn(move || loop {
                         // Hold the lock only for the recv, not the handling.
@@ -148,7 +151,7 @@ impl Server {
             let sd = Arc::clone(&shutdown);
             let eng = Arc::clone(&engine);
             threads.push(
-                std::thread::Builder::new()
+                fmm_sync::thread::Builder::new()
                     .name("fmm-accept".into())
                     .spawn(move || {
                         for stream in listener.incoming() {
@@ -216,11 +219,16 @@ fn handle_connection(
     }
 }
 
-/// Submit an evaluation and wait for its result.
+/// Submit an evaluation and wait for its result, driving the caller's
+/// lifecycle witness (at [`State::Frame`] on entry). Validation errors
+/// leave the witness at `Frame` — the caller's error reply takes the
+/// `error-reply` edge; the shutdown and executor-lost exits advance to
+/// [`State::Drain`] here, where the distinction is visible.
 fn evaluate(
     engine: &Arc<Engine>,
     batcher: &Arc<Batcher>,
     req: protocol::EvalRequest,
+    lc: &mut Tracker<'_>,
 ) -> Result<protocol::EvalResponse, String> {
     let m = &engine.metrics;
     Metrics::inc(&m.requests_total);
@@ -236,14 +244,37 @@ fn evaluate(
         Metrics::inc(&m.errors_total);
         return Err("no particles".into());
     }
-    let rx = batcher
-        .submit(req)
-        .inspect_err(|_| Metrics::inc(&m.errors_total))?;
+    let rx = match batcher.submit(req) {
+        Ok(rx) => rx,
+        Err(e) => {
+            Metrics::inc(&m.errors_total);
+            lc.advance(State::Drain);
+            return Err(e);
+        }
+    };
+    lc.advance(State::Enqueue);
     Metrics::max(&m.queue_depth_peak, batcher.queue_depth() as u64);
     match rx.recv() {
-        Ok(r) => r,
-        Err(_) => Err("executor dropped the request".into()),
+        Ok(r) => {
+            lc.advance(State::Batch);
+            r
+        }
+        Err(_) => {
+            lc.advance(State::Drain);
+            Err("executor dropped the request".into())
+        }
     }
+}
+
+/// Close a request's lifecycle walk after its response went out: any
+/// walk still mid-machine took a reply edge (`error-reply` from
+/// `Frame`, `result-delivered` from `Batch`); drain exits already sit
+/// on their terminal.
+fn finish_replied(mut lc: Tracker<'_>) {
+    if !lc.finished() {
+        lc.advance(State::Reply);
+    }
+    lc.finish();
 }
 
 /// The `/info` document.
@@ -302,8 +333,10 @@ fn handle_binary(
         match Opcode::from_u8(payload[0]) {
             Some(Opcode::Evaluate) => {
                 Metrics::inc(&engine.metrics.binary_requests_total);
+                let mut lc = lifecycle::serve_machine().track();
+                lc.advance(State::Frame);
                 let resp = match protocol::decode_evaluate(&payload[1..]) {
-                    Ok(req) => evaluate(engine, batcher, req),
+                    Ok(req) => evaluate(engine, batcher, req, &mut lc),
                     Err(e) => Err(e),
                 };
                 let frame = match resp {
@@ -311,6 +344,7 @@ fn handle_binary(
                     Err(e) => protocol::encode_error(&e),
                 };
                 protocol::write_frame(&mut stream, &frame)?;
+                finish_replied(lc);
             }
             Some(Opcode::Info) => {
                 protocol::write_frame(&mut stream, &protocol::encode_text(&info_json(engine)))?;
@@ -348,9 +382,11 @@ fn handle_http(
     match (req.method.as_str(), req.path.as_str()) {
         ("POST", "/evaluate") => {
             Metrics::inc(&engine.metrics.http_requests_total);
+            let mut lc = lifecycle::serve_machine().track();
+            lc.advance(State::Frame);
             let result = http::eval_request_from_json(&req.body)
-                .and_then(|er| evaluate(engine, batcher, er));
-            match result {
+                .and_then(|er| evaluate(engine, batcher, er, &mut lc));
+            let out = match result {
                 Ok(r) => http::write_response(
                     stream,
                     200,
@@ -365,7 +401,9 @@ fn handle_http(
                     "application/json",
                     http::error_to_json(&e).as_bytes(),
                 ),
-            }
+            };
+            finish_replied(lc);
+            out
         }
         ("GET", "/info") => http::write_response(
             stream,

@@ -1,0 +1,124 @@
+//! Atomic facade. Under the model, accesses with an ordering stronger
+//! than `Relaxed` are scheduling points (they are how threads
+//! communicate); `Relaxed` accesses — the monotonic counters that
+//! dominate the registry hot path — commute with everything and run
+//! directly, keeping the schedule space small.
+
+use crate::model::{self, Op, Uid};
+
+pub use std::sync::atomic::Ordering;
+
+macro_rules! atomic_facade {
+    ($name:ident, $std:ty, $val:ty) => {
+        #[derive(Debug)]
+        pub struct $name {
+            uid: Uid,
+            inner: $std,
+        }
+
+        impl $name {
+            pub fn new(v: $val) -> Self {
+                Self {
+                    uid: model::fresh_uid(),
+                    inner: <$std>::new(v),
+                }
+            }
+
+            fn hook(&self, ord: Ordering, write: bool) {
+                if ord == Ordering::Relaxed {
+                    return;
+                }
+                if let Some(cx) = model::current() {
+                    cx.yield_op(
+                        model::current_tid(),
+                        Op::Atomic {
+                            obj: self.uid,
+                            write,
+                        },
+                    );
+                }
+            }
+
+            pub fn load(&self, ord: Ordering) -> $val {
+                self.hook(ord, false);
+                self.inner.load(ord)
+            }
+
+            pub fn store(&self, v: $val, ord: Ordering) {
+                self.hook(ord, true);
+                self.inner.store(v, ord)
+            }
+
+            pub fn swap(&self, v: $val, ord: Ordering) -> $val {
+                self.hook(ord, true);
+                self.inner.swap(v, ord)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                cur: $val,
+                new: $val,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$val, $val> {
+                self.hook(if ok == Ordering::Relaxed { err } else { ok }, true);
+                self.inner.compare_exchange(cur, new, ok, err)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+    };
+}
+
+atomic_facade!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+atomic_facade!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+atomic_facade!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+macro_rules! atomic_arith {
+    ($name:ident, $val:ty) => {
+        impl $name {
+            pub fn fetch_add(&self, v: $val, ord: Ordering) -> $val {
+                self.hook(ord, true);
+                self.inner.fetch_add(v, ord)
+            }
+
+            pub fn fetch_sub(&self, v: $val, ord: Ordering) -> $val {
+                self.hook(ord, true);
+                self.inner.fetch_sub(v, ord)
+            }
+
+            pub fn fetch_max(&self, v: $val, ord: Ordering) -> $val {
+                self.hook(ord, true);
+                self.inner.fetch_max(v, ord)
+            }
+        }
+    };
+}
+
+atomic_arith!(AtomicU64, u64);
+atomic_arith!(AtomicUsize, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_usage_matches_std() {
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
+        let c = AtomicU64::new(5);
+        assert_eq!(c.fetch_add(2, Ordering::Relaxed), 5);
+        assert_eq!(c.load(Ordering::Relaxed), 7);
+        let u = AtomicUsize::new(1);
+        assert_eq!(
+            u.compare_exchange(1, 9, Ordering::SeqCst, Ordering::SeqCst),
+            Ok(1)
+        );
+        assert_eq!(u.load(Ordering::SeqCst), 9);
+    }
+}

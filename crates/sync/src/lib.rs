@@ -1,0 +1,725 @@
+//! # fmm-sync — synchronization facade with a built-in model checker
+//!
+//! Drop-in mirrors of the `std::sync` primitives the fmm control plane
+//! uses — [`Mutex`], [`RwLock`], [`Condvar`], [`atomic`], [`mpsc`],
+//! [`thread`], and a monotonic [`time::Instant`]. Outside of a model
+//! run every type delegates directly to `std`; inside
+//! [`model::explore`] the same types become *visible operations* of a
+//! deterministic cooperative scheduler that enumerates thread
+//! interleavings exhaustively (with sleep-set pruning and optional
+//! preemption bounds).
+//!
+//! The switch is a runtime thread-local, not a cargo feature, so a
+//! single build of the workspace serves both production and checking:
+//! feature unification can never silently put checked primitives on
+//! the serving path.
+//!
+//! ```
+//! use fmm_sync::{model, Mutex};
+//! use std::sync::Arc;
+//!
+//! let stats = model::explore(&model::Options::default(), || {
+//!     let m = Arc::new(Mutex::new(0u32));
+//!     let m2 = Arc::clone(&m);
+//!     let h = fmm_sync::thread::spawn(move || *m2.lock().unwrap() += 1);
+//!     *m.lock().unwrap() += 1;
+//!     h.join().unwrap();
+//!     assert_eq!(*m.lock().unwrap(), 2);
+//! })
+//! .unwrap();
+//! assert!(stats.schedules >= 2);
+//! ```
+
+pub mod atomic;
+pub mod model;
+pub mod mpsc;
+pub mod thread;
+pub mod time;
+
+use model::{Op, Uid};
+use std::sync::{Arc, LockResult, PoisonError, TryLockError};
+
+// ---------------------------------------------------------------- Mutex
+
+/// Mirror of `std::sync::Mutex`.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    uid: Uid,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it is a visible
+/// operation under the model.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<Arc<model::Ctx>>,
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            uid: model::fresh_uid(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match model::current() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+            Some(cx) => {
+                cx.yield_op(model::current_tid(), Op::Lock(self.uid));
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(self.grab_inner()),
+                    model: Some(cx),
+                })
+            }
+        }
+    }
+
+    /// Take the std guard after the model granted the lock (the model
+    /// guarantees it is free; poison is already reported as a panic
+    /// violation, so it is swallowed here).
+    fn grab_inner(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                unreachable!("model granted a lock that is still held")
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first so the thread the model grants it
+        // to next finds it free.
+        self.inner.take();
+        if let Some(cx) = &self.model {
+            if model::active() {
+                cx.yield_op(model::current_tid(), Op::Unlock(self.lock.uid));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- RwLock
+
+/// Mirror of `std::sync::RwLock`.
+#[derive(Debug)]
+pub struct RwLock<T> {
+    uid: Uid,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<Arc<model::Ctx>>,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<Arc<model::Ctx>>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            uid: model::fresh_uid(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match model::current() {
+            None => match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+            Some(cx) => {
+                cx.yield_op(model::current_tid(), Op::RwRead(self.uid));
+                let g = match self.inner.try_read() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model granted a read lock that is write-held")
+                    }
+                };
+                Ok(RwLockReadGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: Some(cx),
+                })
+            }
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match model::current() {
+            None => match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(p) => Err(PoisonError::new(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    model: None,
+                })),
+            },
+            Some(cx) => {
+                cx.yield_op(model::current_tid(), Op::RwWrite(self.uid));
+                let g = match self.inner.try_write() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("model granted a write lock that is held")
+                    }
+                };
+                Ok(RwLockWriteGuard {
+                    lock: self,
+                    inner: Some(g),
+                    model: Some(cx),
+                })
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some(cx) = &self.model {
+            if model::active() {
+                cx.yield_op(model::current_tid(), Op::RwReadUnlock(self.lock.uid));
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard already released")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard already released")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some(cx) = &self.model {
+            if model::active() {
+                cx.yield_op(model::current_tid(), Op::RwWriteUnlock(self.lock.uid));
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------- Condvar
+
+/// Result of [`Condvar::wait_timeout`] (std's equivalent cannot be
+/// constructed outside std).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Mirror of `std::sync::Condvar`. Under the model a timed wait is a
+/// scheduling *choice*: the explorer branches between the timeout
+/// firing (advancing the virtual clock to the deadline) and a
+/// notification arriving first — so lost-wakeup bugs surface as
+/// deadlocks on the untimed path and livelocks on the timed one.
+#[derive(Debug)]
+pub struct Condvar {
+    uid: Uid,
+    inner: std::sync::Condvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar {
+            uid: model::fresh_uid(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match &guard.model {
+            None => {
+                let mutex = guard.lock;
+                let mut guard = guard;
+                let std_guard = guard.inner.take().expect("guard already released");
+                // `guard` now has no inner and no model: its Drop is a
+                // no-op, and the std wait consumes the real guard.
+                // cv-loop: facade forwarding site — the caller loops.
+                match self.inner.wait(std_guard) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: mutex,
+                        inner: Some(g),
+                        model: None,
+                    }),
+                    Err(p) => Err(PoisonError::new(MutexGuard {
+                        lock: mutex,
+                        inner: Some(p.into_inner()),
+                        model: None,
+                    })),
+                }
+            }
+            Some(cx) => {
+                let cx = Arc::clone(cx);
+                let mutex = guard.lock;
+                let mut guard = guard;
+                guard.inner.take();
+                let model = guard.model.take(); // Drop is now a no-op
+                cx.cv_wait(model::current_tid(), self.uid, mutex.uid, None);
+                Ok(MutexGuard {
+                    lock: mutex,
+                    inner: Some(mutex.grab_inner()),
+                    model,
+                })
+            }
+        }
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match &guard.model {
+            None => {
+                let mutex = guard.lock;
+                let mut guard = guard;
+                let std_guard = guard.inner.take().expect("guard already released");
+                // cv-loop: facade forwarding site — the caller loops.
+                match self.inner.wait_timeout(std_guard, dur) {
+                    Ok((g, r)) => Ok((
+                        MutexGuard {
+                            lock: mutex,
+                            inner: Some(g),
+                            model: None,
+                        },
+                        WaitTimeoutResult {
+                            timed_out: r.timed_out(),
+                        },
+                    )),
+                    Err(p) => {
+                        let (g, r) = p.into_inner();
+                        Err(PoisonError::new((
+                            MutexGuard {
+                                lock: mutex,
+                                inner: Some(g),
+                                model: None,
+                            },
+                            WaitTimeoutResult {
+                                timed_out: r.timed_out(),
+                            },
+                        )))
+                    }
+                }
+            }
+            Some(cx) => {
+                let cx = Arc::clone(cx);
+                let mutex = guard.lock;
+                let mut guard = guard;
+                guard.inner.take();
+                let model = guard.model.take();
+                let timed_out = cx.cv_wait(model::current_tid(), self.uid, mutex.uid, Some(dur));
+                Ok((
+                    MutexGuard {
+                        lock: mutex,
+                        inner: Some(mutex.grab_inner()),
+                        model,
+                    },
+                    WaitTimeoutResult { timed_out },
+                ))
+            }
+        }
+    }
+
+    pub fn notify_one(&self) {
+        match model::current() {
+            None => self.inner.notify_one(),
+            Some(cx) => {
+                cx.yield_op(
+                    model::current_tid(),
+                    Op::Notify {
+                        cv: self.uid,
+                        all: false,
+                    },
+                );
+            }
+        }
+    }
+
+    pub fn notify_all(&self) {
+        match model::current() {
+            None => self.inner.notify_all(),
+            Some(cx) => {
+                cx.yield_op(
+                    model::current_tid(),
+                    Op::Notify {
+                        cv: self.uid,
+                        all: true,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::{AtomicU64, Ordering};
+    use crate::model::{explore, Options, ViolationKind};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn opts() -> Options {
+        Options::default()
+    }
+
+    #[test]
+    fn mutex_counter_is_exact_under_all_schedules() {
+        let stats = explore(&opts(), || {
+            let m = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        })
+        .unwrap();
+        assert!(stats.complete);
+        assert!(
+            stats.schedules >= 2,
+            "explored {} schedules",
+            stats.schedules
+        );
+    }
+
+    #[test]
+    fn non_atomic_read_modify_write_race_is_found() {
+        // Two threads do load-then-store with SeqCst accesses: the
+        // classic lost update. The explorer must find the schedule
+        // where both loads happen before either store.
+        let violation = explore(&opts(), || {
+            let x = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let x = Arc::clone(&x);
+                    thread::spawn(move || {
+                        let v = x.load(Ordering::SeqCst);
+                        x.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(x.load(Ordering::SeqCst), 2, "lost update");
+        })
+        .unwrap_err();
+        assert!(
+            matches!(violation.kind, ViolationKind::Panic(_)),
+            "expected a panic violation, got {:?}",
+            violation.kind
+        );
+        assert!(!violation.trace.is_empty());
+    }
+
+    #[test]
+    fn ab_ba_lock_order_deadlocks() {
+        let violation = explore(&opts(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _gb = b2.lock().unwrap();
+                let _ga = a2.lock().unwrap();
+            });
+            {
+                let _ga = a.lock().unwrap();
+                let _gb = b.lock().unwrap();
+            }
+            let _ = h.join();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(violation.kind, ViolationKind::Deadlock(_)),
+            "expected deadlock, got {:?}",
+            violation.kind
+        );
+    }
+
+    #[test]
+    fn condvar_handshake_completes_in_every_schedule() {
+        let stats = explore(&opts(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut g = m.lock().unwrap();
+                *g = true;
+                drop(g);
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            h.join().unwrap();
+        })
+        .unwrap();
+        assert!(stats.complete && stats.schedules >= 1);
+    }
+
+    #[test]
+    fn dropped_notify_is_reported_as_lost_wakeup_deadlock() {
+        let violation = explore(&opts(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (m, _cv) = &*pair2;
+                let mut g = m.lock().unwrap();
+                *g = true;
+                // BUG under test: no notify after the state change.
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock().unwrap();
+            while !*g {
+                g = cv.wait(g).unwrap();
+            }
+            drop(g);
+            h.join().unwrap();
+        })
+        .unwrap_err();
+        assert!(
+            matches!(violation.kind, ViolationKind::Deadlock(_)),
+            "expected lost-wakeup deadlock, got {:?}",
+            violation.kind
+        );
+    }
+
+    #[test]
+    fn timed_wait_branches_between_timeout_and_notify() {
+        let stats = explore(&opts(), || {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let h = thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                *m.lock().unwrap() = true;
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut g = m.lock().unwrap();
+            while !*g {
+                let (g2, timed) = cv.wait_timeout(g, Duration::from_millis(1)).unwrap();
+                g = g2;
+                if timed.timed_out() {
+                    // Deadline-bounded wait: give up after one timeout
+                    // (re-arming forever would branch without end).
+                    break;
+                }
+            }
+            drop(g);
+            h.join().unwrap();
+        })
+        .unwrap();
+        // At least one schedule must have taken the timeout branch and
+        // one the notify branch; both complete.
+        assert!(stats.schedules >= 2, "explored {}", stats.schedules);
+    }
+
+    #[test]
+    fn mpsc_delivers_exactly_once_across_schedules() {
+        let stats = explore(&opts(), || {
+            let (tx, rx) = mpsc::sync_channel::<u32>(1);
+            let h = thread::spawn(move || {
+                tx.send(7).unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert!(rx.try_recv().is_err(), "second recv must not yield a value");
+            h.join().unwrap();
+        })
+        .unwrap();
+        assert!(stats.complete);
+    }
+
+    #[test]
+    fn virtual_clock_orders_instants() {
+        explore(&opts(), || {
+            let t0 = time::Instant::now();
+            model::advance(Duration::from_millis(5));
+            let t1 = time::Instant::now();
+            assert!(t1 > t0);
+            assert!(t1.saturating_duration_since(t0) >= Duration::from_millis(5));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn preemption_bound_reduces_schedules() {
+        let run = |bound: Option<usize>| {
+            explore(
+                &Options {
+                    preemption_bound: bound,
+                    ..Options::default()
+                },
+                || {
+                    let m = Arc::new(Mutex::new(0u32));
+                    let hs: Vec<_> = (0..2)
+                        .map(|_| {
+                            let m = Arc::clone(&m);
+                            thread::spawn(move || {
+                                for _ in 0..2 {
+                                    *m.lock().unwrap() += 1;
+                                }
+                            })
+                        })
+                        .collect();
+                    for h in hs {
+                        h.join().unwrap();
+                    }
+                    assert_eq!(*m.lock().unwrap(), 4);
+                },
+            )
+            .unwrap()
+        };
+        let unbounded = run(None);
+        let bounded = run(Some(0));
+        assert!(unbounded.complete && bounded.complete);
+        assert!(
+            bounded.schedules < unbounded.schedules,
+            "bounded {} !< unbounded {}",
+            bounded.schedules,
+            unbounded.schedules
+        );
+    }
+
+    #[test]
+    fn max_schedules_budget_truncates() {
+        let stats = explore(
+            &Options {
+                max_schedules: 1,
+                ..Options::default()
+            },
+            || {
+                let m = Arc::new(Mutex::new(0u32));
+                let m2 = Arc::clone(&m);
+                let h = thread::spawn(move || *m2.lock().unwrap() += 1);
+                *m.lock().unwrap() += 1;
+                h.join().unwrap();
+            },
+        )
+        .unwrap();
+        assert_eq!(stats.schedules, 1);
+        assert!(!stats.complete);
+    }
+
+    #[test]
+    fn violation_display_numbers_the_schedule() {
+        let v = explore(&opts(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h = thread::spawn(move || {
+                let _gb = b2.lock().unwrap();
+                let _ga = a2.lock().unwrap();
+            });
+            let _ga = a.lock().unwrap();
+            let _gb = b.lock().unwrap();
+            drop((_ga, _gb));
+            let _ = h.join();
+        })
+        .unwrap_err();
+        let text = v.to_string();
+        assert!(text.contains("deadlock"), "{}", text);
+        assert!(text.contains("#1"), "{}", text);
+    }
+}

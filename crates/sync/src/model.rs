@@ -1,0 +1,1186 @@
+//! Deterministic model-checking scheduler.
+//!
+//! [`explore`] runs a closure repeatedly, once per distinct thread
+//! interleaving, until the schedule space is exhausted (or a budget is
+//! hit). Inside the closure, every `fmm_sync` primitive (Mutex, RwLock,
+//! Condvar, atomics, mpsc channels, `thread::spawn`) becomes a *visible
+//! operation*: the thread parks at the operation, a scheduler picks
+//! exactly one runnable thread at a time, and a depth-first search over
+//! those scheduling decisions replays the closure under every
+//! non-equivalent order.
+//!
+//! The design follows stateless (replay-based) model checking in the
+//! style of loom / CHESS / VeriSoft:
+//!
+//! - **Real OS threads, one runnable at a time.** Each model thread is a
+//!   real `std::thread` parked on a shared condvar; the scheduler hands
+//!   a single "token" to the chosen thread, so user code between two
+//!   visible operations runs exclusively and needs no instrumentation.
+//! - **DFS over decisions with replay.** A run is identified by the
+//!   sequence of (thread, variant) choices taken at each decision point.
+//!   The explorer keeps a stack of decision nodes; after each run it
+//!   advances the deepest node with an unexplored alternative and
+//!   replays the prefix.
+//! - **Sleep-set pruning** (Godefroid). After exploring choice `c` at a
+//!   node, `c`'s thread joins the node's sleep set and is not re-chosen
+//!   by *descendants of later siblings* until a dependent operation
+//!   (overlapping read/write footprint) wakes it. This visits at least
+//!   one interleaving per Mazurkiewicz trace, so it is sound for the
+//!   properties checked here: deadlocks, assertion failures, and
+//!   final-state invariants.
+//! - **Bounded preemptions** (optional, CHESS-style) and a step cap to
+//!   keep livelocks finite.
+//! - **Virtual clock.** 1 tick = 1 ns. `Instant::now()` advances the
+//!   clock by one tick; `Condvar::wait_timeout` deadlines become clock
+//!   values, and a timed wait is a *choice*: the scheduler may deliver
+//!   the timeout (advancing the clock to the deadline) or let a
+//!   notification win. Virtual time is advisory — it orders timeouts
+//!   deterministically but is not itself a synchronization mechanism.
+//!
+//! A violation (panic in user code, deadlock, or livelock) aborts the
+//! run and is reported with the full numbered schedule that produced it
+//! plus the count of schedules explored up to that point.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+use std::time::Duration;
+
+/// Process-unique id for model objects (locks, condvars, channels,
+/// atomics, threads). Ids are never reused, so state maps populated
+/// lazily per run cannot alias objects from a previous run.
+pub(crate) type Uid = u64;
+
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Uids allocated inside a model run start here; replay is
+/// deterministic, so the per-run counter hands out identical uids on
+/// every replay — which the DFS bookkeeping (sleep-set footprints
+/// recorded in earlier runs) depends on. The offset keeps them
+/// disjoint from globally allocated uids of objects created outside
+/// the run but used inside it.
+const RUN_UID_BASE: Uid = 1 << 48;
+
+pub(crate) fn fresh_uid() -> Uid {
+    match current() {
+        Some(cx) => cx.run_fresh_uid(),
+        None => NEXT_UID.fetch_add(1, Ordering::Relaxed),
+    }
+}
+
+thread_local! {
+    static MODEL: std::cell::RefCell<Option<Arc<Ctx>>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The model context of the calling thread, if it runs inside [`explore`].
+pub(crate) fn current() -> Option<Arc<Ctx>> {
+    MODEL.with(|m| m.borrow().clone())
+}
+
+fn set_current(cx: Option<Arc<Ctx>>) {
+    MODEL.with(|m| *m.borrow_mut() = cx);
+}
+
+/// True when the calling thread is a model thread (used by facade types
+/// to pick the checked representation at construction time).
+pub fn active() -> bool {
+    current().is_some()
+}
+
+/// Payload of the panic used to unwind model threads when a run is
+/// aborted (violation found, or prefix pruned by the sleep set). The
+/// thread wrapper catches it; it is never a user-visible panic.
+struct ModelAbort;
+
+/// Aborting a run unwinds every parked thread with [`ModelAbort`];
+/// without this filter the default panic hook would print one spurious
+/// "thread panicked" banner per aborted thread per pruned schedule.
+fn install_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Model-thread panics are captured into the violation report
+            // (message plus the violating schedule), so the default
+            // banner-and-backtrace would only duplicate them on stderr.
+            if info.payload().downcast_ref::<ModelAbort>().is_none() && !active() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Exploration limits.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Maximum context switches away from a runnable thread per
+    /// schedule (`None` = unbounded: full exhaustive exploration).
+    pub preemption_bound: Option<usize>,
+    /// Stop after this many complete schedules (0 = unlimited).
+    pub max_schedules: u64,
+    /// Abort a single run after this many decisions (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            preemption_bound: None,
+            max_schedules: 0,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// Summary of a completed exploration.
+#[derive(Debug, Clone)]
+pub struct Explored {
+    /// Complete schedules executed to the end.
+    pub schedules: u64,
+    /// Prefixes cut short by sleep-set pruning (their states were
+    /// already covered by an explored equivalent order).
+    pub pruned: u64,
+    /// Total scheduling decisions across all runs.
+    pub transitions: u64,
+    /// False iff `max_schedules` stopped the search early.
+    pub complete: bool,
+}
+
+/// Why a schedule was rejected.
+#[derive(Debug, Clone)]
+pub enum ViolationKind {
+    /// A model thread panicked (assertion failure in the checked code).
+    Panic(String),
+    /// No thread can make progress; the blocked threads are listed.
+    Deadlock(Vec<String>),
+    /// The step cap was hit (unbounded spinning under the model).
+    Livelock,
+}
+
+/// A failing schedule: the kind of failure plus the exact decision
+/// sequence that produced it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub kind: ViolationKind,
+    /// Numbered decisions, oldest first: `#k thread-name: operation`.
+    pub trace: Vec<String>,
+    /// Schedules fully explored before this one failed.
+    pub schedules: u64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            ViolationKind::Panic(msg) => writeln!(f, "panic: {}", msg)?,
+            ViolationKind::Deadlock(blocked) => {
+                writeln!(f, "deadlock: blocked threads: {}", blocked.join(", "))?
+            }
+            ViolationKind::Livelock => writeln!(f, "livelock: step cap exceeded")?,
+        }
+        writeln!(
+            f,
+            "schedule ({} decisions, after {} clean schedules):",
+            self.trace.len(),
+            self.schedules
+        )?;
+        for (i, step) in self.trace.iter().enumerate() {
+            writeln!(f, "  #{:<3} {}", i + 1, step)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// One visible operation a thread is parked at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First scheduling of a thread.
+    Start,
+    Lock(Uid),
+    Unlock(Uid),
+    RwRead(Uid),
+    RwReadUnlock(Uid),
+    RwWrite(Uid),
+    RwWriteUnlock(Uid),
+    /// Release `lock` and start waiting on `cv` (deadline in ticks).
+    CvWait {
+        cv: Uid,
+        lock: Uid,
+        deadline: Option<u64>,
+    },
+    Notify {
+        cv: Uid,
+        all: bool,
+    },
+    ChanSend(Uid),
+    ChanRecv(Uid),
+    ChanTryRecv(Uid),
+    ChanDropSender(Uid),
+    ChanDropReceiver(Uid),
+    /// Non-Relaxed atomic access (`write` distinguishes pure loads).
+    Atomic {
+        obj: Uid,
+        write: bool,
+    },
+    /// Join on the thread with the given object uid.
+    Join(Uid),
+}
+
+/// What executing an operation tells the facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Outcome {
+    Unit,
+    /// Channel op: a value is available (pop it).
+    RecvReady,
+    /// Channel op: counterpart gone (send fails / recv disconnected).
+    Disconnected,
+    /// try_recv: queue empty, senders alive.
+    Empty,
+}
+
+#[derive(Debug, Clone)]
+enum ObjState {
+    Mutex {
+        held: bool,
+    },
+    Rw {
+        writer: bool,
+        readers: usize,
+    },
+    Chan {
+        len: usize,
+        cap: usize,
+        senders: usize,
+        receiver: bool,
+    },
+}
+
+#[derive(Debug, Clone)]
+enum Status {
+    /// Holds the token (executing user code) — or has not yet reached
+    /// its first yield after being granted one.
+    Running,
+    /// Parked at a visible operation.
+    Ready(Op),
+    /// In a condvar wait. `wake` is `Some(timed_out)` once a notify or
+    /// timeout converted the wait into a pending lock reacquisition.
+    Waiting {
+        cv: Uid,
+        lock: Uid,
+        deadline: Option<u64>,
+        wake: Option<bool>,
+    },
+    Finished,
+}
+
+struct ThreadRec {
+    name: String,
+    /// Object uid representing the thread itself (join target).
+    uid: Uid,
+    status: Status,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChoiceKind {
+    /// Execute the thread's pending operation.
+    Step,
+    /// Deliver the timeout of a timed condvar wait.
+    Timeout,
+}
+
+#[derive(Debug, Clone)]
+struct Choice {
+    tid: usize,
+    kind: ChoiceKind,
+    /// (object uid, is_write) pairs this operation touches; two choices
+    /// are independent iff no uid is written by either side of an
+    /// overlap.
+    footprint: Vec<(Uid, bool)>,
+    desc: String,
+}
+
+/// One decision point in the DFS tree. Persisted across runs.
+struct Node {
+    choices: Vec<Choice>,
+    idx: usize,
+    /// Sleep set on entry: threads (with the footprint of their pending
+    /// op at the time) that need not be chosen here.
+    sleep_entry: Vec<(usize, Vec<(Uid, bool)>)>,
+    /// Whether the previously scheduled thread had an enabled choice
+    /// here (needed to recount preemptions during replay).
+    prev_enabled: bool,
+    prev_tid: Option<usize>,
+}
+
+struct Sched {
+    threads: Vec<ThreadRec>,
+    // det: keyed lookups only; never iterated, so map order cannot
+    // influence scheduling decisions.
+    objects: HashMap<Uid, ObjState>,
+    chosen: Option<(usize, ChoiceKind)>,
+    uid_counter: Uid,
+    clock: u64,
+    aborted: bool,
+    run_done: bool,
+    violation: Option<Violation>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+    // --- DFS state (persists across runs) ---
+    nodes: Vec<Node>,
+    depth: usize,
+    cur_sleep: Vec<(usize, Vec<(Uid, bool)>)>,
+    prev_tid: Option<usize>,
+    preemptions: usize,
+    trace: Vec<String>,
+    steps: usize,
+    schedules: u64,
+    pruned: u64,
+    transitions: u64,
+    opts: Options,
+}
+
+pub(crate) struct Ctx {
+    mu: StdMutex<Sched>,
+    /// Model threads park here between grants.
+    cv: StdCondvar,
+    /// The controller parks here waiting for `run_done`.
+    ctrl: StdCondvar,
+}
+
+type SchedGuard<'a> = std::sync::MutexGuard<'a, Sched>;
+
+fn footprint_conflicts(a: &[(Uid, bool)], b: &[(Uid, bool)]) -> bool {
+    a.iter()
+        .any(|(ua, wa)| b.iter().any(|(ub, wb)| ua == ub && (*wa || *wb)))
+}
+
+impl Ctx {
+    fn new(opts: Options) -> Ctx {
+        Ctx {
+            mu: StdMutex::new(Sched {
+                threads: Vec::new(),
+                // det: see field comment — lookups only.
+                objects: HashMap::new(),
+                chosen: None,
+                uid_counter: RUN_UID_BASE,
+                clock: 0,
+                aborted: false,
+                run_done: false,
+                violation: None,
+                os_handles: Vec::new(),
+                nodes: Vec::new(),
+                depth: 0,
+                cur_sleep: Vec::new(),
+                prev_tid: None,
+                preemptions: 0,
+                trace: Vec::new(),
+                steps: 0,
+                schedules: 0,
+                pruned: 0,
+                transitions: 0,
+                opts,
+            }),
+            cv: StdCondvar::new(),
+            ctrl: StdCondvar::new(),
+        }
+    }
+
+    /// Lock the scheduler state; a panicking model thread may have
+    /// poisoned the mutex, which is harmless here (the violation is
+    /// recorded separately).
+    fn sched(&self) -> SchedGuard<'_> {
+        self.mu.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // ---- object helpers (caller holds the sched lock) ----
+
+    fn mutex_state(st: &mut Sched, uid: Uid) -> &mut bool {
+        let e = st
+            .objects
+            .entry(uid)
+            .or_insert(ObjState::Mutex { held: false });
+        match e {
+            ObjState::Mutex { held } => held,
+            other => panic!("uid {} used as mutex but is {:?}", uid, other),
+        }
+    }
+
+    fn rw_state(st: &mut Sched, uid: Uid) -> (&mut bool, &mut usize) {
+        let e = st.objects.entry(uid).or_insert(ObjState::Rw {
+            writer: false,
+            readers: 0,
+        });
+        match e {
+            ObjState::Rw { writer, readers } => (writer, readers),
+            other => panic!("uid {} used as rwlock but is {:?}", uid, other),
+        }
+    }
+
+    fn chan_state(st: &mut Sched, uid: Uid) -> &mut ObjState {
+        let e = st.objects.entry(uid).or_insert(ObjState::Chan {
+            len: 0,
+            cap: usize::MAX,
+            senders: 1,
+            receiver: true,
+        });
+        match e {
+            c @ ObjState::Chan { .. } => c,
+            other => panic!("uid {} used as channel but is {:?}", uid, other),
+        }
+    }
+
+    pub(crate) fn register_chan(&self, uid: Uid, cap: usize) {
+        let mut st = self.sched();
+        st.objects.insert(
+            uid,
+            ObjState::Chan {
+                len: 0,
+                cap,
+                senders: 1,
+                receiver: true,
+            },
+        );
+    }
+
+    pub(crate) fn chan_sender_cloned(&self, uid: Uid) {
+        let mut st = self.sched();
+        if let ObjState::Chan { senders, .. } = Self::chan_state(&mut st, uid) {
+            *senders += 1;
+        }
+    }
+
+    pub(crate) fn clock_tick(&self) -> u64 {
+        let mut st = self.sched();
+        st.clock += 1;
+        st.clock
+    }
+
+    pub(crate) fn run_fresh_uid(&self) -> Uid {
+        let mut st = self.sched();
+        st.uid_counter += 1;
+        st.uid_counter
+    }
+
+    pub(crate) fn clock_advance(&self, d: Duration) {
+        let mut st = self.sched();
+        st.clock = st
+            .clock
+            .saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64);
+    }
+
+    // ---- enabledness / footprints ----
+
+    fn op_enabled(st: &mut Sched, op: &Op) -> bool {
+        match op {
+            Op::Start
+            | Op::Unlock(_)
+            | Op::RwReadUnlock(_)
+            | Op::RwWriteUnlock(_)
+            | Op::CvWait { .. }
+            | Op::Notify { .. }
+            | Op::ChanTryRecv(_)
+            | Op::ChanDropSender(_)
+            | Op::ChanDropReceiver(_)
+            | Op::Atomic { .. } => true,
+            Op::Lock(u) => !*Self::mutex_state(st, *u),
+            Op::RwRead(u) => !*Self::rw_state(st, *u).0,
+            Op::RwWrite(u) => {
+                let (w, r) = Self::rw_state(st, *u);
+                !*w && *r == 0
+            }
+            Op::ChanSend(u) => match Self::chan_state(st, *u) {
+                ObjState::Chan {
+                    len, cap, receiver, ..
+                } => !*receiver || *len < *cap,
+                _ => unreachable!(),
+            },
+            Op::ChanRecv(u) => match Self::chan_state(st, *u) {
+                ObjState::Chan { len, senders, .. } => *len > 0 || *senders == 0,
+                _ => unreachable!(),
+            },
+            Op::Join(target) => st
+                .threads
+                .iter()
+                .find(|t| t.uid == *target)
+                .is_none_or(|t| matches!(t.status, Status::Finished)),
+        }
+    }
+
+    fn op_footprint(self_uid: Uid, op: &Op) -> Vec<(Uid, bool)> {
+        match op {
+            Op::Start => vec![(self_uid, true)],
+            Op::Lock(u)
+            | Op::Unlock(u)
+            | Op::RwWrite(u)
+            | Op::RwWriteUnlock(u)
+            | Op::ChanSend(u)
+            | Op::ChanRecv(u)
+            | Op::ChanTryRecv(u)
+            | Op::ChanDropSender(u)
+            | Op::ChanDropReceiver(u) => vec![(*u, true)],
+            Op::RwRead(u) | Op::RwReadUnlock(u) => vec![(*u, false)],
+            Op::CvWait { cv, lock, .. } => vec![(*cv, true), (*lock, true)],
+            Op::Notify { cv, .. } => vec![(*cv, true)],
+            Op::Atomic { obj, write } => vec![(*obj, *write)],
+            Op::Join(t) => vec![(*t, false)],
+        }
+    }
+
+    fn op_desc(op: &Op) -> String {
+        match op {
+            Op::Start => "start".into(),
+            Op::Lock(u) => format!("lock mutex#{}", u),
+            Op::Unlock(u) => format!("unlock mutex#{}", u),
+            Op::RwRead(u) => format!("read-lock rw#{}", u),
+            Op::RwReadUnlock(u) => format!("read-unlock rw#{}", u),
+            Op::RwWrite(u) => format!("write-lock rw#{}", u),
+            Op::RwWriteUnlock(u) => format!("write-unlock rw#{}", u),
+            Op::CvWait { cv, deadline, .. } => match deadline {
+                Some(d) => format!("wait cv#{} (deadline {} ns)", cv, d),
+                None => format!("wait cv#{}", cv),
+            },
+            Op::Notify { cv, all: true } => format!("notify_all cv#{}", cv),
+            Op::Notify { cv, all: false } => format!("notify_one cv#{}", cv),
+            Op::ChanSend(u) => format!("send ch#{}", u),
+            Op::ChanRecv(u) => format!("recv ch#{}", u),
+            Op::ChanTryRecv(u) => format!("try_recv ch#{}", u),
+            Op::ChanDropSender(u) => format!("drop sender ch#{}", u),
+            Op::ChanDropReceiver(u) => format!("drop receiver ch#{}", u),
+            Op::Atomic { obj, write: true } => format!("atomic-rmw a#{}", obj),
+            Op::Atomic { obj, write: false } => format!("atomic-load a#{}", obj),
+            Op::Join(t) => format!("join thread#{}", t),
+        }
+    }
+
+    fn compute_choices(st: &mut Sched) -> Vec<Choice> {
+        let mut out = Vec::new();
+        for tid in 0..st.threads.len() {
+            let (status, name, uid) = {
+                let t = &st.threads[tid];
+                (t.status.clone(), t.name.clone(), t.uid)
+            };
+            match status {
+                Status::Ready(op) => {
+                    if Self::op_enabled(st, &op) {
+                        out.push(Choice {
+                            tid,
+                            kind: ChoiceKind::Step,
+                            footprint: Self::op_footprint(uid, &op),
+                            desc: format!("{}: {}", name, Self::op_desc(&op)),
+                        });
+                    }
+                }
+                Status::Waiting {
+                    cv,
+                    lock,
+                    deadline,
+                    wake,
+                } => {
+                    if wake.is_some() {
+                        if !*Self::mutex_state(st, lock) {
+                            out.push(Choice {
+                                tid,
+                                kind: ChoiceKind::Step,
+                                footprint: vec![(lock, true)],
+                                desc: format!("{}: reacquire mutex#{} after wait", name, lock),
+                            });
+                        }
+                    } else if deadline.is_some() {
+                        out.push(Choice {
+                            tid,
+                            kind: ChoiceKind::Timeout,
+                            footprint: vec![(cv, false)],
+                            desc: format!("{}: wait timeout on cv#{}", name, cv),
+                        });
+                    }
+                }
+                Status::Running | Status::Finished => {}
+            }
+        }
+        out
+    }
+
+    /// Pick the next thread to run. Called with the sched lock held by
+    /// whichever thread just parked/finished (or by the controller to
+    /// start the run). Handles DFS replay, frontier expansion, sleep
+    /// sets, preemption bounds, and end-of-run / deadlock detection.
+    fn schedule_next(&self, st: &mut SchedGuard<'_>) {
+        if st.aborted || st.run_done {
+            return;
+        }
+        if st
+            .threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished))
+        {
+            st.run_done = true;
+            self.ctrl.notify_all();
+            return;
+        }
+        if st.steps >= st.opts.max_steps {
+            self.fail(st, ViolationKind::Livelock);
+            return;
+        }
+
+        let depth = st.depth;
+        if depth >= st.nodes.len() {
+            // Frontier: build a new decision node.
+            let enabled = Self::compute_choices(st);
+            if enabled.is_empty() {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .filter(|t| !matches!(t.status, Status::Finished))
+                    .map(|t| format!("{} ({})", t.name, Self::status_desc(&t.status)))
+                    .collect();
+                self.fail(st, ViolationKind::Deadlock(blocked));
+                return;
+            }
+            let sleep_entry = st.cur_sleep.clone();
+            let mut choices: Vec<Choice> = enabled
+                .iter()
+                .filter(|c| !sleep_entry.iter().any(|(t, _)| *t == c.tid))
+                .cloned()
+                .collect();
+            let prev_tid = st.prev_tid;
+            let prev_enabled = prev_tid.is_some_and(|p| enabled.iter().any(|c| c.tid == p));
+            if let Some(bound) = st.opts.preemption_bound {
+                if st.preemptions >= bound && prev_enabled {
+                    choices.retain(|c| Some(c.tid) == prev_tid);
+                }
+            }
+            if choices.is_empty() {
+                // All enabled choices are asleep: every continuation is
+                // equivalent to an already-explored order. Cut the run.
+                st.pruned += 1;
+                self.abort_run(st);
+                return;
+            }
+            st.nodes.push(Node {
+                choices,
+                idx: 0,
+                sleep_entry,
+                prev_enabled,
+                prev_tid,
+            });
+        }
+
+        // Take the scheduled choice at this node (replay or fresh).
+        let node = &st.nodes[depth];
+        let choice = node.choices[node.idx].clone();
+        let node_prev_tid = node.prev_tid;
+        let prev_enabled = node.prev_enabled;
+        // Sleep set for the next decision: entry sleep plus explored
+        // siblings, minus everything dependent on the chosen op.
+        let mut next_sleep = node.sleep_entry.clone();
+        for sib in &node.choices[..node.idx] {
+            if !next_sleep.iter().any(|(t, _)| *t == sib.tid) {
+                next_sleep.push((sib.tid, sib.footprint.clone()));
+            }
+        }
+        next_sleep
+            .retain(|(t, fp)| *t != choice.tid && !footprint_conflicts(fp, &choice.footprint));
+
+        if prev_enabled && node_prev_tid.is_some() && node_prev_tid != Some(choice.tid) {
+            st.preemptions += 1;
+        }
+        st.cur_sleep = next_sleep;
+        st.prev_tid = Some(choice.tid);
+        st.depth += 1;
+        st.steps += 1;
+        st.transitions += 1;
+        st.trace.push(choice.desc.clone());
+        st.chosen = Some((choice.tid, choice.kind));
+        self.cv.notify_all();
+    }
+
+    fn status_desc(status: &Status) -> String {
+        match status {
+            Status::Ready(op) => format!("blocked at {}", Self::op_desc(op)),
+            Status::Waiting { cv, wake: None, .. } => format!("waiting on cv#{}", cv),
+            Status::Waiting {
+                lock,
+                wake: Some(_),
+                ..
+            } => {
+                format!("reacquiring mutex#{}", lock)
+            }
+            Status::Running => "running".into(),
+            Status::Finished => "finished".into(),
+        }
+    }
+
+    fn fail(&self, st: &mut SchedGuard<'_>, kind: ViolationKind) {
+        if st.violation.is_none() {
+            st.violation = Some(Violation {
+                kind,
+                trace: st.trace.clone(),
+                schedules: st.schedules,
+            });
+        }
+        self.abort_run(st);
+    }
+
+    /// Wake every parked thread into a `ModelAbort` unwind and let the
+    /// controller collect them.
+    fn abort_run(&self, st: &mut SchedGuard<'_>) {
+        st.aborted = true;
+        st.chosen = None;
+        if st
+            .threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished))
+        {
+            st.run_done = true;
+            self.ctrl.notify_all();
+        }
+        self.cv.notify_all();
+    }
+
+    /// Record a panic from a model thread. A panic observed after a
+    /// deadlock was (mis)diagnosed is the root cause: prefer it.
+    fn record_panic(&self, st: &mut SchedGuard<'_>, msg: String) {
+        let replace = match &st.violation {
+            None => true,
+            Some(v) => matches!(v.kind, ViolationKind::Deadlock(_)),
+        };
+        if replace {
+            st.violation = Some(Violation {
+                kind: ViolationKind::Panic(msg),
+                trace: st.trace.clone(),
+                schedules: st.schedules,
+            });
+        }
+        self.abort_run(st);
+    }
+
+    // ---- thread lifecycle ----
+
+    /// Register a new model thread (status `Ready(Start)`); returns its
+    /// tid. Called by the spawning thread *before* the OS thread runs,
+    /// so the scheduler can choose the child without racing its
+    /// startup.
+    pub(crate) fn register_thread(&self, name: String) -> (usize, Uid) {
+        let mut st = self.sched();
+        st.uid_counter += 1;
+        let uid = st.uid_counter;
+        st.threads.push(ThreadRec {
+            name,
+            uid,
+            status: Status::Ready(Op::Start),
+        });
+        (st.threads.len() - 1, uid)
+    }
+
+    pub(crate) fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.sched().os_handles.push(h);
+    }
+
+    /// Body of every model OS thread: wait to be started, run the
+    /// closure, convert panics into violations.
+    fn run_thread(self: &Arc<Self>, tid: usize, f: impl FnOnce()) {
+        set_current(Some(Arc::clone(self)));
+        // Consume the initial Start op (parks until first scheduled).
+        let ok = self.wait_for_grant(tid);
+        let result = if ok {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
+        } else {
+            Ok(()) // aborted before ever running
+        };
+        let mut st = self.sched();
+        st.threads[tid].status = Status::Finished;
+        match result {
+            Ok(()) => {}
+            Err(payload) => {
+                if payload.downcast_ref::<ModelAbort>().is_none() {
+                    let msg = panic_message(payload);
+                    self.record_panic(&mut st, msg);
+                }
+            }
+        }
+        if st.aborted {
+            if st
+                .threads
+                .iter()
+                .all(|t| matches!(t.status, Status::Finished))
+            {
+                st.run_done = true;
+                self.ctrl.notify_all();
+            }
+        } else {
+            // Finishing is not a decision: it commutes with every other
+            // operation except `Join(self)`, which only becomes enabled
+            // by it — so just hand the token to the scheduler.
+            self.schedule_next(&mut st);
+        }
+        drop(st);
+        set_current(None);
+    }
+
+    /// Park until this thread is granted the token via `Step` while in
+    /// `Ready(Start)` state. Returns false if the run aborted first.
+    fn wait_for_grant(&self, tid: usize) -> bool {
+        let mut st = self.sched();
+        loop {
+            if st.aborted {
+                return false;
+            }
+            if st.chosen == Some((tid, ChoiceKind::Step)) {
+                st.chosen = None;
+                st.threads[tid].status = Status::Running;
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    // ---- the yield protocol ----
+
+    /// Park at `op`, let the scheduler branch, execute the operation
+    /// when chosen, return its outcome. The calling thread must be a
+    /// model thread currently holding the token.
+    pub(crate) fn yield_op(&self, tid: usize, op: Op) -> Outcome {
+        let mut st = self.sched();
+        if st.aborted {
+            drop(st);
+            return self.on_aborted();
+        }
+        st.threads[tid].status = Status::Ready(op);
+        self.schedule_next(&mut st);
+        loop {
+            if st.aborted {
+                drop(st);
+                return self.on_aborted();
+            }
+            if st.chosen == Some((tid, ChoiceKind::Step)) {
+                st.chosen = None;
+                let op = match std::mem::replace(&mut st.threads[tid].status, Status::Running) {
+                    Status::Ready(op) => op,
+                    other => panic!("granted thread in state {:?}", other),
+                };
+                return Self::execute(&mut st, &op);
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A full condvar wait: park at the `CvWait` op (the decision to
+    /// release the lock and sleep), then wait to be woken by a notify
+    /// or a timeout choice, then contend to reacquire the mutex.
+    /// Returns true iff the wake was a timeout.
+    pub(crate) fn cv_wait(
+        &self,
+        tid: usize,
+        cv: Uid,
+        lock: Uid,
+        timeout: Option<Duration>,
+    ) -> bool {
+        let mut st = self.sched();
+        if st.aborted {
+            drop(st);
+            self.on_aborted();
+            return true;
+        }
+        let deadline = timeout.map(|d| {
+            st.clock
+                .saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64)
+        });
+        st.threads[tid].status = Status::Ready(Op::CvWait { cv, lock, deadline });
+        self.schedule_next(&mut st);
+        loop {
+            if st.aborted {
+                drop(st);
+                self.on_aborted();
+                return true;
+            }
+            match st.chosen {
+                Some((t, ChoiceKind::Step)) if t == tid => {
+                    st.chosen = None;
+                    match std::mem::replace(&mut st.threads[tid].status, Status::Running) {
+                        Status::Ready(Op::CvWait { cv, lock, deadline }) => {
+                            // Execute the wait entry: release the mutex
+                            // and go to sleep; the call does not return
+                            // yet.
+                            *Self::mutex_state(&mut st, lock) = false;
+                            st.threads[tid].status = Status::Waiting {
+                                cv,
+                                lock,
+                                deadline,
+                                wake: None,
+                            };
+                            self.schedule_next(&mut st);
+                        }
+                        Status::Waiting { lock, wake, .. } => {
+                            // Reacquire the mutex and return.
+                            *Self::mutex_state(&mut st, lock) = true;
+                            st.threads[tid].status = Status::Running;
+                            return wake.unwrap_or(false);
+                        }
+                        other => panic!("cv_wait grant in state {:?}", other),
+                    }
+                }
+                Some((t, ChoiceKind::Timeout)) if t == tid => {
+                    st.chosen = None;
+                    if let Status::Waiting { deadline, wake, .. } = &mut st.threads[tid].status {
+                        *wake = Some(true);
+                        let d = deadline.unwrap_or(0);
+                        st.clock = st.clock.max(d);
+                    }
+                    self.schedule_next(&mut st);
+                }
+                _ => {
+                    st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+    }
+
+    /// Called at a yield point when the run has been aborted. During a
+    /// normal operation this unwinds the thread (`ModelAbort`); during
+    /// drop-glue of an already-unwinding thread it degrades to a no-op
+    /// so cleanup can finish.
+    fn on_aborted(&self) -> Outcome {
+        if std::thread::panicking() {
+            Outcome::Unit
+        } else {
+            std::panic::panic_any(ModelAbort);
+        }
+    }
+
+    /// Apply the state effect of an operation. Data effects (pushing a
+    /// value, taking a guard) happen in the facade right after this
+    /// returns, while the thread still runs exclusively.
+    fn execute(st: &mut SchedGuard<'_>, op: &Op) -> Outcome {
+        match op {
+            Op::Start | Op::Join(_) => Outcome::Unit,
+            Op::Lock(u) => {
+                *Self::mutex_state(st, *u) = true;
+                Outcome::Unit
+            }
+            Op::Unlock(u) => {
+                *Self::mutex_state(st, *u) = false;
+                Outcome::Unit
+            }
+            Op::RwRead(u) => {
+                *Self::rw_state(st, *u).1 += 1;
+                Outcome::Unit
+            }
+            Op::RwReadUnlock(u) => {
+                let readers = Self::rw_state(st, *u).1;
+                *readers = readers.saturating_sub(1);
+                Outcome::Unit
+            }
+            Op::RwWrite(u) => {
+                *Self::rw_state(st, *u).0 = true;
+                Outcome::Unit
+            }
+            Op::RwWriteUnlock(u) => {
+                *Self::rw_state(st, *u).0 = false;
+                Outcome::Unit
+            }
+            Op::CvWait { .. } => unreachable!("cv_wait handles its own grants"),
+            Op::Notify { cv, all } => {
+                for t in st.threads.iter_mut() {
+                    if let Status::Waiting { cv: wcv, wake, .. } = &mut t.status {
+                        if *wcv == *cv && wake.is_none() {
+                            *wake = Some(false);
+                            if !*all {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Outcome::Unit
+            }
+            Op::ChanSend(u) => match Self::chan_state(st, *u) {
+                ObjState::Chan { len, receiver, .. } => {
+                    if !*receiver {
+                        Outcome::Disconnected
+                    } else {
+                        *len += 1;
+                        Outcome::Unit
+                    }
+                }
+                _ => unreachable!(),
+            },
+            Op::ChanRecv(u) => match Self::chan_state(st, *u) {
+                ObjState::Chan { len, .. } => {
+                    if *len > 0 {
+                        *len -= 1;
+                        Outcome::RecvReady
+                    } else {
+                        Outcome::Disconnected
+                    }
+                }
+                _ => unreachable!(),
+            },
+            Op::ChanTryRecv(u) => match Self::chan_state(st, *u) {
+                ObjState::Chan { len, senders, .. } => {
+                    if *len > 0 {
+                        *len -= 1;
+                        Outcome::RecvReady
+                    } else if *senders == 0 {
+                        Outcome::Disconnected
+                    } else {
+                        Outcome::Empty
+                    }
+                }
+                _ => unreachable!(),
+            },
+            Op::ChanDropSender(u) => match Self::chan_state(st, *u) {
+                ObjState::Chan { senders, .. } => {
+                    *senders = senders.saturating_sub(1);
+                    Outcome::Unit
+                }
+                _ => unreachable!(),
+            },
+            Op::ChanDropReceiver(u) => match Self::chan_state(st, *u) {
+                ObjState::Chan { receiver, .. } => {
+                    *receiver = false;
+                    Outcome::Unit
+                }
+                _ => unreachable!(),
+            },
+            Op::Atomic { .. } => Outcome::Unit,
+        }
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+thread_local! {
+    // The tid of the calling model thread; facade ops pass it on every
+    // yield.
+    static TID: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+pub(crate) fn current_tid() -> usize {
+    TID.with(|t| t.get())
+}
+
+fn set_tid(tid: usize) {
+    TID.with(|t| t.set(tid));
+}
+
+/// Spawn a child model thread running `f`; returns (tid, thread uid).
+/// Used by the `thread` facade.
+pub(crate) fn spawn_model_thread(
+    cx: &Arc<Ctx>,
+    name: String,
+    f: impl FnOnce() + Send + 'static,
+) -> (usize, Uid) {
+    let (tid, uid) = cx.register_thread(name.clone());
+    let cx2 = Arc::clone(cx);
+    let os = std::thread::Builder::new()
+        .name(format!("fmm-model-{}", name))
+        .spawn(move || {
+            set_tid(tid);
+            cx2.run_thread(tid, f);
+        })
+        .expect("spawn model thread");
+    cx.push_os_handle(os);
+    (tid, uid)
+}
+
+/// Explore every schedule of `f`. Returns the exploration summary, or
+/// the first violating schedule.
+pub fn explore<F>(opts: &Options, f: F) -> Result<Explored, Box<Violation>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        !active(),
+        "nested fmm_sync::model::explore is not supported"
+    );
+    install_abort_hook();
+    let cx = Arc::new(Ctx::new(opts.clone()));
+    let f = Arc::new(f);
+    loop {
+        // Reset per-run state; DFS nodes and totals persist.
+        {
+            let mut st = cx.sched();
+            st.threads.clear();
+            st.objects.clear();
+            st.chosen = None;
+            st.uid_counter = RUN_UID_BASE;
+            st.clock = 0;
+            st.aborted = false;
+            st.run_done = false;
+            st.depth = 0;
+            st.cur_sleep.clear();
+            st.prev_tid = None;
+            st.preemptions = 0;
+            st.trace.clear();
+            st.steps = 0;
+        }
+        // Root thread.
+        let (tid, _uid) = cx.register_thread("main".to_string());
+        debug_assert_eq!(tid, 0);
+        let cx2 = Arc::clone(&cx);
+        let f2 = Arc::clone(&f);
+        let os = std::thread::Builder::new()
+            .name("fmm-model-main".to_string())
+            .spawn(move || {
+                set_tid(0);
+                cx2.run_thread(0, move || f2());
+            })
+            .expect("spawn model root thread");
+        cx.push_os_handle(os);
+        // Kick off the run and wait for it to finish.
+        {
+            let mut st = cx.sched();
+            cx.schedule_next(&mut st);
+            while !st.run_done {
+                st = cx.ctrl.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        let handles = std::mem::take(&mut cx.sched().os_handles);
+        for h in handles {
+            let _ = h.join();
+        }
+
+        let mut st = cx.sched();
+        if let Some(v) = st.violation.take() {
+            return Err(Box::new(v));
+        }
+        let was_pruned = st.aborted;
+        if !was_pruned {
+            st.schedules += 1;
+        }
+        // Backtrack: advance the deepest node with an unexplored child.
+        while let Some(node) = st.nodes.last_mut() {
+            node.idx += 1;
+            if node.idx < node.choices.len() {
+                break;
+            }
+            st.nodes.pop();
+        }
+        let exhausted = st.nodes.is_empty();
+        let budget_hit = st.opts.max_schedules > 0 && st.schedules >= st.opts.max_schedules;
+        if exhausted || budget_hit {
+            return Ok(Explored {
+                schedules: st.schedules,
+                pruned: st.pruned,
+                transitions: st.transitions,
+                complete: exhausted,
+            });
+        }
+    }
+}
+
+/// Advance the virtual clock by `d` (model threads only; no-op outside
+/// a model). Lets tests move time past a batching window without a
+/// timed wait.
+pub fn advance(d: Duration) {
+    if let Some(cx) = current() {
+        cx.clock_advance(d);
+    }
+}

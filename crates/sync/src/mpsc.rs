@@ -1,0 +1,233 @@
+//! mpsc facade over `std::sync::mpsc`. Under the model, send / recv /
+//! try_recv and endpoint drops are visible operations; the values
+//! themselves live in a plain `VecDeque` that only the token-holding
+//! thread ever touches.
+
+use crate::model::{self, Ctx, Op, Outcome, Uid};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+struct ChanInner<T> {
+    uid: Uid,
+    q: StdMutex<VecDeque<T>>,
+}
+
+impl<T> ChanInner<T> {
+    fn push(&self, v: T) {
+        self.q
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(v);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.q
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
+    }
+}
+
+enum SenderRepr<T> {
+    Std(std::sync::mpsc::Sender<T>),
+    Model(Arc<ChanInner<T>>, Arc<Ctx>),
+}
+
+enum SyncSenderRepr<T> {
+    Std(std::sync::mpsc::SyncSender<T>),
+    Model(Arc<ChanInner<T>>, Arc<Ctx>),
+}
+
+enum ReceiverRepr<T> {
+    Std(std::sync::mpsc::Receiver<T>),
+    Model(Arc<ChanInner<T>>, Arc<Ctx>),
+}
+
+/// Asynchronous (unbounded) sender.
+pub struct Sender<T>(SenderRepr<T>);
+
+/// Bounded sender.
+pub struct SyncSender<T>(SyncSenderRepr<T>);
+
+/// Receiving half of either channel flavor.
+pub struct Receiver<T>(ReceiverRepr<T>);
+
+/// Unbounded channel.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    match model::current() {
+        None => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            (Sender(SenderRepr::Std(tx)), Receiver(ReceiverRepr::Std(rx)))
+        }
+        Some(cx) => {
+            let inner = Arc::new(ChanInner {
+                uid: model::fresh_uid(),
+                q: StdMutex::new(VecDeque::new()),
+            });
+            cx.register_chan(inner.uid, usize::MAX);
+            (
+                Sender(SenderRepr::Model(Arc::clone(&inner), Arc::clone(&cx))),
+                Receiver(ReceiverRepr::Model(inner, cx)),
+            )
+        }
+    }
+}
+
+/// Bounded channel with capacity `cap` (`sync_channel(0)` rendezvous
+/// semantics are not modeled; the model treats 0 as 1).
+pub fn sync_channel<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+    match model::current() {
+        None => {
+            let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+            (
+                SyncSender(SyncSenderRepr::Std(tx)),
+                Receiver(ReceiverRepr::Std(rx)),
+            )
+        }
+        Some(cx) => {
+            let inner = Arc::new(ChanInner {
+                uid: model::fresh_uid(),
+                q: StdMutex::new(VecDeque::new()),
+            });
+            cx.register_chan(inner.uid, cap.max(1));
+            (
+                SyncSender(SyncSenderRepr::Model(Arc::clone(&inner), Arc::clone(&cx))),
+                Receiver(ReceiverRepr::Model(inner, cx)),
+            )
+        }
+    }
+}
+
+fn model_send<T>(inner: &ChanInner<T>, cx: &Arc<Ctx>, v: T) -> Result<(), SendError<T>> {
+    match cx.yield_op(model::current_tid(), Op::ChanSend(inner.uid)) {
+        Outcome::Unit => {
+            inner.push(v);
+            Ok(())
+        }
+        Outcome::Disconnected => Err(SendError(v)),
+        other => unreachable!("send outcome {:?}", other),
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SenderRepr::Std(tx) => tx.send(v),
+            SenderRepr::Model(inner, cx) => model_send(inner, cx, v),
+        }
+    }
+}
+
+impl<T> SyncSender<T> {
+    /// Blocks while the queue is at capacity (a scheduling point under
+    /// the model).
+    pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SyncSenderRepr::Std(tx) => tx.send(v),
+            SyncSenderRepr::Model(inner, cx) => model_send(inner, cx, v),
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            SenderRepr::Std(tx) => Sender(SenderRepr::Std(tx.clone())),
+            SenderRepr::Model(inner, cx) => {
+                cx.chan_sender_cloned(inner.uid);
+                Sender(SenderRepr::Model(Arc::clone(inner), Arc::clone(cx)))
+            }
+        }
+    }
+}
+
+impl<T> Clone for SyncSender<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            SyncSenderRepr::Std(tx) => SyncSender(SyncSenderRepr::Std(tx.clone())),
+            SyncSenderRepr::Model(inner, cx) => {
+                cx.chan_sender_cloned(inner.uid);
+                SyncSender(SyncSenderRepr::Model(Arc::clone(inner), Arc::clone(cx)))
+            }
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if let SenderRepr::Model(inner, cx) = &self.0 {
+            if model::active() {
+                cx.yield_op(model::current_tid(), Op::ChanDropSender(inner.uid));
+            }
+        }
+    }
+}
+
+impl<T> Drop for SyncSender<T> {
+    fn drop(&mut self) {
+        if let SyncSenderRepr::Model(inner, cx) = &self.0 {
+            if model::active() {
+                cx.yield_op(model::current_tid(), Op::ChanDropSender(inner.uid));
+            }
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a value or until every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        match &self.0 {
+            ReceiverRepr::Std(rx) => rx.recv(),
+            ReceiverRepr::Model(inner, cx) => {
+                match cx.yield_op(model::current_tid(), Op::ChanRecv(inner.uid)) {
+                    Outcome::RecvReady => Ok(inner.pop().expect("model grant implies a value")),
+                    Outcome::Disconnected => Err(RecvError),
+                    other => unreachable!("recv outcome {:?}", other),
+                }
+            }
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        match &self.0 {
+            ReceiverRepr::Std(rx) => rx.try_recv(),
+            ReceiverRepr::Model(inner, cx) => {
+                match cx.yield_op(model::current_tid(), Op::ChanTryRecv(inner.uid)) {
+                    Outcome::RecvReady => Ok(inner.pop().expect("model grant implies a value")),
+                    Outcome::Disconnected => Err(TryRecvError::Disconnected),
+                    Outcome::Empty => Err(TryRecvError::Empty),
+                    other => unreachable!("try_recv outcome {:?}", other),
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if let ReceiverRepr::Model(inner, cx) = &self.0 {
+            if model::active() {
+                cx.yield_op(model::current_tid(), Op::ChanDropReceiver(inner.uid));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_paths_round_trip() {
+        let (tx, rx) = channel();
+        tx.send(41).unwrap();
+        assert_eq!(rx.recv().unwrap(), 41);
+        let (stx, srx) = sync_channel(1);
+        stx.clone().send("x").unwrap();
+        assert_eq!(srx.recv().unwrap(), "x");
+        drop(stx);
+        assert_eq!(srx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}

@@ -1,0 +1,108 @@
+//! Thread facade. Under the model, `spawn` registers a child model
+//! thread with the scheduler (it runs only when granted the token) and
+//! `join` is a visible operation enabled once the child finished. The
+//! child's return value travels through a shared slot rather than the
+//! OS join, so the explorer can reap every OS thread at end of run
+//! regardless of whether the model joined it.
+
+use crate::model::{self, Op, Uid};
+use std::io;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+enum HandleRepr<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        uid: Uid,
+        slot: Arc<StdMutex<Option<T>>>,
+        cx: Arc<model::Ctx>,
+    },
+}
+
+pub struct JoinHandle<T>(HandleRepr<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish (a scheduling point under the
+    /// model). A child that panicked inside the model has already been
+    /// reported as a violation; its join yields an opaque error.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            HandleRepr::Std(h) => h.join(),
+            HandleRepr::Model { uid, slot, cx } => {
+                cx.yield_op(model::current_tid(), Op::Join(uid));
+                slot.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .ok_or_else(|| -> Box<dyn std::any::Any + Send> {
+                        Box::new("model thread panicked".to_string())
+                    })
+            }
+        }
+    }
+}
+
+/// Mirror of `std::thread::Builder` (name only).
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match model::current() {
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(HandleRepr::Std(h)))
+            }
+            Some(cx) => {
+                let name = self
+                    .name
+                    .unwrap_or_else(|| format!("t{}", model::fresh_uid()));
+                let slot = Arc::new(StdMutex::new(None));
+                let slot2 = Arc::clone(&slot);
+                let (_tid, uid) = model::spawn_model_thread(&cx, name, move || {
+                    let v = f();
+                    *slot2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                });
+                Ok(JoinHandle(HandleRepr::Model { uid, slot, cx }))
+            }
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn std_spawn_and_join() {
+        let h = Builder::new()
+            .name("worker".to_string())
+            .spawn(|| 6 * 7)
+            .unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,100 @@
+//! Time facade: real `std::time::Instant` normally, a deterministic
+//! virtual clock (1 tick = 1 ns) under the model. `Instant::now()`
+//! advances the virtual clock by one tick so successive timestamps are
+//! strictly ordered; `model::advance` moves it in bulk.
+
+use crate::model;
+use std::time::Duration;
+
+/// Drop-in subset of `std::time::Instant`. Real and virtual instants
+/// are never mixed: a process is either inside `model::explore` (all
+/// virtual) or not (all real).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Instant {
+    Real(std::time::Instant),
+    /// Nanosecond ticks on the model's virtual clock.
+    Virtual(u64),
+}
+
+impl Instant {
+    pub fn now() -> Instant {
+        match model::current() {
+            Some(cx) => Instant::Virtual(cx.clock_tick()),
+            None => Instant::Real(std::time::Instant::now()),
+        }
+    }
+
+    /// Saturating `self - earlier` (zero if `earlier` is later).
+    pub fn saturating_duration_since(&self, earlier: Instant) -> Duration {
+        match (self, earlier) {
+            (Instant::Real(a), Instant::Real(b)) => a.saturating_duration_since(b),
+            (Instant::Virtual(a), Instant::Virtual(b)) => Duration::from_nanos(a.saturating_sub(b)),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// `self - earlier`; like the saturating form (panicking on
+    /// non-monotonicity buys nothing here).
+    pub fn duration_since(&self, earlier: Instant) -> Duration {
+        self.saturating_duration_since(earlier)
+    }
+
+    pub fn elapsed(&self) -> Duration {
+        Instant::now().saturating_duration_since(*self)
+    }
+
+    pub fn checked_add(&self, d: Duration) -> Option<Instant> {
+        match self {
+            Instant::Real(a) => a.checked_add(d).map(Instant::Real),
+            Instant::Virtual(t) => {
+                let nanos = u64::try_from(d.as_nanos()).ok()?;
+                t.checked_add(nanos).map(Instant::Virtual)
+            }
+        }
+    }
+}
+
+impl std::ops::Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, d: Duration) -> Instant {
+        match self {
+            Instant::Real(a) => Instant::Real(a + d),
+            Instant::Virtual(t) => {
+                Instant::Virtual(t.saturating_add(d.as_nanos().min(u128::from(u64::MAX)) as u64))
+            }
+        }
+    }
+}
+
+impl std::ops::Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, other: Instant) -> Duration {
+        self.saturating_duration_since(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_instants_order_and_add() {
+        let a = Instant::now();
+        let b = a + Duration::from_millis(1);
+        assert!(b > a);
+        assert_eq!(b.saturating_duration_since(a), Duration::from_millis(1));
+        assert_eq!(a.saturating_duration_since(b), Duration::ZERO);
+    }
+
+    #[test]
+    fn virtual_instants_are_ticks() {
+        let a = Instant::Virtual(10);
+        let b = a + Duration::from_nanos(5);
+        assert_eq!(b, Instant::Virtual(15));
+        assert_eq!(b - a, Duration::from_nanos(5));
+        assert_eq!(
+            b.checked_add(Duration::from_nanos(1)),
+            Some(Instant::Virtual(16))
+        );
+    }
+}

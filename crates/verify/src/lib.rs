@@ -19,18 +19,30 @@
 //!    [`fmm_machine::communication_budget`] through the same comparator
 //!    the runtime model test uses; data-independent phases (upward
 //!    gather, downward broadcast + halo) are byte-exact.
-//! 4. **Determinism lints** ([`passes::lints`]) — lexical checks over
-//!    the numeric crates for undocumented `unsafe`, unordered hashed
-//!    containers, and unjustified parallel reductions.
+//! 4. **Lifecycle progress** ([`passes::lifecycle`]) — the serve
+//!    request state machine ([`fmm_serve::lifecycle`]) is acyclic, every
+//!    state is reachable, and every request reaches exactly one terminal
+//!    (`Reply` or `Drain`).
+//! 5. **No reply after shutdown** ([`passes::lifecycle`]) — every
+//!    shutdown-tagged transition ends in `Drain`; no handler path can
+//!    answer a request once the server is draining.
+//! 6. **Framing totality** ([`passes::framing`]) — the FMM1 binary codec
+//!    round-trips bit-exactly, rejects every truncation cleanly, and
+//!    bounds hostile length fields before allocating.
+//! 7. **Determinism + concurrency lints** ([`passes::lints`]) — lexical
+//!    checks over the workspace sources for undocumented `unsafe`,
+//!    unordered hashed containers, unjustified parallel reductions,
+//!    `Condvar` waits outside a retry loop, and nested lock acquisition
+//!    without a `// lock-order:` note.
 //!
-//! A mutation hook ([`lower::apply_mutation`]) injects one-sided
-//! schedule faults (a flipped CSHIFT direction, a dropped receive) so CI
-//! can prove the analyzer rejects what it should — see the `check` CLI:
+//! A mutation hook injects one-sided faults (a flipped CSHIFT direction,
+//! a dropped receive, a reply-on-shutdown lifecycle edge) so CI can
+//! prove the analyzer rejects what it should — see the `check` CLI:
 //!
 //! ```text
 //! cargo run -p fmm-verify -- check [--depth D] [--workers P] [--order O]
-//!                                  [--forces] [--mutate flipped-shift|dropped-recv]
-//!                                  [--skip-lints]
+//!                                  [--forces] [--skip-lints]
+//!                                  [--mutate flipped-shift|dropped-recv|reply-after-shutdown]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -216,14 +228,78 @@ pub fn run_checks(cfg: &CheckConfig) -> Report {
         }),
     }
 
+    // The serve lifecycle machine: built mutated when the smoke test
+    // asks for a handler that answers on the shutdown path.
+    let machine = match cfg.mutate {
+        Some(Mutation::ReplyAfterShutdown) => fmm_serve::lifecycle::Lifecycle::serve().with_edge(
+            fmm_serve::lifecycle::State::Frame,
+            fmm_serve::lifecycle::State::Reply,
+            "reply-after-shutdown",
+            true,
+        ),
+        _ => fmm_serve::lifecycle::Lifecycle::serve(),
+    };
+
+    match passes::lifecycle::check_progress(&machine) {
+        Ok(s) => passes.push(PassResult {
+            name: "lifecycle-progress",
+            ok: true,
+            detail: format!(
+                "{} states / {} transitions reachable, acyclic; every request \
+                 reaches exactly one of {} terminals",
+                s.states, s.transitions, s.terminals
+            ),
+        }),
+        Err(errs) => passes.push(PassResult {
+            name: "lifecycle-progress",
+            ok: false,
+            detail: format!("{} defect(s)\n{}", errs.len(), list(&errs, 8)),
+        }),
+    }
+
+    match passes::lifecycle::check_no_reply_after_shutdown(&machine) {
+        Ok(n) => passes.push(PassResult {
+            name: "no-reply-after-shutdown",
+            ok: true,
+            detail: format!("{n} shutdown-tagged edges all end in drain"),
+        }),
+        Err(errs) => passes.push(PassResult {
+            name: "no-reply-after-shutdown",
+            ok: false,
+            detail: format!("{} defect(s)\n{}", errs.len(), list(&errs, 8)),
+        }),
+    }
+
+    match passes::framing::check() {
+        Ok(s) => passes.push(PassResult {
+            name: "framing-totality",
+            ok: true,
+            detail: format!(
+                "{} round-trip identities, {} truncations/hostile inputs cleanly \
+                 rejected, {} opcode bytes classified",
+                s.round_trips, s.truncations, s.opcodes
+            ),
+        }),
+        Err(errs) => passes.push(PassResult {
+            name: "framing-totality",
+            ok: false,
+            detail: format!("{} defect(s)\n{}", errs.len(), list(&errs, 8)),
+        }),
+    }
+
     if !cfg.skip_lints {
         match passes::lints::check(&passes::lints::default_workspace_root()) {
             Ok(s) => passes.push(PassResult {
                 name: "determinism-lints",
                 ok: true,
                 detail: format!(
-                    "{} files; {} unsafe sites documented, {} det annotations",
-                    s.files_scanned, s.documented_unsafe, s.det_annotations
+                    "{} files; {} unsafe sites documented, {} det annotations, \
+                     {} looped waits, {} lock-order notes",
+                    s.files_scanned,
+                    s.documented_unsafe,
+                    s.det_annotations,
+                    s.looped_waits,
+                    s.lock_order_annotations
                 ),
             }),
             Err(errs) => passes.push(PassResult {

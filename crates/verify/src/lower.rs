@@ -65,6 +65,10 @@ pub enum Mutation {
     /// Rank 0 forgets to post its first receive, leaving one send
     /// unmatched.
     DroppedRecv,
+    /// The serve lifecycle machine grows a shutdown-tagged edge into
+    /// `Reply` (a handler answering on the shutdown path). Applied when
+    /// the machine is built, not here — see `run_checks`.
+    ReplyAfterShutdown,
 }
 
 impl Mutation {
@@ -72,6 +76,7 @@ impl Mutation {
         match s {
             "flipped-shift" => Some(Mutation::FlippedShift),
             "dropped-recv" => Some(Mutation::DroppedRecv),
+            "reply-after-shutdown" => Some(Mutation::ReplyAfterShutdown),
             _ => None,
         }
     }
@@ -119,5 +124,8 @@ pub fn apply_mutation(low: &mut Lowered, m: Mutation) {
                 .unwrap();
             step.ops[0].remove(i);
         }
+        // Not a schedule fault: this mutation lives in the lifecycle
+        // machine, which `run_checks` builds mutated instead.
+        Mutation::ReplyAfterShutdown => {}
     }
 }

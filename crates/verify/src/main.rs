@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! cargo run -p fmm-verify -- check [--depth D] [--workers P] [--order O]
-//!                                  [--forces] [--mutate flipped-shift|dropped-recv]
-//!                                  [--skip-lints]
+//!                                  [--forces] [--skip-lints]
+//!                                  [--mutate flipped-shift|dropped-recv|reply-after-shutdown]
 //! ```
 //!
 //! Exit status 0 iff every pass is green; on failure the failing passes
@@ -16,7 +16,8 @@ use fmm_verify::{run_checks, CheckConfig, Mutation};
 fn usage() -> ! {
     eprintln!(
         "usage: fmm-verify check [--depth D] [--workers P] [--order O] \
-         [--forces] [--mutate flipped-shift|dropped-recv] [--skip-lints]"
+         [--forces] [--skip-lints] \
+         [--mutate flipped-shift|dropped-recv|reply-after-shutdown]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,217 @@
+//! Pass 7 — framing round-trip totality.
+//!
+//! The binary front door's codec ([`fmm_serve::protocol`]) must be
+//! *total*: every encode/decode pair is an identity, every truncation
+//! of a valid payload is a clean `Err` (never a panic, never a partial
+//! parse that silently drops particles), every opcode byte is either a
+//! known frame or `None`, and a hostile length field fails **before**
+//! allocating. This pass runs the codec over a deterministic corpus
+//! derived from representative requests; the randomized counterpart
+//! (proptest over arbitrary byte soup) lives in
+//! `crates/serve/tests/fuzz_protocol.rs`.
+
+use fmm_serve::protocol::{
+    self, decode_eval_response, decode_evaluate, encode_eval_response, encode_evaluate,
+    EvalRequest, EvalResponse, Opcode, Shape,
+};
+
+/// Summary of a clean framing analysis.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FramingSummary {
+    /// Encode→decode identities verified (requests and responses).
+    pub round_trips: usize,
+    /// Truncated payloads that decoded to a clean error.
+    pub truncations: usize,
+    /// Opcode bytes classified (the whole `u8` space).
+    pub opcodes: usize,
+}
+
+fn shapes() -> Vec<Shape> {
+    let base = Shape {
+        order: 3,
+        depth: 2,
+        separation: 2,
+        mixed: false,
+        forces: false,
+    };
+    vec![
+        base,
+        Shape {
+            forces: true,
+            ..base
+        },
+        Shape {
+            mixed: true,
+            separation: 1,
+            ..base
+        },
+        Shape {
+            order: 8,
+            depth: 5,
+            forces: true,
+            mixed: true,
+            ..base
+        },
+    ]
+}
+
+fn request(shape: Shape, n: usize) -> EvalRequest {
+    EvalRequest {
+        shape,
+        positions: (0..n)
+            .map(|i| {
+                let f = i as f64 / (n.max(1) as f64);
+                [f, (f * 1.7) % 1.0, (f * 2.3) % 1.0]
+            })
+            .collect(),
+        charges: (0..n).map(|i| 1.0 - 2.0 * ((i % 2) as f64)).collect(),
+    }
+}
+
+fn req_eq(a: &EvalRequest, b: &EvalRequest) -> bool {
+    // Bitwise comparison: the wire format stores f64 LE bit patterns,
+    // so a round trip must preserve every bit, NaNs included.
+    a.shape == b.shape
+        && a.positions.len() == b.positions.len()
+        && a.charges.len() == b.charges.len()
+        && a.positions
+            .iter()
+            .zip(&b.positions)
+            .all(|(x, y)| x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()))
+        && a.charges
+            .iter()
+            .zip(&b.charges)
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+}
+
+fn resp_eq(a: &EvalResponse, b: &EvalResponse) -> bool {
+    a.batch_size == b.batch_size
+        && a.potentials.len() == b.potentials.len()
+        && a.potentials
+            .iter()
+            .zip(&b.potentials)
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+        && match (&a.fields, &b.fields) {
+            (None, None) => true,
+            (Some(x), Some(y)) => {
+                x.len() == y.len()
+                    && x.iter()
+                        .zip(y)
+                        .all(|(r, s)| r.iter().zip(s).all(|(p, q)| p.to_bits() == q.to_bits()))
+            }
+            _ => false,
+        }
+}
+
+/// Run the codec over the corpus.
+pub fn check() -> Result<FramingSummary, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut summary = FramingSummary::default();
+
+    for shape in shapes() {
+        for n in [1usize, 3, 17] {
+            let req = request(shape, n);
+            // The encoding carries the opcode byte at [0]; the server
+            // decodes the payload after it (mirroring `handle_binary`).
+            let enc = encode_evaluate(&req);
+            let payload = &enc[1..];
+            // Identity: decode(encode(r)) == r, bit for bit.
+            match decode_evaluate(payload) {
+                Ok(back) if req_eq(&req, &back) => summary.round_trips += 1,
+                Ok(_) => errors.push(format!(
+                    "evaluate round trip not identity ({shape:?}, n={n})"
+                )),
+                Err(e) => errors.push(format!(
+                    "evaluate round trip failed ({shape:?}, n={n}): {e}"
+                )),
+            }
+            // Totality under truncation: every proper prefix is a clean Err.
+            for cut in 0..payload.len() {
+                if decode_evaluate(&payload[..cut]).is_ok() {
+                    errors.push(format!(
+                        "truncated evaluate payload ({cut} of {} bytes) parsed as valid",
+                        payload.len()
+                    ));
+                } else {
+                    summary.truncations += 1;
+                }
+            }
+
+            let resp = EvalResponse {
+                potentials: req.charges.clone(),
+                fields: shape.forces.then(|| req.positions.clone()),
+                batch_size: n,
+            };
+            // A response payload starts at its status byte — the decoder
+            // consumes the whole frame payload.
+            let enc = encode_eval_response(&resp);
+            match decode_eval_response(&enc, shape.forces) {
+                Ok(back) if resp_eq(&resp, &back) => summary.round_trips += 1,
+                Ok(_) => errors.push(format!(
+                    "response round trip not identity ({shape:?}, n={n})"
+                )),
+                Err(e) => errors.push(format!(
+                    "response round trip failed ({shape:?}, n={n}): {e}"
+                )),
+            }
+            for cut in 0..enc.len() {
+                if decode_eval_response(&enc[..cut], shape.forces).is_ok() {
+                    errors.push(format!(
+                        "truncated response ({cut} of {} bytes) parsed as valid",
+                        enc.len()
+                    ));
+                } else {
+                    summary.truncations += 1;
+                }
+            }
+        }
+    }
+
+    // A hostile particle count must fail before allocating 96 GiB.
+    let mut hostile = vec![0u8; 12];
+    hostile[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+    if decode_evaluate(&hostile).is_ok() {
+        errors.push("hostile particle count (u32::MAX) accepted".into());
+    } else {
+        summary.truncations += 1;
+    }
+
+    // Opcode space is total: the four known frames and nothing else.
+    for b in 0..=255u8 {
+        let known = matches!(b, 1..=4);
+        match Opcode::from_u8(b) {
+            Some(_) if known => summary.opcodes += 1,
+            None if !known => summary.opcodes += 1,
+            Some(op) => errors.push(format!("opcode byte {b} unexpectedly maps to {op:?}")),
+            None => errors.push(format!("known opcode byte {b} rejected")),
+        }
+    }
+
+    // The frame length cap holds on the read path: a length prefix just
+    // over MAX_FRAME is rejected without reading the body.
+    let mut oversized = Vec::new();
+    oversized.extend_from_slice(&(protocol::MAX_FRAME + 1).to_le_bytes());
+    match protocol::read_frame(&mut oversized.as_slice()) {
+        Err(_) => summary.truncations += 1,
+        Ok(_) => errors.push("frame over MAX_FRAME accepted by read_frame".into()),
+    }
+
+    if errors.is_empty() {
+        Ok(summary)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_total() {
+        let s = check().expect("codec total over the corpus");
+        assert!(s.round_trips >= 24, "round trips: {}", s.round_trips);
+        assert!(s.truncations > 1000, "truncations: {}", s.truncations);
+        assert_eq!(s.opcodes, 256);
+    }
+}

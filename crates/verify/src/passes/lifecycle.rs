@@ -1,0 +1,167 @@
+//! Passes 5–6 — the serve request lifecycle machine.
+//!
+//! [`fmm_serve::lifecycle::Lifecycle`] is the typed transition relation
+//! the server's handlers witness at runtime (every handler step is
+//! checked against it). These passes prove the machine itself is sound,
+//! so the runtime witness means something:
+//!
+//! * **progress** — every state is reachable from `Accept`, the
+//!   relation is acyclic (a progress measure exists), terminals have no
+//!   outgoing edges (a request reaches exactly one terminal), and every
+//!   non-terminal state reaches a terminal (no request can get stuck
+//!   mid-machine).
+//! * **no-reply-after-shutdown** — every transition tagged
+//!   `during_shutdown` ends in the `Drain` terminal: once a request is
+//!   on the shutdown path it is never answered as if accepted. (Jobs
+//!   enqueued *before* shutdown still drain to `Reply` — that ordering
+//!   is a concurrency property, proven over all interleavings by
+//!   fmm-check's `shutdown-drains-all-jobs` model, not here.)
+
+use fmm_serve::lifecycle::{Lifecycle, State};
+
+/// Summary of a clean lifecycle analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleSummary {
+    pub states: usize,
+    pub transitions: usize,
+    pub shutdown_edges: usize,
+    pub terminals: usize,
+}
+
+fn successors(lc: &Lifecycle, s: State) -> Vec<State> {
+    lc.transitions()
+        .iter()
+        .filter(|t| t.from == s)
+        .map(|t| t.to)
+        .collect()
+}
+
+/// States reachable from `from` (inclusive), in deterministic order.
+fn reachable(lc: &Lifecycle, from: State) -> Vec<State> {
+    let mut seen = vec![from];
+    let mut frontier = vec![from];
+    while let Some(s) = frontier.pop() {
+        for n in successors(lc, s) {
+            if !seen.contains(&n) {
+                seen.push(n);
+                frontier.push(n);
+            }
+        }
+    }
+    seen
+}
+
+/// Progress: reachability, acyclicity, terminal discipline.
+pub fn check_progress(lc: &Lifecycle) -> Result<LifecycleSummary, Vec<String>> {
+    let mut errors = Vec::new();
+    let from_accept = reachable(lc, State::Accept);
+    for s in State::ALL {
+        if !from_accept.contains(&s) {
+            errors.push(format!("state {} unreachable from accept", s.name()));
+        }
+    }
+    for t in lc.transitions() {
+        if t.from.is_terminal() {
+            errors.push(format!(
+                "terminal {} has outgoing edge {} -> {} ({}): a request would \
+                 reach a second terminal",
+                t.from.name(),
+                t.from.name(),
+                t.to.name(),
+                t.label
+            ));
+        }
+    }
+    // Acyclicity: a state must never be able to return to itself.
+    for s in State::ALL {
+        if successors(lc, s)
+            .into_iter()
+            .any(|n| reachable(lc, n).contains(&s))
+        {
+            errors.push(format!("cycle through {}: no progress measure", s.name()));
+        }
+    }
+    // Every non-terminal reaches a terminal (no stuck requests).
+    for s in State::ALL {
+        if !s.is_terminal() && !reachable(lc, s).iter().any(|r| r.is_terminal()) {
+            errors.push(format!("{} cannot reach a terminal", s.name()));
+        }
+    }
+    if errors.is_empty() {
+        Ok(LifecycleSummary {
+            states: State::ALL.len(),
+            transitions: lc.transitions().len(),
+            shutdown_edges: lc
+                .transitions()
+                .iter()
+                .filter(|t| t.during_shutdown)
+                .count(),
+            terminals: State::ALL.iter().filter(|s| s.is_terminal()).count(),
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+/// Shutdown discipline: tagged edges may only end the request in
+/// `Drain`. Returns the number of shutdown edges checked.
+pub fn check_no_reply_after_shutdown(lc: &Lifecycle) -> Result<usize, Vec<String>> {
+    let errors: Vec<String> = lc
+        .transitions()
+        .iter()
+        .filter(|t| t.during_shutdown && t.to != State::Drain)
+        .map(|t| {
+            format!(
+                "shutdown-tagged edge {} -> {} ({}) does not drain: the server \
+                 would answer a request on the shutdown path",
+                t.from.name(),
+                t.to.name(),
+                t.label
+            )
+        })
+        .collect();
+    if errors.is_empty() {
+        Ok(lc
+            .transitions()
+            .iter()
+            .filter(|t| t.during_shutdown)
+            .count())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_machine_is_sound() {
+        let lc = Lifecycle::serve();
+        let s = check_progress(&lc).expect("progress holds");
+        assert_eq!(s.terminals, 2);
+        assert!(s.shutdown_edges >= 2);
+        assert!(check_no_reply_after_shutdown(&lc).expect("drains only") >= 2);
+    }
+
+    #[test]
+    fn reply_after_shutdown_mutant_is_rejected() {
+        let lc = Lifecycle::serve().with_edge(State::Frame, State::Reply, "reply-anyway", true);
+        let errs = check_no_reply_after_shutdown(&lc).expect_err("mutant rejected");
+        assert!(errs[0].contains("reply-anyway"), "{errs:?}");
+        // Progress still holds — the bug is purely a shutdown-discipline
+        // violation, so only the dedicated pass catches it.
+        check_progress(&lc).expect("progress unaffected");
+    }
+
+    #[test]
+    fn terminal_with_outgoing_edge_is_rejected() {
+        let lc = Lifecycle::serve().with_edge(State::Reply, State::Frame, "loop-back", false);
+        let errs = check_progress(&lc).expect_err("second terminal rejected");
+        assert!(
+            errs.iter().any(|e| e.contains("second terminal")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("cycle")), "{errs:?}");
+    }
+}

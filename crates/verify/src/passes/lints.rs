@@ -18,6 +18,25 @@
 //!   order; each site must justify itself (integer accumulation, or an
 //!   ordered sequential fold on the deterministic path).
 //!
+//! Two concurrency lints guard the serve control plane (and everything
+//! else that takes a lock):
+//!
+//! * **`Condvar::wait` outside a retry loop** — condition variables
+//!   admit spurious wakeups and lost races between the wake and the
+//!   re-lock; every `.wait(guard)` / `.wait_timeout(guard, d)` must sit
+//!   lexically inside an enclosing `loop`/`while` that re-checks the
+//!   predicate. A site that is genuinely exempt (e.g. the `fmm-sync`
+//!   facade forwarding to the primitive it wraps) must say so with a
+//!   `// cv-loop:` comment.
+//! * **multiple locks in one function without `// lock-order:`** — a
+//!   function that acquires two *different* locks is where AB/BA
+//!   deadlocks are born; it must carry a `// lock-order:` comment
+//!   naming the global order it follows. (Conservative by design: the
+//!   lexical pass cannot see whether the guards overlap, so sequential
+//!   acquisitions pay one comment too. fmm-check's `lock-order` model
+//!   proves the order deadlock-free dynamically; this lint keeps the
+//!   justification next to the code.)
+//!
 //! These are lexical checks, deliberately: they run in milliseconds with
 //! no compiler in the loop, and the annotation they demand is exactly
 //! the reviewer-facing justification we want in the source anyway.
@@ -33,6 +52,8 @@ pub enum LintRule {
     UndocumentedUnsafe,
     UnjustifiedHashContainer,
     UnjustifiedParallelReduction,
+    CondvarWaitNotLooped,
+    NestedLockWithoutOrder,
 }
 
 impl std::fmt::Display for LintRule {
@@ -41,6 +62,10 @@ impl std::fmt::Display for LintRule {
             LintRule::UndocumentedUnsafe => "unsafe block without // SAFETY:",
             LintRule::UnjustifiedHashContainer => "HashMap/HashSet without // det:",
             LintRule::UnjustifiedParallelReduction => "parallel reduction without // det:",
+            LintRule::CondvarWaitNotLooped => {
+                "Condvar wait outside a loop/while retry (or // cv-loop:)"
+            }
+            LintRule::NestedLockWithoutOrder => "multiple locks in one fn without // lock-order:",
         })
     }
 }
@@ -74,6 +99,10 @@ pub struct LintSummary {
     pub files_scanned: usize,
     pub documented_unsafe: usize,
     pub det_annotations: usize,
+    /// Condvar waits found inside a retry loop.
+    pub looped_waits: usize,
+    /// `// lock-order:` justifications found.
+    pub lock_order_annotations: usize,
 }
 
 /// Does any of `lines[lo..=hi]` (saturating) carry `marker`?
@@ -118,6 +147,76 @@ fn is_unsafe_block(line: &str) -> bool {
         }
     }
     false
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+/// Is line `i` lexically inside a `loop { … }` or `while … { … }` body
+/// of its function? Ascends the (indentation-approximated) block tree:
+/// each step considers only lines less indented than everything between
+/// them and the call, and stops at the function header.
+fn inside_retry_loop(lines: &[&str], i: usize) -> bool {
+    let mut indent = indent_of(lines[i]);
+    if indent == 0 {
+        return false;
+    }
+    for j in (0..i).rev() {
+        let l = lines[j];
+        let t = l.trim_start();
+        if t.is_empty() || t.starts_with("//") {
+            continue;
+        }
+        let ind = indent_of(l);
+        if ind >= indent {
+            continue;
+        }
+        if t.starts_with("loop") || t.starts_with("while ") || t.contains("= loop {") {
+            return true;
+        }
+        if t.starts_with("fn ") || t.contains(" fn ") {
+            return false;
+        }
+        indent = ind;
+        if indent == 0 {
+            return false;
+        }
+    }
+    false
+}
+
+/// A `Condvar`-style blocking wait: `.wait(guard)` / `.wait_timeout(…)`.
+/// Zero-argument `.wait()` (e.g. `Child::wait`) and `.wait_while(…)`
+/// (loops internally) are not retry hazards.
+fn is_condvar_wait(code: &str) -> bool {
+    if code.contains(".wait_timeout(") {
+        return true;
+    }
+    code.match_indices(".wait(")
+        .any(|(i, pat)| !code[i + pat.len()..].trim_start().starts_with(')'))
+}
+
+/// Receivers of zero-argument `.lock()` / `.read()` / `.write()` calls
+/// (the lock-acquisition spelling; `io::Read`/`Write` calls always take
+/// arguments). `self.state.lock()` yields `self.state`.
+fn lock_receivers(code: &str, out: &mut Vec<String>) {
+    for pat in [".lock()", ".read()", ".write()"] {
+        for (i, _) in code.match_indices(pat) {
+            let head = &code[..i];
+            let recv: String = head
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':'))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if !recv.is_empty() && !out.contains(&recv) {
+                out.push(recv);
+            }
+        }
+    }
 }
 
 fn scan_file(path: &Path, src: &str, errors: &mut Vec<LintError>, summary: &mut LintSummary) {
@@ -166,6 +265,70 @@ fn scan_file(path: &Path, src: &str, errors: &mut Vec<LintError>, summary: &mut 
                 rule: LintRule::UnjustifiedParallelReduction,
                 excerpt: line.to_string(),
             });
+        }
+        if is_condvar_wait(code) {
+            if inside_retry_loop(&lines, i) || window_has(&lines, i, 3, "// cv-loop:") {
+                summary.looped_waits += 1;
+            } else {
+                errors.push(LintError {
+                    file: path.to_path_buf(),
+                    line: i + 1,
+                    rule: LintRule::CondvarWaitNotLooped,
+                    excerpt: line.to_string(),
+                });
+            }
+        }
+    }
+    scan_fn_lock_order(path, &lines, errors, summary);
+}
+
+/// The nested-lock rule: within one function (up to the top-level test
+/// module), acquisitions of two or more distinct locks require a
+/// `// lock-order:` justification anywhere in that function.
+fn scan_fn_lock_order(
+    path: &Path,
+    lines: &[&str],
+    errors: &mut Vec<LintError>,
+    summary: &mut LintSummary,
+) {
+    let limit = lines
+        .iter()
+        .position(|l| l.trim() == "#[cfg(test)]")
+        .unwrap_or(lines.len());
+    let is_fn_header = |l: &str| {
+        let code = strip_strings(l);
+        let code = code.split("//").next().unwrap_or("").trim_start();
+        code.starts_with("fn ") || code.contains(" fn ")
+    };
+    let mut headers: Vec<usize> = (0..limit).filter(|&i| is_fn_header(lines[i])).collect();
+    headers.push(limit);
+    for win in headers.windows(2) {
+        let (start, end) = (win[0], win[1]);
+        let mut receivers: Vec<String> = Vec::new();
+        let mut second_site = None;
+        let mut has_order = false;
+        for (i, &line) in lines.iter().enumerate().take(end).skip(start) {
+            if line.contains("// lock-order:") {
+                has_order = true;
+                summary.lock_order_annotations += 1;
+            }
+            let stripped = strip_strings(line);
+            let code = stripped.split("//").next().unwrap_or("");
+            let before = receivers.len();
+            lock_receivers(code, &mut receivers);
+            if before < 2 && receivers.len() >= 2 && second_site.is_none() {
+                second_site = Some(i);
+            }
+        }
+        if let Some(i) = second_site {
+            if !has_order {
+                errors.push(LintError {
+                    file: path.to_path_buf(),
+                    line: i + 1,
+                    rule: LintRule::NestedLockWithoutOrder,
+                    excerpt: lines[i].to_string(),
+                });
+            }
         }
     }
 }

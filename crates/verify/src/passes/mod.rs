@@ -5,4 +5,6 @@
 pub mod budget;
 pub mod deadlock;
 pub mod endpoints;
+pub mod framing;
+pub mod lifecycle;
 pub mod lints;
