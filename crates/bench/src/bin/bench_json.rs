@@ -18,6 +18,14 @@
 //!    on the Table-4 configuration, plus wall-clock scaling over worker
 //!    counts; written to `BENCH_spmd.json`.
 //!
+//! 5. **Load balance** — per-worker flop and busy-time spreads of the
+//!    uniform block layout vs the cost-weighted partition on clustered
+//!    distributions (Plummer, two-cluster) at p ∈ {2, 8}; written to
+//!    `BENCH_balance.json`. The flop counters are deterministic, so
+//!    `--check` gates them strictly: cost-weighted imbalance must stay
+//!    under 10% at p = 8 where uniform exceeds 3x, with bitwise-identical
+//!    outputs.
+//!
 //! JSON is written by hand — the harness has no serde dependency.
 //!
 //! Run: `cargo run --release -p fmm-bench --bin bench_json [--seeded|--check]`
@@ -33,11 +41,11 @@
 //! shared runners use 0.5.
 
 use fmm_bench::util::best_of;
-use fmm_bench::workloads::{uniform, unit_charges};
+use fmm_bench::workloads::{mixed_charges, uniform, unit_charges, Distribution};
 use fmm_core::near::{near_field_potentials, near_field_symmetric_colored, ColorSchedule};
 use fmm_core::near32::near_field_potentials_f32;
 use fmm_core::particles::BinnedParticles;
-use fmm_core::{Domain, Executor, Fmm, FmmConfig, Separation};
+use fmm_core::{Balance, Domain, Executor, Fmm, FmmConfig, Separation, SpmdReport};
 use fmm_linalg::{gemm_acc_with, gemm_flops, Kernel};
 use fmm_machine::{communication_budget, Counters, ProgramConfig, VuGrid};
 use std::fmt::Write as _;
@@ -373,6 +381,145 @@ fn bench_spmd(seeded: bool) -> String {
     root.finish()
 }
 
+/// One distribution × worker-count load-balance comparison, for the
+/// `--check` gate.
+struct BalanceCase {
+    dist: Distribution,
+    workers: usize,
+    uniform_imbalance: f64,
+    cost_weighted_imbalance: f64,
+    bitwise_identical: bool,
+}
+
+/// Per-worker load spread, uniform block layout vs cost-weighted
+/// partition, on the clustered distributions at p ∈ {2, 8} — written to
+/// `BENCH_balance.json`. The flop counters (and the partition cuts) are
+/// pure functions of the seed; busy wall-clock columns are added only
+/// outside `--seeded` so the seeded file diffs byte-for-byte.
+fn bench_balance(seeded: bool) -> (String, Vec<BalanceCase>) {
+    fmm_spmd::install();
+    let (depth, n) = (4u32, 32_768usize);
+    let mut cases = Vec::new();
+    let mut entries = Vec::new();
+    for dist in [Distribution::Plummer, Distribution::TwoCluster] {
+        let pts = dist.positions(n, 99);
+        let q = mixed_charges(n, 100);
+        for p in [2usize, 8] {
+            let run = |bal: Balance| {
+                Fmm::new(
+                    FmmConfig::order(3)
+                        .depth(depth)
+                        .executor(Executor::Spmd(p))
+                        .balance(bal),
+                )
+                .unwrap()
+                .evaluate(&pts, &q)
+                .unwrap()
+            };
+            let uni = run(Balance::Uniform);
+            let cw = run(Balance::CostWeighted);
+            let bitwise = uni
+                .potentials
+                .iter()
+                .zip(&cw.potentials)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            let side = |rep: &SpmdReport| {
+                let mut o = Obj::default();
+                o.field("flop_min", rep.worker_flops.iter().min().unwrap())
+                    .field("flop_max", rep.worker_flops.iter().max().unwrap())
+                    .field(
+                        "flop_imbalance",
+                        format_args!("{:.4}", rep.flop_imbalance()),
+                    )
+                    .field(
+                        "worker_flops",
+                        json_array(rep.worker_flops.iter().map(|f| f.to_string())),
+                    );
+                if let Some(cuts) = &rep.partition {
+                    o.field(
+                        "partition_cuts",
+                        json_array(cuts.iter().map(|c| c.to_string())),
+                    );
+                }
+                if !seeded {
+                    let ms = |ns: u64| format!("{:.3}", ns as f64 / 1e6);
+                    o.field("busy_min_ms", ms(*rep.worker_busy_ns.iter().min().unwrap()))
+                        .field("busy_max_ms", ms(*rep.worker_busy_ns.iter().max().unwrap()))
+                        .field(
+                            "busy_imbalance",
+                            format_args!("{:.4}", rep.busy_imbalance()),
+                        );
+                }
+                o.finish()
+            };
+            let ru = uni.spmd.as_ref().unwrap();
+            let rc = cw.spmd.as_ref().unwrap();
+            println!(
+                "balance {:<12} p={:<2} uniform flop imbalance {:>6.3}  cost-weighted {:>6.3}  bitwise {}",
+                dist.name(),
+                p,
+                ru.flop_imbalance(),
+                rc.flop_imbalance(),
+                bitwise
+            );
+            let mut o = Obj::default();
+            o.str_field("distribution", dist.name())
+                .field("workers", p)
+                .field("uniform", side(ru))
+                .field("cost_weighted", side(rc))
+                .field("bitwise_identical", bitwise);
+            entries.push(o.finish());
+            cases.push(BalanceCase {
+                dist,
+                workers: p,
+                uniform_imbalance: ru.flop_imbalance(),
+                cost_weighted_imbalance: rc.flop_imbalance(),
+                bitwise_identical: bitwise,
+            });
+        }
+    }
+    let mut root = Obj::default();
+    root.field("seeded", seeded)
+        .field("n_particles", n)
+        .field("depth", depth)
+        .field("cases", json_array(entries));
+    (root.finish(), cases)
+}
+
+/// The deterministic load-balance gate shared by `--check` and CI: at
+/// p = 8 the cost-weighted partition must stay under 10% flop imbalance
+/// on distributions where the uniform layout exceeds 3x max/mean, and
+/// rebalancing must not change one bit of the output.
+fn balance_failures(cases: &[BalanceCase]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for c in cases {
+        if !c.bitwise_identical {
+            failures.push(format!(
+                "{} p={}: cost-weighted output differs bitwise from uniform",
+                c.dist.name(),
+                c.workers
+            ));
+        }
+        if c.workers == 8 {
+            if c.uniform_imbalance <= 2.0 {
+                failures.push(format!(
+                    "{} p=8: uniform layout imbalance {:.3} no longer exceeds 3x max/mean",
+                    c.dist.name(),
+                    c.uniform_imbalance
+                ));
+            }
+            if c.cost_weighted_imbalance >= 0.10 {
+                failures.push(format!(
+                    "{} p=8: cost-weighted flop imbalance {:.3} breaches the 10% bound",
+                    c.dist.name(),
+                    c.cost_weighted_imbalance
+                ));
+            }
+        }
+    }
+    failures
+}
+
 /// Higher-is-better rates only; wall-clock times are not gated.
 const RATE_KEYS: [&str; 7] = [
     "scalar_gflops",
@@ -411,18 +558,24 @@ fn main() {
             .expect("--check needs a committed BENCH_kernels.json baseline");
         let tolerance = fmm_bench::util::bench_tolerance(0.15);
         let (new, _) = kernels_report();
-        let failures = fmm_bench::util::check_regressions(&old, &new, &RATE_KEYS, tolerance);
+        let mut failures = fmm_bench::util::check_regressions(&old, &new, &RATE_KEYS, tolerance);
+        // The load-balance gate is flop-counter based — deterministic, so
+        // no tolerance applies.
+        let (_, cases) = bench_balance(true);
+        failures.extend(balance_failures(&cases));
         if failures.is_empty() {
             println!(
-                "\nbench --check: no regressions beyond {:.0}%",
+                "\nbench --check: no regressions beyond {:.0}%, load balance within bounds",
                 tolerance * 100.0
             );
         } else {
-            eprintln!("\nbench --check: throughput regressions detected:");
+            eprintln!("\nbench --check: regressions detected:");
             for f in &failures {
                 eprintln!("  {}", f);
             }
-            eprintln!("(override with FMM_BENCH_TOLERANCE=<fraction>, e.g. 0.5)");
+            eprintln!(
+                "(override the rate threshold with FMM_BENCH_TOLERANCE=<fraction>, e.g. 0.5)"
+            );
             std::process::exit(1);
         }
         return;
@@ -431,6 +584,9 @@ fn main() {
     let spmd = bench_spmd(seeded);
     std::fs::write("BENCH_spmd.json", &spmd).expect("write BENCH_spmd.json");
     println!("wrote BENCH_spmd.json");
+    let (balance, _) = bench_balance(seeded);
+    std::fs::write("BENCH_balance.json", &balance).expect("write BENCH_balance.json");
+    println!("wrote BENCH_balance.json");
     if seeded {
         // Deterministic mode for the CI byte-for-byte diff: the kernel
         // timing sections are inherently noisy, so only the data-motion

@@ -64,6 +64,78 @@ pub fn clustered(n: usize, seed: u64) -> Vec<[f64; 3]> {
         .collect()
 }
 
+/// A Plummer-like radial cluster at `center` with scale radius `a`,
+/// clamped to the unit cube. The radial CDF inversion is the standard
+/// Plummer sampling; the clamp keeps stragglers inside the FMM domain.
+pub fn plummer_at(n: usize, seed: u64, center: [f64; 3], a: f64) -> Vec<[f64; 3]> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let m: f64 = rng.gen::<f64>().max(1e-9);
+            let r = a / (m.powf(-2.0 / 3.0) - 1.0).max(1e-9).sqrt();
+            let r = r.min(0.45);
+            let theta = (2.0 * rng.gen::<f64>() - 1.0f64).acos();
+            let phi = 2.0 * std::f64::consts::PI * rng.gen::<f64>();
+            let p = [
+                center[0] + r * theta.sin() * phi.cos(),
+                center[1] + r * theta.sin() * phi.sin(),
+                center[2] + r * theta.cos(),
+            ];
+            [
+                p[0].clamp(0.001, 0.999),
+                p[1].clamp(0.001, 0.999),
+                p[2].clamp(0.001, 0.999),
+            ]
+        })
+        .collect()
+}
+
+/// Canonical particle distributions for the load-balance experiments:
+/// the paper's uniform systems plus the clustered cases (§3.5) where a
+/// uniform spatial decomposition concentrates most of the work on a few
+/// workers. All are pure functions of `(n, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform in the unit cube.
+    Uniform,
+    /// A single off-centre Plummer sphere — dense core away from the box
+    /// centre, so uniform block partitions land the core on few workers.
+    Plummer,
+    /// Two unequal Plummer clusters in opposite corners — a galaxy-merger
+    /// initial condition.
+    TwoCluster,
+}
+
+impl Distribution {
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Uniform,
+        Distribution::Plummer,
+        Distribution::TwoCluster,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Plummer => "plummer",
+            Distribution::TwoCluster => "two_cluster",
+        }
+    }
+
+    /// N seeded points in the unit cube; deterministic per `(self, n, seed)`.
+    pub fn positions(self, n: usize, seed: u64) -> Vec<[f64; 3]> {
+        match self {
+            Distribution::Uniform => uniform(n, seed),
+            Distribution::Plummer => plummer_at(n, seed, [0.30, 0.35, 0.40], 0.12),
+            Distribution::TwoCluster => {
+                let n1 = n * 3 / 5;
+                let mut pts = plummer_at(n1, seed, [0.24, 0.28, 0.26], 0.08);
+                pts.extend(plummer_at(n - n1, seed ^ 0x9E37, [0.74, 0.70, 0.76], 0.10));
+                pts
+            }
+        }
+    }
+}
+
 /// Direct O(N²) potential reference (sequential; use fmm-direct for the
 /// parallel baseline).
 pub fn direct_potentials(positions: &[[f64; 3]], charges: &[f64]) -> Vec<f64> {

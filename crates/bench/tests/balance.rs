@@ -1,0 +1,101 @@
+//! Load-balance smoke (CI): on clustered distributions at p = 8, the
+//! cost-weighted partitioner balances the deterministic per-worker flop
+//! counters to within 10%, where the uniform block layout exceeds 3x
+//! max/mean — and the two balance modes produce bitwise-identical
+//! outputs.
+//!
+//! Flop counters rather than wall-clock make the gate deterministic: the
+//! workers' busy times equalize in the blocking collectives, but the
+//! arithmetic each one performs is a pure function of the partition.
+
+use fmm_bench::workloads::{mixed_charges, Distribution};
+use fmm_core::{Balance, Executor, Fmm, FmmConfig};
+
+const N: usize = 32_768;
+const DEPTH: u32 = 4;
+const P: usize = 8;
+
+fn assert_balanced(dist: Distribution, with_fields: bool) {
+    fmm_spmd::install();
+    let pts = dist.positions(N, 99);
+    let q = mixed_charges(N, 100);
+    let eval = |bal: Balance| {
+        let fmm = Fmm::new(
+            FmmConfig::order(3)
+                .depth(DEPTH)
+                .executor(Executor::Spmd(P))
+                .balance(bal),
+        )
+        .unwrap();
+        if with_fields {
+            fmm.evaluate_forces(&pts, &q).unwrap()
+        } else {
+            fmm.evaluate(&pts, &q).unwrap()
+        }
+    };
+    let uni = eval(Balance::Uniform);
+    let cw = eval(Balance::CostWeighted);
+    let ru = uni.spmd.as_ref().unwrap();
+    let rc = cw.spmd.as_ref().unwrap();
+    println!(
+        "{} (forces={}): uniform flop imbalance {:.3}, cost-weighted {:.3}",
+        dist.name(),
+        with_fields,
+        ru.flop_imbalance(),
+        rc.flop_imbalance()
+    );
+
+    // The uniform block layout leaves the slowest worker with > 3x the
+    // mean flops (imbalance = max/mean - 1 > 2), the cost-weighted cut
+    // keeps it within 10%.
+    assert!(
+        ru.flop_imbalance() > 2.0,
+        "{}: uniform layout should exceed 3x max/mean, got {:.3}",
+        dist.name(),
+        ru.flop_imbalance()
+    );
+    assert!(
+        rc.flop_imbalance() < 0.10,
+        "{}: cost-weighted imbalance must stay under 10%, got {:.3}",
+        dist.name(),
+        rc.flop_imbalance()
+    );
+
+    // Rebalancing must not change a single bit of the answer.
+    assert_eq!(uni.potentials.len(), cw.potentials.len());
+    for (i, (a, b)) in uni.potentials.iter().zip(&cw.potentials).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "potential {i} differs");
+    }
+    if with_fields {
+        let fu = uni.fields.as_ref().unwrap();
+        let fc = cw.fields.as_ref().unwrap();
+        for (i, (a, b)) in fu.iter().zip(fc).enumerate() {
+            for axis in 0..3 {
+                assert_eq!(
+                    a[axis].to_bits(),
+                    b[axis].to_bits(),
+                    "field {i}.{axis} differs"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        uni.near_stats.pair_interactions,
+        cw.near_stats.pair_interactions
+    );
+}
+
+#[test]
+fn cost_weighted_balances_plummer_at_p8() {
+    assert_balanced(Distribution::Plummer, false);
+}
+
+#[test]
+fn cost_weighted_balances_two_cluster_at_p8() {
+    assert_balanced(Distribution::TwoCluster, false);
+}
+
+#[test]
+fn cost_weighted_balances_plummer_forces_at_p8() {
+    assert_balanced(Distribution::Plummer, true);
+}

@@ -84,6 +84,25 @@ pub enum Precision {
     Mixed,
 }
 
+/// How the SPMD executor assigns boxes to workers.
+///
+/// Both modes are bitwise interchangeable — the partition moves *where*
+/// each box's arithmetic runs, never what it computes — so this is purely
+/// a load-balance knob for clustered inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Balance {
+    /// The paper's uniform layout: every worker owns the same number of
+    /// boxes (block subgrids on the VU grid). Optimal for near-uniform
+    /// particle distributions, collapses on clustered ones.
+    #[default]
+    Uniform,
+    /// Weight each leaf box with an a-priori cost model (near-field pair
+    /// counts from the interaction lists plus per-level translation flops)
+    /// and split the Morton curve by cumulative cost, so every worker
+    /// carries the same modelled work. See DESIGN.md §8.
+    CostWeighted,
+}
+
 /// Full configuration of Anderson's method.
 ///
 /// The defaults for sphere radii and truncation per integration order are
@@ -134,6 +153,9 @@ pub struct FmmConfig {
     /// sweeps so leaf multipole panels stay cache-resident (bitwise
     /// identical to the unfused phases; on by default).
     pub fused: bool,
+    /// SPMD load-balance policy (ignored by the shared-memory backends,
+    /// whose work stealing makes the layout irrelevant).
+    pub balance: Balance,
 }
 
 impl FmmConfig {
@@ -170,6 +192,7 @@ impl FmmConfig {
             precision: Precision::F64,
             kernel: None,
             fused: true,
+            balance: Balance::Uniform,
         }
     }
 
@@ -253,6 +276,12 @@ impl FmmConfig {
     /// Builder-style: enable/disable the fused level sweeps.
     pub fn fused(mut self, on: bool) -> Self {
         self.fused = on;
+        self
+    }
+
+    /// Builder-style: SPMD load-balance policy.
+    pub fn balance(mut self, b: Balance) -> Self {
+        self.balance = b;
         self
     }
 

@@ -58,7 +58,7 @@ pub mod translations;
 pub mod traversal;
 
 pub use batch::{BatchOutput, BatchRequest};
-pub use config::{DepthPolicy, Executor, FmmConfig, Precision};
+pub use config::{Balance, DepthPolicy, Executor, FmmConfig, Precision};
 pub use driver::{EvalOutput, Fmm, FmmError};
 pub use error::{relative_error_stats, ErrorStats};
 pub use near::{

@@ -200,6 +200,15 @@ pub struct SpmdReport {
     pub vu_dims: [usize; 3],
     /// Measured motion per phase, in [`SpmdReport::PHASE_NAMES`] order.
     pub phases: [SpmdPhase; 6],
+    /// Per-worker busy wall-clock (sum of its six phase timings), in
+    /// nanoseconds. The spread across workers is the load-balance signal.
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-worker arithmetic flops (P2O + traversal + eval + near field).
+    /// Deterministic for a fixed input, unlike wall-clock.
+    pub worker_flops: Vec<u64>,
+    /// Leaf Morton-curve cut points when the run used
+    /// `Balance::CostWeighted` (`None` for the uniform block layout).
+    pub partition: Option<Vec<u64>>,
 }
 
 impl SpmdReport {
@@ -212,6 +221,29 @@ impl SpmdReport {
         "eval",
         "near",
     ];
+
+    /// Max-over-mean imbalance of a per-worker measure: 0.0 means every
+    /// worker carried exactly the mean, 1.0 means the slowest carried
+    /// twice it. Returns 0.0 when the measure is empty or all-zero.
+    pub fn imbalance_of(values: &[u64]) -> f64 {
+        let total: u64 = values.iter().sum();
+        if values.is_empty() || total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / values.len() as f64;
+        let max = *values.iter().max().unwrap() as f64;
+        max / mean - 1.0
+    }
+
+    /// Busy-time imbalance across workers (max/mean − 1).
+    pub fn busy_imbalance(&self) -> f64 {
+        Self::imbalance_of(&self.worker_busy_ns)
+    }
+
+    /// Flop imbalance across workers (max/mean − 1); deterministic.
+    pub fn flop_imbalance(&self) -> f64 {
+        Self::imbalance_of(&self.worker_flops)
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,8 @@ use crate::counters::Counters;
 use crate::ghost::GHOST_DEPTH;
 use crate::layout::VuGrid;
 use crate::travel::TravelPath;
+use fmm_tree::partition::{box_halo, child_flush, parent_fetch, particle_halo, slot_route};
+use fmm_tree::{Partition, Separation};
 
 /// Words moved per particle by the router sort and the travelling
 /// near-field sweep: x, y, z, q plus one bookkeeping word (the original
@@ -165,8 +167,92 @@ pub fn subgrid_extent(l: u32, vu: &VuGrid) -> Option<[usize; 3]> {
     Some(s)
 }
 
-/// Assemble the per-phase communication/compute budget.
+/// Assemble the per-phase communication/compute budget for the uniform
+/// block layout (equivalent to [`communication_budget_with`] with no
+/// partition).
 pub fn communication_budget(cfg: &ProgramConfig) -> ProgramBudget {
+    communication_budget_with(cfg, None)
+}
+
+/// Assemble the per-phase budget, optionally for a cost-weighted
+/// [`Partition`] of the leaf Morton curve instead of the uniform block
+/// layout.
+///
+/// With a partition, the upward / downward / near communication counters
+/// are no longer closed forms: they are summed from the exact exchange
+/// plans the partition induces ([`fmm_tree::partition`]) — the same plans
+/// the SPMD schedule and executor consume — so `sends` equals the
+/// machine-wide message count and `off_vu_boxes` the cross-owner K-box
+/// rows *exactly*, making the budget byte-exact against executor counters
+/// by construction. Compute flops keep the layout-independent closed
+/// forms. The partitioned near field is modelled at two-separation, like
+/// the closed-form path.
+pub fn communication_budget_with(
+    cfg: &ProgramConfig,
+    partition: Option<&Partition>,
+) -> ProgramBudget {
+    let mut budget = closed_form_budget(cfg);
+    let Some(part) = partition else {
+        return budget;
+    };
+    assert_eq!(
+        part.workers(),
+        cfg.vu_grid.len(),
+        "partition workers must match the VU grid"
+    );
+    assert_eq!(part.depth(), cfg.depth, "partition depth must match");
+    let h = cfg.depth;
+    let sep = Separation::Two;
+
+    // Upward: one child-flush exchange per computed parent level
+    // (depth−1 down to 2); no gather/broadcast embedding.
+    let mut up = Counters::default();
+    for l in 2..h {
+        let ex = child_flush(part, l);
+        up.sends += ex.messages();
+        up.off_vu_boxes += ex.rows();
+    }
+    budget.phases[2].comm = up;
+
+    // Downward: per level, a parent-fetch of local rows (l ≥ 3) and a
+    // box-halo of far rows over the interactive-field union.
+    let mut down = Counters::default();
+    for l in 2..=h {
+        if l >= 3 {
+            let ex = parent_fetch(part, l);
+            down.sends += ex.messages();
+            down.off_vu_boxes += ex.rows();
+        }
+        let ex = box_halo(part, l, sep);
+        down.sends += ex.messages();
+        down.off_vu_boxes += ex.rows();
+    }
+    budget.phases[3].comm = down;
+
+    // Near field: the travelling-slot sweep becomes per-hop routed
+    // exchanges (steps shift by −dir; returns walk the slots home), or one
+    // particle-halo exchange for forces. Payloads are data-dependent, so
+    // only the message count is predicted (bytes stay un-checked).
+    let mut near = Counters::default();
+    if cfg.forces_near {
+        near.sends += particle_halo(part, sep).messages();
+    } else {
+        let path = TravelPath::new(sep.d());
+        for s in &path.steps {
+            near.sends += slot_route(part, s.axis, -s.dir).messages();
+        }
+        for (axis, &r) in path.returns.iter().enumerate() {
+            for _ in 0..r.unsigned_abs() {
+                near.sends += slot_route(part, axis, -r.signum()).messages();
+            }
+        }
+    }
+    budget.phases[5].comm = near;
+    budget
+}
+
+/// The closed-form uniform-layout budget body.
+fn closed_form_budget(cfg: &ProgramConfig) -> ProgramBudget {
     let p = cfg.vu_grid.len() as u64;
     let k = cfg.k as u64;
     let n = cfg.n_particles();
@@ -433,6 +519,77 @@ mod tests {
         cfg.sort_miss_fraction = 0.5;
         let dirty = communication_budget(&cfg).comm_s(&cost);
         assert!(dirty > clean);
+    }
+
+    #[test]
+    fn partitioned_budget_sums_the_exchange_plans() {
+        let cfg = ProgramConfig {
+            depth: 3,
+            k: 6,
+            m: 3,
+            particles_per_box: 4.0,
+            vu_grid: VuGrid::new([2, 2, 2]),
+            supernodes: false,
+            sort_miss_fraction: 1.0 - 1.0 / 8.0,
+            forces_near: false,
+        };
+        let costs: Vec<u64> = (0..512u64)
+            .map(|i| (i.wrapping_mul(2654435761)) % 997)
+            .collect();
+        let part = Partition::cost_weighted(3, 8, &costs);
+        let b = communication_budget_with(&cfg, Some(&part));
+        // Upward is exactly the level-2 child flush.
+        let cf = child_flush(&part, 2);
+        assert_eq!(b.phases[2].comm.sends, cf.messages());
+        assert_eq!(b.phases[2].comm.off_vu_boxes, cf.rows());
+        // Downward sums parent fetches and box halos.
+        let expect: u64 = [
+            box_halo(&part, 2, Separation::Two),
+            box_halo(&part, 3, Separation::Two),
+        ]
+        .iter()
+        .map(|e| e.messages())
+        .sum::<u64>()
+            + parent_fetch(&part, 3).messages();
+        assert_eq!(b.phases[3].comm.sends, expect);
+        // P2O and eval stay communication-free.
+        assert_eq!(crate::compare::predicted_messages(&b.phases[1].comm), 0);
+        assert_eq!(crate::compare::predicted_messages(&b.phases[4].comm), 0);
+        // The forces variant prices the particle halo instead of the sweep.
+        let bf = communication_budget_with(
+            &ProgramConfig {
+                forces_near: true,
+                ..cfg.clone()
+            },
+            Some(&part),
+        );
+        assert_eq!(
+            bf.phases[5].comm.sends,
+            particle_halo(&part, Separation::Two).messages()
+        );
+    }
+
+    #[test]
+    fn single_worker_partition_has_silent_phases() {
+        let cfg = ProgramConfig {
+            depth: 3,
+            k: 6,
+            m: 3,
+            particles_per_box: 4.0,
+            vu_grid: VuGrid::new([1, 1, 1]),
+            supernodes: false,
+            sort_miss_fraction: 0.0,
+            forces_near: false,
+        };
+        let b = communication_budget_with(&cfg, Some(&Partition::uniform(3, 1)));
+        for ph in &b.phases {
+            assert_eq!(
+                crate::compare::predicted_messages(&ph.comm),
+                0,
+                "phase {} should be silent at p = 1",
+                ph.name
+            );
+        }
     }
 
     #[test]

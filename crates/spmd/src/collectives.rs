@@ -23,6 +23,8 @@
 use std::collections::BTreeMap;
 
 use fmm_machine::BlockLayout;
+use fmm_tree::morton::morton_encode;
+use fmm_tree::{Exchange, Partition};
 
 use crate::fabric::WorkerCtx;
 use crate::schedule::{cell_index, halo_axis_plan, particle_axis_plan, ring_partners};
@@ -179,6 +181,31 @@ pub fn halo_exchange_axis(
     }
 }
 
+/// Execute one [`Exchange`] plan over the k-sample rows of a full-size
+/// level buffer: send every owned row the plan names (row-major cell
+/// order, one message per destination), then receive and store peers'
+/// rows at their cell indices. Both ends walk the same plan, so no
+/// metadata travels; bytes are exactly `rows × k` words, which is what
+/// the partitioned budget predicts.
+pub fn exchange_rows(ctx: &mut WorkerCtx, buf: &mut [f64], ex: &Exchange, k: usize) {
+    let tag = ctx.fresh_tag();
+    for (dst, cells) in &ex.sends[ctx.rank] {
+        let mut data = Vec::with_capacity(cells.len() * k);
+        for &c in cells {
+            data.extend_from_slice(&buf[c * k..(c + 1) * k]);
+        }
+        ctx.count_bytes_words(data.len() as u64);
+        ctx.send(*dst, tag, data);
+    }
+    for (src, cells) in &ex.recvs[ctx.rank] {
+        let data = ctx.recv(*src, tag);
+        debug_assert_eq!(data.len(), cells.len() * k);
+        for (i, &c) in cells.iter().enumerate() {
+            buf[c * k..(c + 1) * k].copy_from_slice(&data[i * k..(i + 1) * k]);
+        }
+    }
+}
+
 /// Particles of one leaf cell, in the owner's sorted (= serial) order.
 #[derive(Default, Clone)]
 pub struct CellParticles {
@@ -264,6 +291,55 @@ pub fn particle_halo_axis(
     }
 }
 
+/// One-shot partitioned particle halo (forces near field): every cross-
+/// owner neighbour cell of the [`fmm_tree::particle_halo`] plan moves in a
+/// single exchange. `own` serves a cell this rank owns; received cells
+/// land in `store`. Message layout per cell, in plan order:
+/// `[count, xs.., ys.., zs.., qs..]` (the count is envelope metadata, like
+/// the axis-phase variant's).
+pub fn particle_exchange(
+    ctx: &mut WorkerCtx,
+    ex: &Exchange,
+    own: &impl Fn(usize) -> CellParticles,
+    store: &mut BTreeMap<usize, CellParticles>,
+) {
+    let tag = ctx.fresh_tag();
+    for (dst, cells) in &ex.sends[ctx.rank] {
+        let mut data = Vec::new();
+        let mut payload = 0u64;
+        for &c in cells {
+            let cell = own(c);
+            data.push(cell.len() as f64);
+            payload += 4 * cell.len() as u64;
+            data.extend_from_slice(&cell.xs);
+            data.extend_from_slice(&cell.ys);
+            data.extend_from_slice(&cell.zs);
+            data.extend_from_slice(&cell.qs);
+        }
+        ctx.count_bytes_words(payload);
+        ctx.send(*dst, tag, data);
+    }
+    for (src, cells) in &ex.recvs[ctx.rank] {
+        let data = ctx.recv(*src, tag);
+        let mut i = 0usize;
+        for &c in cells {
+            let cnt = data[i] as usize;
+            i += 1;
+            let take = |i: &mut usize| -> Vec<f64> {
+                let v = data[*i..*i + cnt].to_vec();
+                *i += cnt;
+                v
+            };
+            let xs = take(&mut i);
+            let ys = take(&mut i);
+            let zs = take(&mut i);
+            let qs = take(&mut i);
+            store.insert(c, CellParticles { xs, ys, zs, qs });
+        }
+        debug_assert_eq!(i, data.len());
+    }
+}
+
 /// One travelling slot of the symmetric near-field sweep: the particles
 /// and partial accumulator of origin box `origin`, currently visiting some
 /// other leaf box.
@@ -318,6 +394,12 @@ pub fn shift_slots(
     ctx.count_bytes_words(leaving_words);
     ctx.send(dst, tag, leaving);
     let data = ctx.recv(src, tag);
+    unpack_slots(&data, slots);
+}
+
+/// Deserialize a stream of `[npos, origin, cnt, xs, ys, zs, qs, acc]`
+/// slot records into `slots`, keyed by new position.
+fn unpack_slots(data: &[f64], slots: &mut BTreeMap<usize, Slot>) {
     let mut i = 0usize;
     while i < data.len() {
         let npos = data[i] as usize;
@@ -342,5 +424,65 @@ pub fn shift_slots(
                 acc,
             },
         );
+    }
+}
+
+/// Partitioned variant of [`shift_slots`]: the same unit circular shift of
+/// slot positions, but ownership follows the Morton `part` and departing
+/// slots travel by the precomputed `route` ([`fmm_tree::slot_route`] for
+/// this `(axis, pos_delta)`), which keys each crossing slot by its
+/// *source* cell — so sender and receiver agree on serialization order
+/// with no extra metadata. Wire format matches [`shift_slots`].
+pub fn shift_slots_part(
+    ctx: &mut WorkerCtx,
+    slots: &mut BTreeMap<usize, Slot>,
+    axis: usize,
+    pos_delta: i32,
+    part: &Partition,
+    route: &Exchange,
+    n: usize,
+) {
+    let tag = ctx.fresh_tag();
+    let mut staying: BTreeMap<usize, Slot> = BTreeMap::new();
+    // Departing slots keyed by source cell, the route's key.
+    let mut leaving: BTreeMap<usize, (usize, Slot)> = BTreeMap::new();
+    for (pos, slot) in std::mem::take(slots) {
+        let mut g = [pos % n, (pos / n) % n, pos / (n * n)];
+        g[axis] = (g[axis] as i64 + pos_delta as i64).rem_euclid(n as i64) as usize;
+        let npos = cell_index(g, n);
+        let owner = part.leaf_owner(morton_encode(g[0] as u32, g[1] as u32, g[2] as u32));
+        if owner == ctx.rank {
+            ctx.count_local(5 * slot.cell.len() as u64);
+            staying.insert(npos, slot);
+        } else {
+            leaving.insert(pos, (npos, slot));
+        }
+    }
+    *slots = staying;
+    for (dst, cells) in &route.sends[ctx.rank] {
+        let mut data = Vec::new();
+        let mut words = 0u64;
+        for &c in cells {
+            let (npos, slot) = leaving
+                .remove(&c)
+                .expect("route names every departing slot");
+            let cnt = slot.cell.len();
+            words += 5 * cnt as u64;
+            data.push(npos as f64);
+            data.push(slot.origin as f64);
+            data.push(cnt as f64);
+            data.extend_from_slice(&slot.cell.xs);
+            data.extend_from_slice(&slot.cell.ys);
+            data.extend_from_slice(&slot.cell.zs);
+            data.extend_from_slice(&slot.cell.qs);
+            data.extend_from_slice(&slot.acc);
+        }
+        ctx.count_bytes_words(words);
+        ctx.send(*dst, tag, data);
+    }
+    debug_assert!(leaving.is_empty(), "departing slot missing from the route");
+    for (src, _) in &route.recvs[ctx.rank] {
+        let data = ctx.recv(*src, tag);
+        unpack_slots(&data, slots);
     }
 }

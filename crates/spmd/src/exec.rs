@@ -29,13 +29,15 @@ use fmm_core::stats::SpmdPhase;
 use fmm_core::translations::TranslationSet;
 use fmm_core::traversal::{downward_level, upward_level, Aggregation};
 use fmm_core::TraversalPlan;
-use fmm_linalg::gemm_acc_with;
+use fmm_linalg::{gemm_acc_with, gemm_flops};
 use fmm_machine::{subgrid_extent, BlockLayout};
+use fmm_tree::morton::morton_decode;
+use fmm_tree::partition::morton_to_rowmajor;
 use fmm_tree::{near_field_offsets, BoxCoord, Domain, Hierarchy};
 
 use crate::collectives::{
-    all_to_allv, broadcast_from_root, gather_level_to_root, halo_exchange_axis, particle_halo_axis,
-    shift_slots, CellParticles, Slot,
+    all_to_allv, broadcast_from_root, exchange_rows, gather_level_to_root, halo_exchange_axis,
+    particle_exchange, particle_halo_axis, shift_slots, shift_slots_part, CellParticles, Slot,
 };
 use crate::fabric::WorkerCtx;
 use crate::schedule::{cell_index, CommProgram, Step, StepKind};
@@ -107,6 +109,10 @@ pub(crate) struct WorkerOut {
     pub near_stats: NearFieldStats,
     pub p2o_flops: u64,
     pub eval_flops: u64,
+    /// GEMM flops this worker performed in the upward/downward traversal
+    /// (T1 + T2 + T3) — the per-worker load-balance signal the report's
+    /// `worker_flops` aggregates.
+    pub traversal_flops: u64,
     /// Wall time of [sort, p2o, upward, downward, eval, near].
     pub times: [Duration; 6],
 }
@@ -126,10 +132,15 @@ fn axis_has_source(l: u32, o: i64, off: i64) -> bool {
 }
 
 /// T2 + T3 for this worker's boxes of a distributed level `l`, bitwise
-/// identical to the serial `downward_level`.
+/// identical to the serial `downward_level`: one-row GEMMs are rows of
+/// the serial panel products, and each box writes only its own row, so
+/// any enumeration of the owned boxes gives the serial bits. Returns the
+/// GEMM flops performed (zero-row multiplies included, as the serial
+/// closed form counts them).
 #[allow(clippy::too_many_arguments)]
 fn downward_owned(
     ctx: &mut WorkerCtx,
+    boxes: impl Iterator<Item = BoxCoord>,
     local_parent: &[f64],
     local_cur: &mut [f64],
     far_cur: &[f64],
@@ -137,8 +148,7 @@ fn downward_owned(
     plan: &TraversalPlan,
     l: u32,
     k: usize,
-) {
-    let lay = BlockLayout::new([1usize << l; 3], ctx.grid);
+) -> u64 {
     let n_axis = 1i64 << l;
     let apply_t3 = l >= 3;
     // Serial zeroes the whole level, then *adds* each box's accumulator
@@ -148,14 +158,8 @@ fn downward_owned(
     }
     let zero_row = vec![0.0; k];
     let mut acc = vec![0.0; k];
-    for li in 0..lay.boxes_per_vu() {
-        let g = lay.global_of(ctx.rank, li);
-        let c = BoxCoord {
-            level: l,
-            x: g[0] as u32,
-            y: g[1] as u32,
-            z: g[2] as u32,
-        };
+    let mut flops = 0u64;
+    for c in boxes {
         let oct = c.octant();
         let op = &plan.octants[oct];
         for v in acc.iter_mut() {
@@ -208,7 +212,9 @@ fn downward_owned(
             *d += *s;
         }
         ctx.count_local((op.offsets.len() as u64 + 2) * k as u64);
+        flops += (op.offsets.len() as u64 + apply_t3 as u64) * gemm_flops(1, k, k);
     }
+    flops
 }
 
 pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
@@ -221,6 +227,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
     let k = sh.fmm.k();
     let ts = sh.fmm.translations();
     let mut times = [Duration::ZERO; 6];
+    let mut tflops = 0u64;
 
     // ---- Phase 0: sort. Block-distributed input particles are routed to
     // the worker owning their leaf box (the paper's coordinate sort).
@@ -316,6 +323,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                         );
                     }
                     ctx.count_local(8 * k as u64);
+                    tflops += gemm_flops(8, k, k);
                 }
             } else {
                 if cur
@@ -330,6 +338,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                 if rank == 0 {
                     let fl = upward_level(&mut fh, ts, sh.plan, l, Aggregation::Gemm, false);
                     ctx.count_local(fl.copied);
+                    tflops += fl.t1;
                 }
             }
         }
@@ -351,6 +360,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
             if rank == 0 {
                 let fl = downward_level(&mut fh, ts, sh.plan, false, Aggregation::Gemm, false, l);
                 ctx.count_local(fl.copied);
+                tflops += fl.t2 + fl.t3;
             }
             continue;
         }
@@ -381,9 +391,19 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                 k,
             );
         }
+        let lay = BlockLayout::new([1usize << l; 3], ctx.grid);
         let (lo, hi) = fh.local.split_at_mut(l as usize);
-        downward_owned(
+        tflops += downward_owned(
             &mut ctx,
+            (0..lay.boxes_per_vu()).map(|li| {
+                let g = lay.global_of(rank, li);
+                BoxCoord {
+                    level: l,
+                    x: g[0] as u32,
+                    y: g[1] as u32,
+                    z: g[2] as u32,
+                }
+            }),
             &lo[(l - 1) as usize],
             &mut hi[0],
             &fh.far[l as usize],
@@ -603,6 +623,378 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
         near_stats: stats,
         p2o_flops,
         eval_flops,
+        traversal_flops: tflops,
+        times,
+    }
+}
+
+/// The cost-weighted variant of [`worker_main`]: ownership follows the
+/// Morton-curve [`fmm_tree::Partition`] carried by the program's
+/// [`crate::schedule::PartitionSchedule`] instead of the block layout, and
+/// every collective is a precomputed [`fmm_tree::Exchange`]. The per-box
+/// arithmetic is byte-for-byte the uniform path's: one-row GEMMs in octant
+/// order, the identical travelling-slot itinerary, the same stable
+/// rebinning — only *which worker* runs each box changes, and each box's
+/// results are written solely by its owner, so outputs stay bitwise equal
+/// to the serial backend.
+pub(crate) fn worker_main_part(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
+    let rank = ctx.rank;
+    let p = ctx.p();
+    let depth = sh.depth;
+    let n_axis = 1usize << depth;
+    let psched = sh
+        .program
+        .partition
+        .as_ref()
+        .expect("partitioned worker needs a partition schedule");
+    let part = &psched.partition;
+    let cfg = sh.fmm.config();
+    let k = sh.fmm.k();
+    let ts = sh.fmm.translations();
+    let mut times = [Duration::ZERO; 6];
+    let mut tflops = 0u64;
+
+    // ---- Phase 0: sort. Particles are routed to the *partition* owner of
+    // their leaf box; everything downstream of the router is unchanged.
+    let t0 = Instant::now();
+    let n = sh.positions.len();
+    let (i0, i1) = (rank * n / p, (rank + 1) * n / p);
+    let mut outgoing: Vec<Vec<f64>> = vec![Vec::new(); p];
+    for i in i0..i1 {
+        let b = sh.domain.locate(sh.positions[i], depth);
+        let w = part.owner(&b);
+        outgoing[w].extend_from_slice(&[
+            sh.positions[i][0],
+            sh.positions[i][1],
+            sh.positions[i][2],
+            sh.charges[i],
+            i as f64,
+        ]);
+    }
+    let mut cur = Cursor::new(&sh.program.phases[0]);
+    let st = cur.next(&ctx, |k| matches!(k, StepKind::Router));
+    ctx.count_op(st.logical_msgs);
+    let mine = all_to_allv(&mut ctx, outgoing);
+    cur.finish();
+    let m_loc = mine.len() / 5;
+    let mut pos = Vec::with_capacity(m_loc);
+    let mut q = Vec::with_capacity(m_loc);
+    let mut orig = Vec::with_capacity(m_loc);
+    for ch in mine.chunks_exact(5) {
+        pos.push([ch[0], ch[1], ch[2]]);
+        q.push(ch[3]);
+        orig.push(ch[4] as usize);
+    }
+    let bp = BinnedParticles::build(&pos, &q, sh.domain, depth);
+    let orig_sorted = bp.binning.gather(&orig);
+    times[0] = t0.elapsed();
+
+    // ---- Phase 1: P2O over owned leaf boxes, exactly as the uniform path.
+    ctx.phase = 1;
+    let t0 = Instant::now();
+    let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
+    let leaf_side = sh.domain.box_side(depth);
+    let a_leaf = cfg.outer_ratio * leaf_side;
+    let p2o_flops = p2o(
+        &bp,
+        sh.fmm.rule(),
+        a_leaf,
+        depth,
+        false,
+        &mut fh.far[depth as usize],
+    );
+    times[1] = t0.elapsed();
+
+    // ---- Phase 2: upward pass. No Multigrid embedding: every level down
+    // to 2 is computed by the partition's owners. One child-row flush per
+    // parent level brings each owned parent its eight children's rows.
+    ctx.phase = 2;
+    let t0 = Instant::now();
+    let mut cur = Cursor::new(&sh.program.phases[2]);
+    if depth >= 3 {
+        for l in (2..depth).rev() {
+            let st = cur.next(
+                &ctx,
+                |kd| matches!(kd, StepKind::ChildFlush { level } if *level == l + 1),
+            );
+            ctx.count_op(st.logical_msgs);
+            exchange_rows(
+                &mut ctx,
+                &mut fh.far[(l + 1) as usize],
+                psched.child_flush_at(l + 1),
+                k,
+            );
+            let (lo, hi) = fh.far.split_at_mut(l as usize + 1);
+            let parents = &mut lo[l as usize];
+            let children = &hi[0];
+            for code in part.owned_at(rank, l) {
+                let (x, y, z) = morton_decode(code);
+                let pb = BoxCoord { level: l, x, y, z };
+                let out = {
+                    let pi = pb.index();
+                    &mut parents[pi * k..(pi + 1) * k]
+                };
+                for oct in 0..8 {
+                    let ci = pb.child(oct).index();
+                    gemm_acc_with(
+                        sh.plan.kernel,
+                        1,
+                        k,
+                        k,
+                        &children[ci * k..(ci + 1) * k],
+                        ts.t1t[oct].as_slice(),
+                        out,
+                    );
+                }
+                ctx.count_local(8 * k as u64);
+                tflops += gemm_flops(8, k, k);
+            }
+        }
+    }
+    cur.finish();
+    times[2] = t0.elapsed();
+
+    // ---- Phase 3: downward pass. Per level: fetch the owned boxes'
+    // parent locals (l ≥ 3), exchange the interactive-field far rows, then
+    // run T2 + T3 over the owned Morton range.
+    ctx.phase = 3;
+    let t0 = Instant::now();
+    let sep = cfg.separation;
+    let mut cur = Cursor::new(&sh.program.phases[3]);
+    for l in 2..=depth {
+        if l >= 3 {
+            let st = cur.next(
+                &ctx,
+                |kd| matches!(kd, StepKind::ParentFetch { level } if *level == l),
+            );
+            ctx.count_op(st.logical_msgs);
+            exchange_rows(
+                &mut ctx,
+                &mut fh.local[(l - 1) as usize],
+                psched.parent_fetch_at(l),
+                k,
+            );
+        }
+        let st = cur.next(
+            &ctx,
+            |kd| matches!(kd, StepKind::PartBoxHalo { level } if *level == l),
+        );
+        ctx.count_op(st.logical_msgs);
+        exchange_rows(&mut ctx, &mut fh.far[l as usize], psched.box_halo_at(l), k);
+        let (lo, hi) = fh.local.split_at_mut(l as usize);
+        tflops += downward_owned(
+            &mut ctx,
+            part.owned_at(rank, l).map(|code| {
+                let (x, y, z) = morton_decode(code);
+                BoxCoord { level: l, x, y, z }
+            }),
+            &lo[(l - 1) as usize],
+            &mut hi[0],
+            &fh.far[l as usize],
+            ts,
+            sh.plan,
+            l,
+            k,
+        );
+    }
+    cur.finish();
+    times[3] = t0.elapsed();
+
+    // ---- Phase 4: evaluate leaf inner approximations at owned particles.
+    ctx.phase = 4;
+    let t0 = Instant::now();
+    let b_leaf = cfg.inner_ratio * leaf_side;
+    let mut pot = vec![0.0; bp.len()];
+    let mut far_field = sh.with_fields.then(|| vec![[0.0; 3]; bp.len()]);
+    let eval_flops = eval_local(
+        &bp,
+        sh.fmm.rule(),
+        cfg.m_trunc,
+        b_leaf,
+        depth,
+        false,
+        &fh.local[depth as usize],
+        &mut pot,
+        far_field.as_deref_mut(),
+    );
+    times[4] = t0.elapsed();
+
+    // ---- Phase 5: near field.
+    ctx.phase = 5;
+    let t0 = Instant::now();
+    let eps2 = cfg.softening * cfg.softening;
+    let mut near_pot = vec![0.0; bp.len()];
+    let mut near_field = sh.with_fields.then(|| vec![[0.0; 3]; bp.len()]);
+    let mut stats = NearFieldStats::default();
+    if let Some(near_f) = near_field.as_mut() {
+        // Forces: the clipped neighbor halo moves in one planned exchange,
+        // then the serial per-box kernel runs over the halo-extended
+        // binning (stable binning keeps serial source order).
+        let own = |c: usize| -> CellParticles {
+            let r = bp.range(c);
+            CellParticles {
+                xs: bp.x[r.clone()].to_vec(),
+                ys: bp.y[r.clone()].to_vec(),
+                zs: bp.z[r.clone()].to_vec(),
+                qs: bp.q[r].to_vec(),
+            }
+        };
+        let mut store: BTreeMap<usize, CellParticles> = BTreeMap::new();
+        let mut cur = Cursor::new(&sh.program.phases[5]);
+        let st = cur.next(&ctx, |kd| matches!(kd, StepKind::PartParticleHalo));
+        ctx.count_op(st.logical_msgs);
+        particle_exchange(&mut ctx, &psched.particle_halo, &own, &mut store);
+        cur.finish();
+        let mut pos2: Vec<[f64; 3]> = Vec::with_capacity(bp.len());
+        let mut q2: Vec<f64> = Vec::with_capacity(bp.len());
+        for i in 0..bp.len() {
+            pos2.push([bp.x[i], bp.y[i], bp.z[i]]);
+            q2.push(bp.q[i]);
+        }
+        for cell in store.values() {
+            for j in 0..cell.len() {
+                pos2.push([cell.xs[j], cell.ys[j], cell.zs[j]]);
+                q2.push(cell.qs[j]);
+            }
+        }
+        let bph = BinnedParticles::build(&pos2, &q2, sh.domain, depth);
+        let offsets = near_field_offsets(sep);
+        let mut pot_h = vec![0.0; bph.len()];
+        let mut f_h = vec![[0.0; 3]; bph.len()];
+        for code in part.owned_at(rank, depth) {
+            let bi = morton_to_rowmajor(depth, code);
+            let rh = bph.range(bi);
+            stats.pair_interactions += near_field_forces_box(
+                &bph,
+                bi,
+                &offsets,
+                eps2,
+                &mut pot_h[rh.clone()],
+                &mut f_h[rh],
+            );
+        }
+        for code in part.owned_at(rank, depth) {
+            let bi = morton_to_rowmajor(depth, code);
+            for (dst, src) in bp.range(bi).zip(bph.range(bi)) {
+                near_pot[dst] = pot_h[src];
+                near_f[dst] = f_h[src];
+            }
+        }
+        stats.flops = stats.pair_interactions * PAIR_FORCE_FLOPS;
+    } else {
+        // Potentials: the identical travelling-accumulator itinerary, with
+        // each hop routed by partition ownership instead of the grid ring.
+        for code in part.owned_at(rank, depth) {
+            let bi = morton_to_rowmajor(depth, code);
+            let r = bp.range(bi);
+            if !r.is_empty() {
+                stats.pair_interactions +=
+                    self_box_potential(&bp, r.clone(), eps2, &mut near_pot[r]);
+                stats.box_pairs += 1;
+            }
+        }
+        let mut slots: BTreeMap<usize, Slot> = BTreeMap::new();
+        for code in part.owned_at(rank, depth) {
+            let bi = morton_to_rowmajor(depth, code);
+            let r = bp.range(bi);
+            slots.insert(
+                bi,
+                Slot {
+                    origin: bi,
+                    cell: CellParticles {
+                        xs: bp.x[r.clone()].to_vec(),
+                        ys: bp.y[r.clone()].to_vec(),
+                        zs: bp.z[r.clone()].to_vec(),
+                        qs: bp.q[r.clone()].to_vec(),
+                    },
+                    acc: vec![0.0; r.len()],
+                },
+            );
+        }
+        let mut cur = Cursor::new(&sh.program.phases[5]);
+        while let Some(st) = cur.next_if(&ctx, |kd| matches!(kd, StepKind::SlotShift { .. })) {
+            let StepKind::SlotShift { axis, delta, visit } = st.kind else {
+                unreachable!()
+            };
+            shift_slots_part(
+                &mut ctx,
+                &mut slots,
+                axis,
+                delta,
+                part,
+                psched.slot_route_at(axis, delta),
+                n_axis,
+            );
+            ctx.count_op(st.logical_msgs);
+            let Some(cum) = visit else { continue };
+            for code in part.owned_at(rank, depth) {
+                let bi = morton_to_rowmajor(depth, code);
+                let t_range = bp.range(bi);
+                if t_range.is_empty() {
+                    continue;
+                }
+                let t = BoxCoord::from_index(depth, bi);
+                let Some(s) = t.offset(cum) else {
+                    continue;
+                };
+                let slot = slots.get_mut(&bi).expect("slot coverage is total");
+                debug_assert_eq!(slot.origin, s.index());
+                if slot.cell.is_empty() {
+                    continue;
+                }
+                let t_out = &mut near_pot[t_range.clone()];
+                for (i, ti) in t_range.clone().enumerate() {
+                    t_out[i] += pair_exchange_with(
+                        sh.plan.kernel,
+                        bp.x[ti],
+                        bp.y[ti],
+                        bp.z[ti],
+                        bp.q[ti],
+                        eps2,
+                        &slot.cell.xs,
+                        &slot.cell.ys,
+                        &slot.cell.zs,
+                        &slot.cell.qs,
+                        &mut slot.acc,
+                    );
+                    stats.pair_interactions += slot.cell.len() as u64;
+                }
+                stats.box_pairs += 1;
+            }
+        }
+        cur.finish();
+        for code in part.owned_at(rank, depth) {
+            let bi = morton_to_rowmajor(depth, code);
+            let slot = &slots[&bi];
+            debug_assert_eq!(slot.origin, bi);
+            for (o, a) in near_pot[bp.range(bi)].iter_mut().zip(&slot.acc) {
+                *o += *a;
+            }
+        }
+        stats.flops = stats.pair_interactions * PAIR_FLOPS;
+    }
+    times[5] = t0.elapsed();
+
+    if let (Some(ff), Some(nf)) = (far_field.as_mut(), near_field.as_ref()) {
+        for (a, b) in ff.iter_mut().zip(nf) {
+            for d in 0..3 {
+                a[d] += b[d];
+            }
+        }
+    }
+    for (f, nr) in pot.iter_mut().zip(&near_pot) {
+        *f += nr;
+    }
+
+    WorkerOut {
+        counters: ctx.counters,
+        orig: orig_sorted,
+        pot,
+        fields: far_field,
+        near_stats: stats,
+        p2o_flops,
+        eval_flops,
+        traversal_flops: tflops,
         times,
     }
 }

@@ -50,12 +50,13 @@ use fmm_core::driver::{EvalOutput, Fmm, FmmError};
 use fmm_core::near::NearFieldStats;
 use fmm_core::stats::SpmdPhase;
 use fmm_core::traversal::TraversalFlops;
-use fmm_core::{Domain, Phase, Profile, SpmdReport};
+use fmm_core::{Balance, Domain, Phase, Profile, Separation, SpmdReport};
 use fmm_linalg::gemm_flops;
 use fmm_machine::VuGrid;
+use fmm_tree::partition::{leaf_costs, CostModel};
 
 pub use fabric::{run_workers, WorkerCtx};
-pub use schedule::CommProgram;
+pub use schedule::{CommProgram, Partition};
 
 /// Register this crate as the backend for [`fmm_core::Executor::Spmd`].
 /// Idempotent; call once before evaluating.
@@ -76,6 +77,38 @@ pub fn vu_grid_for(p: usize) -> VuGrid {
         axis = (axis + 1) % 3;
     }
     VuGrid::new(dims)
+}
+
+/// Build the cost-weighted Morton partition for one input: bin particle
+/// counts per leaf box, price every leaf with the calibrated
+/// [`CostModel`] (near-field pairs + its share of the translation work),
+/// and cut the Morton curve at the optimal bottleneck. Deterministic in
+/// the input, so every worker count and executor sees the same partition.
+#[allow(clippy::too_many_arguments)]
+pub fn cost_partition(
+    positions: &[[f64; 3]],
+    domain: Domain,
+    depth: u32,
+    workers: usize,
+    k: usize,
+    m_trunc: usize,
+    with_fields: bool,
+    sep: Separation,
+) -> Partition {
+    let n = 1usize << depth;
+    let mut counts = vec![0usize; n * n * n];
+    for &pos in positions {
+        let b = domain.locate(pos, depth);
+        counts[b.index()] += 1;
+    }
+    let model = CostModel {
+        k,
+        m_trunc,
+        with_fields,
+        sep,
+    };
+    let costs = leaf_costs(depth, &model, &counts);
+    Partition::cost_weighted(depth, workers, &costs)
 }
 
 /// The backend entry point matching [`fmm_core::driver::SpmdBackend`].
@@ -101,13 +134,32 @@ fn run_spmd(
     let plan = fmm.plan_for(depth);
     // One source of truth for the communication schedule: the executor
     // walks this program; `fmm-verify` statically checks the same one.
-    let program = CommProgram::build(
-        grid,
-        depth,
-        fmm.k(),
-        cfg.separation.d() as usize,
-        with_fields,
-    );
+    let program = match cfg.balance {
+        Balance::Uniform => CommProgram::build(
+            grid,
+            depth,
+            fmm.k(),
+            cfg.separation.d() as usize,
+            with_fields,
+        ),
+        Balance::CostWeighted => CommProgram::build_partitioned(
+            grid,
+            depth,
+            fmm.k(),
+            cfg.separation.d() as usize,
+            with_fields,
+            cost_partition(
+                positions,
+                domain,
+                depth,
+                workers,
+                fmm.k(),
+                cfg.m_trunc,
+                with_fields,
+                cfg.separation,
+            ),
+        ),
+    };
     let shared = exec::Shared {
         fmm,
         positions,
@@ -118,7 +170,11 @@ fn run_spmd(
         plan: &plan,
         program: &program,
     };
-    let outs = run_workers(grid, |ctx| exec::worker_main(ctx, &shared));
+    let outs = if program.partition.is_some() {
+        run_workers(grid, |ctx| exec::worker_main_part(ctx, &shared))
+    } else {
+        run_workers(grid, |ctx| exec::worker_main(ctx, &shared))
+    };
 
     // Assemble: scatter per-worker results back to original particle
     // order, sum counters and stats, take phase times from rank 0.
@@ -128,7 +184,11 @@ fn run_spmd(
     let mut counters = [SpmdPhase::default(); 6];
     let mut stats = NearFieldStats::default();
     let (mut p2o_flops, mut eval_flops) = (0u64, 0u64);
+    let mut worker_busy_ns = Vec::with_capacity(outs.len());
+    let mut worker_flops = Vec::with_capacity(outs.len());
     for w in &outs {
+        worker_busy_ns.push(w.times.iter().map(|t| t.as_nanos() as u64).sum());
+        worker_flops.push(w.p2o_flops + w.traversal_flops + w.eval_flops + w.near_stats.flops);
         for (i, &o) in w.orig.iter().enumerate() {
             potentials[o] = w.pot[i];
             if let (Some(f), Some(wf)) = (fields.as_mut(), w.fields.as_ref()) {
@@ -198,6 +258,12 @@ fn run_spmd(
             workers,
             vu_dims: grid.dims,
             phases: counters,
+            worker_busy_ns,
+            worker_flops,
+            partition: program
+                .partition
+                .as_ref()
+                .map(|ps| ps.partition.splits().to_vec()),
         }),
     })
 }

@@ -30,6 +30,10 @@
 use std::collections::BTreeMap;
 
 use fmm_machine::{subgrid_extent, BlockLayout, TravelPath, VuGrid};
+use fmm_tree::partition::{box_halo, child_flush, parent_fetch, particle_halo, slot_route};
+use fmm_tree::Separation;
+
+pub use fmm_tree::{Exchange, Partition};
 
 /// Index of the global grid cell `g` on an `n`-per-axis level.
 #[inline]
@@ -98,6 +102,21 @@ pub enum StepKind {
         delta: i32,
         visit: Option<[i32; 3]>,
     },
+    /// Partitioned upward exchange: child far-field rows of `level` (the
+    /// *child* level) flush to the owners of their parents, per the
+    /// partition's [`fmm_tree::child_flush`] plan.
+    ChildFlush { level: u32 },
+    /// Partitioned downward exchange: parent local-expansion rows
+    /// (level − 1) fetched by the owners of boxes at `level` for the T3
+    /// shift, per [`fmm_tree::parent_fetch`].
+    ParentFetch { level: u32 },
+    /// Partitioned interactive-field exchange of far rows at `level`
+    /// (union over octants), per [`fmm_tree::box_halo`].
+    PartBoxHalo { level: u32 },
+    /// Partitioned leaf particle exchange for the forces near field: one
+    /// step covering the whole clipped neighbourhood, per
+    /// [`fmm_tree::particle_halo`].
+    PartParticleHalo,
 }
 
 /// One step of the program: a collective call every rank makes at the same
@@ -114,6 +133,66 @@ pub struct Step {
     pub logical_msgs: u64,
 }
 
+/// The precomputed exchange plans of a cost-weighted (Morton-partitioned)
+/// program. The plans are built once from the [`Partition`] by
+/// [`CommProgram::build_partitioned`] and then consumed by *both* the
+/// executor's collectives and the static lowering ([`Step::ops_for`]), so
+/// the analyzed endpoints are the executed endpoints by construction.
+#[derive(Debug, Clone)]
+pub struct PartitionSchedule {
+    /// The leaf Morton-curve split driving every plan below.
+    pub partition: Partition,
+    /// Per *child* level (descending), the upward child-row flush.
+    pub child_flush: Vec<(u32, Exchange)>,
+    /// Per level `l ≥ 3`, the parent local-row fetch for T3.
+    pub parent_fetch: Vec<(u32, Exchange)>,
+    /// Per level `l ≥ 2`, the interactive-field far-row exchange.
+    pub box_halo: Vec<(u32, Exchange)>,
+    /// The one-shot leaf particle exchange (forces near field).
+    pub particle_halo: Exchange,
+    /// Unit-hop slot routes keyed by `(axis, delta)` — at most six.
+    pub slot_routes: BTreeMap<(usize, i32), Exchange>,
+}
+
+impl PartitionSchedule {
+    /// The child-flush plan whose rows live at `child_level`.
+    pub fn child_flush_at(&self, child_level: u32) -> &Exchange {
+        &self
+            .child_flush
+            .iter()
+            .find(|(l, _)| *l == child_level)
+            .expect("scheduled child level has a plan")
+            .1
+    }
+
+    /// The parent-fetch plan serving the T3 shift at `level`.
+    pub fn parent_fetch_at(&self, level: u32) -> &Exchange {
+        &self
+            .parent_fetch
+            .iter()
+            .find(|(l, _)| *l == level)
+            .expect("scheduled fetch level has a plan")
+            .1
+    }
+
+    /// The interactive-field exchange plan at `level`.
+    pub fn box_halo_at(&self, level: u32) -> &Exchange {
+        &self
+            .box_halo
+            .iter()
+            .find(|(l, _)| *l == level)
+            .expect("scheduled halo level has a plan")
+            .1
+    }
+
+    /// The slot route of one unit hop.
+    pub fn slot_route_at(&self, axis: usize, delta: i32) -> &Exchange {
+        self.slot_routes
+            .get(&(axis, delta))
+            .expect("scheduled hop has a route")
+    }
+}
+
 /// The whole communication program of one evaluation, phase by phase, in
 /// [`fmm_core::SpmdReport::PHASE_NAMES`] order.
 #[derive(Debug, Clone)]
@@ -128,6 +207,9 @@ pub struct CommProgram {
     pub ghost: usize,
     /// Forces (particle halo) vs potentials (travelling slots) near field.
     pub with_fields: bool,
+    /// `Some` when the program runs over a cost-weighted Morton partition
+    /// instead of the uniform block layout.
+    pub partition: Option<PartitionSchedule>,
     pub phases: [Vec<Step>; 6],
 }
 
@@ -240,6 +322,166 @@ impl CommProgram {
             sep_d,
             ghost,
             with_fields,
+            partition: None,
+            phases,
+        }
+    }
+
+    /// Derive the partitioned schedule of a cost-weighted run: the same
+    /// phase structure as [`CommProgram::build`], but every exchange is a
+    /// precomputed [`Exchange`] plan of the Morton `partition` rather than
+    /// a block-layout collective. Every level stays distributed (no
+    /// Multigrid embedding — coarse ownership follows first-descendant
+    /// leaves instead), and each step's `logical_msgs` is its plan's exact
+    /// machine-wide message count, which is what
+    /// `fmm_machine::communication_budget_with` prices.
+    pub fn build_partitioned(
+        grid: VuGrid,
+        depth: u32,
+        k: usize,
+        sep_d: usize,
+        with_fields: bool,
+        partition: Partition,
+    ) -> Self {
+        assert_eq!(
+            grid.len(),
+            partition.workers(),
+            "partition workers must match the VU grid"
+        );
+        assert_eq!(depth, partition.depth(), "partition depth must match");
+        let p = grid.len();
+        let ghost = 2 * sep_d + 1;
+        let sep = match sep_d {
+            1 => Separation::One,
+            2 => Separation::Two,
+            _ => panic!("unsupported separation d = {sep_d}"),
+        };
+        let mut phases: [Vec<Step>; 6] = Default::default();
+        let mut tag = 0u64;
+        let mut push = |phases: &mut [Vec<Step>; 6], phase: usize, kind, logical_msgs| {
+            phases[phase].push(Step {
+                kind,
+                tag,
+                logical_msgs,
+            });
+            tag += 1;
+        };
+
+        // Phase 0 — sort: one router operation, as in the uniform build.
+        push(&mut phases, 0, StepKind::Router, (p > 1) as u64);
+
+        // Phase 2 — upward: one child-row flush per computed parent level,
+        // finest first (parents of the leaves down to level 2). Levels 1
+        // and 0 are never consumed by T2/T3 and are skipped, exactly as
+        // the partitioned budget prices it.
+        let mut cf = Vec::new();
+        if depth >= 3 {
+            for l in (2..depth).rev() {
+                let ex = child_flush(&partition, l);
+                push(
+                    &mut phases,
+                    2,
+                    StepKind::ChildFlush { level: l + 1 },
+                    ex.messages(),
+                );
+                cf.push((l + 1, ex));
+            }
+        }
+
+        // Phase 3 — downward: per level, a parent local-row fetch (l ≥ 3)
+        // followed by the interactive-field far-row exchange.
+        let mut pf = Vec::new();
+        let mut bh = Vec::new();
+        for l in 2..=depth {
+            if l >= 3 {
+                let ex = parent_fetch(&partition, l);
+                push(
+                    &mut phases,
+                    3,
+                    StepKind::ParentFetch { level: l },
+                    ex.messages(),
+                );
+                pf.push((l, ex));
+            }
+            let ex = box_halo(&partition, l, sep);
+            push(
+                &mut phases,
+                3,
+                StepKind::PartBoxHalo { level: l },
+                ex.messages(),
+            );
+            bh.push((l, ex));
+        }
+
+        // Phase 5 — near field. Forces: the whole clipped particle halo in
+        // one planned exchange. Potentials: the identical travelling-slot
+        // itinerary as the uniform build — same (axis, delta, visit)
+        // sequence — but each hop routed by ownership, with its route's
+        // exact message count on the ledger (return hops included).
+        let mut ph_ex = Exchange::default();
+        let mut routes: BTreeMap<(usize, i32), Exchange> = BTreeMap::new();
+        if with_fields {
+            let ex = particle_halo(&partition, sep);
+            push(&mut phases, 5, StepKind::PartParticleHalo, ex.messages());
+            ph_ex = ex;
+        } else {
+            let path = TravelPath::new(sep_d as i32);
+            for s in &path.steps {
+                let delta = -s.dir;
+                let msgs = routes
+                    .entry((s.axis, delta))
+                    .or_insert_with(|| slot_route(&partition, s.axis, delta))
+                    .messages();
+                push(
+                    &mut phases,
+                    5,
+                    StepKind::SlotShift {
+                        axis: s.axis,
+                        delta,
+                        visit: Some(s.cum),
+                    },
+                    msgs,
+                );
+            }
+            for (axis, &r) in path.returns.iter().enumerate() {
+                if r == 0 {
+                    continue;
+                }
+                let delta = -r.signum();
+                let msgs = routes
+                    .entry((axis, delta))
+                    .or_insert_with(|| slot_route(&partition, axis, delta))
+                    .messages();
+                for _hop in 0..r.unsigned_abs() {
+                    push(
+                        &mut phases,
+                        5,
+                        StepKind::SlotShift {
+                            axis,
+                            delta,
+                            visit: None,
+                        },
+                        msgs,
+                    );
+                }
+            }
+        }
+
+        CommProgram {
+            grid,
+            depth,
+            k,
+            sep_d,
+            ghost,
+            with_fields,
+            partition: Some(PartitionSchedule {
+                partition,
+                child_flush: cf,
+                parent_fetch: pf,
+                box_halo: bh,
+                particle_halo: ph_ex,
+                slot_routes: routes,
+            }),
             phases,
         }
     }
@@ -526,9 +768,19 @@ impl Step {
                 }
             }
             StepKind::SlotShift { axis, delta, .. } => {
-                // An axis spanned by one VU wraps onto itself: pure local
-                // motion, no message (the collective still burns its tag).
-                if grid.dims[axis] > 1 {
+                if let Some(ps) = prog.partition.as_ref() {
+                    // Partitioned hop: route by ownership, not by ring.
+                    exchange_ops(
+                        ps.slot_route_at(axis, delta),
+                        rank,
+                        None,
+                        Payload::Slots,
+                        &mut ops,
+                    );
+                } else if grid.dims[axis] > 1 {
+                    // An axis spanned by one VU wraps onto itself: pure
+                    // local motion, no message (the collective still burns
+                    // its tag).
                     let (dst, src) = ring_partners(grid, rank, axis, delta);
                     ops.push(Op::Send {
                         to: dst,
@@ -541,8 +793,78 @@ impl Step {
                     });
                 }
             }
+            StepKind::ChildFlush { level } => {
+                let ps = part_sched(prog);
+                exchange_ops(
+                    ps.child_flush_at(level),
+                    rank,
+                    Some(k),
+                    Payload::Boxes,
+                    &mut ops,
+                );
+            }
+            StepKind::ParentFetch { level } => {
+                let ps = part_sched(prog);
+                exchange_ops(
+                    ps.parent_fetch_at(level),
+                    rank,
+                    Some(k),
+                    Payload::Boxes,
+                    &mut ops,
+                );
+            }
+            StepKind::PartBoxHalo { level } => {
+                let ps = part_sched(prog);
+                exchange_ops(
+                    ps.box_halo_at(level),
+                    rank,
+                    Some(k),
+                    Payload::Boxes,
+                    &mut ops,
+                );
+            }
+            StepKind::PartParticleHalo => {
+                let ps = part_sched(prog);
+                exchange_ops(&ps.particle_halo, rank, None, Payload::Particles, &mut ops);
+            }
         }
         ops
+    }
+}
+
+fn part_sched(prog: &CommProgram) -> &PartitionSchedule {
+    prog.partition
+        .as_ref()
+        .expect("partitioned step kinds only appear in partitioned programs")
+}
+
+/// Lower one rank's side of an [`Exchange`]: all sends (destinations
+/// ascending, `Exact` when every cell row carries `row_words` f64 words),
+/// then all receives (sources ascending) — the order the executor's
+/// exchange collectives use, deadlock-free at channel capacity 1 because
+/// each ordered rank pair carries at most one message.
+fn exchange_ops(
+    ex: &Exchange,
+    rank: usize,
+    row_words: Option<u64>,
+    payload: Payload,
+    ops: &mut Vec<Op>,
+) {
+    for (dst, cells) in &ex.sends[rank] {
+        ops.push(Op::Send {
+            to: *dst,
+            words: match row_words {
+                Some(w) => Volume::Exact(cells.len() as u64 * w),
+                None => Volume::Dynamic,
+            },
+            payload,
+        });
+    }
+    for (src, _) in &ex.recvs[rank] {
+        ops.push(Op::Recv {
+            from: *src,
+            payload,
+        });
     }
 }
 
@@ -595,6 +917,80 @@ mod tests {
                     let (_, src) = ring_partners(&grid, dst, axis, delta);
                     assert_eq!(src, rank);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_tags_are_contiguous_and_phase_ordered() {
+        for p in [1usize, 2, 8] {
+            for depth in 2..=4u32 {
+                for with_fields in [false, true] {
+                    let prog = CommProgram::build_partitioned(
+                        vu_grid_for(p),
+                        depth,
+                        6,
+                        2,
+                        with_fields,
+                        Partition::uniform(depth, p),
+                    );
+                    let tags: Vec<u64> = prog.steps().map(|(_, s)| s.tag).collect();
+                    let expect: Vec<u64> = (0..tags.len() as u64).collect();
+                    assert_eq!(tags, expect, "p={p} depth={depth} forces={with_fields}");
+                    assert!(prog.partition.is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_near_itinerary_mirrors_uniform() {
+        // The travelling-slot sweep visits the same (axis, delta, visit)
+        // sequence in both builds — the itinerary is pure geometry; only
+        // the routing of each hop differs.
+        let uni = CommProgram::build(vu_grid_for(8), 3, 6, 2, false);
+        let par = CommProgram::build_partitioned(
+            vu_grid_for(8),
+            3,
+            6,
+            2,
+            false,
+            Partition::uniform(3, 8),
+        );
+        let kinds = |prog: &CommProgram| -> Vec<StepKind> {
+            prog.phases[5].iter().map(|s| s.kind).collect()
+        };
+        assert_eq!(kinds(&uni), kinds(&par));
+    }
+
+    #[test]
+    fn single_worker_partitioned_plans_are_silent() {
+        // p = 1 owns everything: every exchange is empty and every step's
+        // logical message count is zero, like the uniform p = 1 program.
+        for with_fields in [false, true] {
+            let prog = CommProgram::build_partitioned(
+                vu_grid_for(1),
+                3,
+                6,
+                2,
+                with_fields,
+                Partition::uniform(3, 1),
+            );
+            for (_, s) in prog.steps() {
+                assert_eq!(s.logical_msgs, 0, "step {s:?}");
+            }
+            let ps = prog.partition.as_ref().unwrap();
+            assert!(ps.particle_halo.is_empty() || !with_fields);
+            for (_, ex) in ps
+                .child_flush
+                .iter()
+                .chain(&ps.parent_fetch)
+                .chain(&ps.box_halo)
+            {
+                assert!(ex.is_empty());
+            }
+            for ex in ps.slot_routes.values() {
+                assert!(ex.is_empty());
             }
         }
     }

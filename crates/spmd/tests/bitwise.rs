@@ -2,7 +2,7 @@
 //! `Executor::Serial` — same potentials, same fields, same near-field
 //! counters — for every worker count. Distribution moves data, never bits.
 
-use fmm_core::{Executor, Fmm, FmmConfig};
+use fmm_core::{Balance, Executor, Fmm, FmmConfig};
 
 fn pseudo_system(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
     let mut state = seed | 1;
@@ -22,6 +22,10 @@ fn config(depth: u32, executor: Executor) -> FmmConfig {
 }
 
 fn assert_bitwise(depth: u32, n: usize, workers: &[usize], with_fields: bool) {
+    assert_bitwise_bal(depth, n, workers, with_fields, Balance::Uniform);
+}
+
+fn assert_bitwise_bal(depth: u32, n: usize, workers: &[usize], with_fields: bool, bal: Balance) {
     fmm_spmd::install();
     let (pts, q) = pseudo_system(n, 0x5eed ^ (depth as u64) << 8 ^ n as u64);
     let serial = Fmm::new(config(depth, Executor::Serial)).unwrap();
@@ -31,7 +35,7 @@ fn assert_bitwise(depth: u32, n: usize, workers: &[usize], with_fields: bool) {
         serial.evaluate(&pts, &q).unwrap()
     };
     for &p in workers {
-        let fmm = Fmm::new(config(depth, Executor::Spmd(p))).unwrap();
+        let fmm = Fmm::new(config(depth, Executor::Spmd(p)).balance(bal)).unwrap();
         let out = if with_fields {
             fmm.evaluate_forces(&pts, &q).unwrap()
         } else {
@@ -71,6 +75,17 @@ fn assert_bitwise(depth: u32, n: usize, workers: &[usize], with_fields: bool) {
         assert_eq!(reference.traversal_flops, out.traversal_flops);
         let rep = out.spmd.expect("spmd run attaches a report");
         assert_eq!(rep.workers, p);
+        assert_eq!(rep.worker_busy_ns.len(), p);
+        assert_eq!(rep.worker_flops.len(), p);
+        match bal {
+            Balance::Uniform => assert!(rep.partition.is_none()),
+            Balance::CostWeighted => {
+                let splits = rep
+                    .partition
+                    .expect("cost-weighted run records its partition");
+                assert_eq!(splits.len(), p + 1);
+            }
+        }
     }
 }
 
@@ -106,6 +121,31 @@ fn potentials_depth3_embedded_levels_p64() {
     // p = 64 on a [4,4,4] grid embeds levels 1 (and forces the gather /
     // broadcast transition at level 2↔3 for depth 3).
     assert_bitwise(3, 2000, &[64], false);
+}
+
+#[test]
+fn potentials_cost_weighted_depth2_all_worker_counts() {
+    assert_bitwise_bal(2, 700, &[1, 2, 4, 8], false, Balance::CostWeighted);
+}
+
+#[test]
+fn potentials_cost_weighted_depth3_all_worker_counts() {
+    assert_bitwise_bal(3, 3000, &[1, 2, 4, 8], false, Balance::CostWeighted);
+}
+
+#[test]
+fn potentials_cost_weighted_depth4_sparse_boxes() {
+    assert_bitwise_bal(4, 900, &[2, 8], false, Balance::CostWeighted);
+}
+
+#[test]
+fn forces_cost_weighted_depth2_all_worker_counts() {
+    assert_bitwise_bal(2, 600, &[1, 2, 4, 8], true, Balance::CostWeighted);
+}
+
+#[test]
+fn forces_cost_weighted_depth3_all_worker_counts() {
+    assert_bitwise_bal(3, 2500, &[1, 2, 4, 8], true, Balance::CostWeighted);
 }
 
 #[test]

@@ -4,10 +4,10 @@
 
 use std::collections::BTreeMap;
 
-use fmm_core::{Executor, Fmm, FmmConfig};
+use fmm_core::{Balance, Executor, Fmm, FmmConfig};
 use fmm_machine::BlockLayout;
 use fmm_spmd::collectives::{all_to_allv, shift_slots, CellParticles, Slot};
-use fmm_spmd::{run_workers, vu_grid_for};
+use fmm_spmd::{run_workers, vu_grid_for, Partition};
 use proptest::prelude::*;
 
 fn system(lo: usize, hi: usize) -> impl Strategy<Value = (Vec<[f64; 3]>, Vec<f64>)> {
@@ -68,24 +68,60 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
     /// `Executor::Spmd(p)` reproduces `Executor::Serial` bit for bit on
-    /// arbitrary particle systems, for every depth and worker count.
+    /// arbitrary particle systems, for every depth, worker count and
+    /// balance mode.
     #[test]
     fn spmd_matches_serial_bitwise((pts, q) in system(40, 250),
                                    depth in 2u32..4,
-                                   log_p in 0u32..4) {
+                                   log_p in 0u32..4,
+                                   cost_weighted in proptest::bool::ANY) {
         fmm_spmd::install();
         let p = 1usize << log_p;
-        let cfg = |e| FmmConfig::order(3).depth(depth).executor(e);
+        let bal = if cost_weighted { Balance::CostWeighted } else { Balance::Uniform };
+        let cfg = |e| FmmConfig::order(3).depth(depth).executor(e).balance(bal);
         let serial = Fmm::new(cfg(Executor::Serial)).unwrap()
             .evaluate(&pts, &q).unwrap();
         let spmd = Fmm::new(cfg(Executor::Spmd(p))).unwrap()
             .evaluate(&pts, &q).unwrap();
         for (i, (a, b)) in serial.potentials.iter().zip(&spmd.potentials).enumerate() {
             prop_assert_eq!(a.to_bits(), b.to_bits(),
-                            "particle {} differs at p={} depth={}", i, p, depth);
+                            "particle {} differs at p={} depth={} bal={:?}", i, p, depth, bal);
         }
         prop_assert_eq!(serial.near_stats.pair_interactions,
                         spmd.near_stats.pair_interactions);
+    }
+
+    /// A cost-weighted partition is a permutation-free exact cover of the
+    /// leaf Morton curve: cuts are monotone from 0 to 8^depth, every leaf
+    /// has exactly one owner, and ownership never goes backwards along
+    /// the curve — for arbitrary (including zero and heavy-tailed) costs.
+    #[test]
+    fn cost_weighted_partition_is_exact_monotone_cover(depth in 2u32..4,
+                                                       log_p in 0u32..4,
+                                                       seed in 0u64..1 << 60,
+                                                       tail in 1u64..10_000) {
+        let p = 1usize << log_p;
+        let leaves = 1u64 << (3 * depth);
+        let costs: Vec<u64> = (0..leaves)
+            .map(|b| { let h = mix(seed ^ b); if h.is_multiple_of(13) { h % tail } else { h % 7 } })
+            .collect();
+        let part = Partition::cost_weighted(depth, p, &costs);
+        let splits = part.splits();
+        prop_assert_eq!(splits.len(), p + 1);
+        prop_assert_eq!(splits[0], 0);
+        prop_assert_eq!(splits[p], leaves);
+        prop_assert!(splits.windows(2).all(|w| w[0] <= w[1]), "monotone cuts");
+        let mut covered = 0u64;
+        for r in 0..p {
+            let range = part.owned_at(r, depth);
+            prop_assert_eq!(range.start, splits[r]);
+            prop_assert_eq!(range.end, splits[r + 1]);
+            for code in range.clone().take(64) {
+                prop_assert_eq!(part.leaf_owner(code), r, "leaf {} owner", code);
+            }
+            covered += range.end - range.start;
+        }
+        prop_assert_eq!(covered, leaves, "exact cover");
     }
 
     /// A unit CSHIFT of the travelling slots followed by its inverse puts

@@ -21,6 +21,7 @@ pub mod coords;
 pub mod domain;
 pub mod interaction;
 pub mod morton;
+pub mod partition;
 pub mod sort;
 
 pub use balance::{analyze as analyze_balance, LoadBalance};
@@ -29,5 +30,9 @@ pub use domain::Domain;
 pub use interaction::{
     interactive_field_offsets, interactive_field_union, near_field_offsets,
     supernode_decomposition, Separation, SupernodeDecomposition, SupernodeOffset,
+};
+pub use partition::{
+    box_halo, child_flush, leaf_costs, morton_to_rowmajor, parent_fetch, particle_halo,
+    rowmajor_to_morton, slot_route, CostModel, Exchange, Partition,
 };
 pub use sort::{assign_boxes, bin_particles, coordinate_sort, Binning, CoordinateSortKey};

@@ -53,7 +53,7 @@ pub mod passes;
 use std::fmt::Write as _;
 
 use fmm_machine::VuGrid;
-use fmm_spmd::{vu_grid_for, CommProgram};
+use fmm_spmd::{vu_grid_for, CommProgram, Partition};
 
 pub use lower::{apply_mutation, lower, Lowered, Mutation};
 
@@ -69,6 +69,10 @@ pub struct CheckConfig {
     /// Forces near field (particle halo) instead of potentials
     /// (travelling slots).
     pub with_fields: bool,
+    /// Check the cost-weighted partitioned program (a synthetic
+    /// heavy-tailed leaf-cost profile) instead of the uniform block
+    /// layout's.
+    pub balance: bool,
     /// Fault injection for the mutation smoke test.
     pub mutate: Option<Mutation>,
     /// Skip the source lints (pass 4), e.g. when checking many
@@ -85,6 +89,7 @@ impl CheckConfig {
             order: 3,
             sep_d: 2,
             with_fields: false,
+            balance: false,
             mutate: None,
             skip_lints: false,
         }
@@ -150,13 +155,44 @@ fn list<T: std::fmt::Display>(errs: &[T], cap: usize) -> String {
 /// Build the program for `cfg`, lower it (with any mutation), and run
 /// the static passes.
 pub fn run_checks(cfg: &CheckConfig) -> Report {
-    let program = CommProgram::build(
-        cfg.grid,
-        cfg.depth,
-        k_for_order(cfg.order),
-        cfg.sep_d,
-        cfg.with_fields,
-    );
+    let program = if cfg.balance {
+        // A data-dependent layout: cut the Morton curve for a synthetic
+        // heavy-tailed leaf-cost profile (deterministic LCG; a few leaves
+        // dominate, as a clustered distribution's do), then check the
+        // partitioned program exactly like the uniform one.
+        let leaves = 1usize << (3 * cfg.depth);
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let costs: Vec<u64> = (0..leaves)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let r = state >> 33;
+                if r.is_multiple_of(97) {
+                    1 + r % 10_000
+                } else {
+                    1 + r % 16
+                }
+            })
+            .collect();
+        let part = Partition::cost_weighted(cfg.depth, cfg.grid.len(), &costs);
+        CommProgram::build_partitioned(
+            cfg.grid,
+            cfg.depth,
+            k_for_order(cfg.order),
+            cfg.sep_d,
+            cfg.with_fields,
+            part,
+        )
+    } else {
+        CommProgram::build(
+            cfg.grid,
+            cfg.depth,
+            k_for_order(cfg.order),
+            cfg.sep_d,
+            cfg.with_fields,
+        )
+    };
     let mut low = lower(&program);
     if let Some(m) = cfg.mutate {
         apply_mutation(&mut low, m);

@@ -16,7 +16,7 @@ use fmm_verify::{run_checks, CheckConfig, Mutation};
 fn usage() -> ! {
     eprintln!(
         "usage: fmm-verify check [--depth D] [--workers P] [--order O] \
-         [--forces] [--skip-lints] \
+         [--forces] [--balance] [--skip-lints] \
          [--mutate flipped-shift|dropped-recv|reply-after-shutdown]"
     );
     std::process::exit(2);
@@ -42,6 +42,7 @@ fn main() -> ExitCode {
             "--workers" => workers = Some(val("--workers").parse().unwrap_or_else(|_| usage())),
             "--order" => cfg.order = val("--order").parse().unwrap_or_else(|_| usage()),
             "--forces" => cfg.with_fields = true,
+            "--balance" => cfg.balance = true,
             "--mutate" => {
                 cfg.mutate = Some(Mutation::parse(val("--mutate")).unwrap_or_else(|| usage()))
             }
@@ -63,7 +64,7 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "fmm-verify: checking CommProgram depth={} workers={} grid={:?} order={} ({}){}",
+        "fmm-verify: checking CommProgram depth={} workers={} grid={:?} order={} ({}{}){}",
         cfg.depth,
         cfg.grid.len(),
         cfg.grid.dims,
@@ -72,6 +73,11 @@ fn main() -> ExitCode {
             "forces near field"
         } else {
             "potentials near field"
+        },
+        if cfg.balance {
+            ", cost-weighted partition"
+        } else {
+            ""
         },
         cfg.mutate
             .map(|m| format!(", mutation {m:?}"))

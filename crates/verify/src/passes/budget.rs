@@ -20,7 +20,8 @@
 //! checked on message counts alone.
 
 use fmm_machine::{
-    check_phases, communication_budget, BudgetMismatch, MeasuredPhase, ProgramBudget, ProgramConfig,
+    check_phases, communication_budget_with, BudgetMismatch, MeasuredPhase, ProgramBudget,
+    ProgramConfig,
 };
 use fmm_spmd::schedule::{Op, Volume};
 
@@ -75,16 +76,21 @@ pub fn static_phases(low: &Lowered) -> [StaticPhase; 6] {
 pub fn budget_for(low: &Lowered, m: usize, particles_per_box: f64) -> ProgramBudget {
     let prog = &low.program;
     let p = prog.grid.len();
-    communication_budget(&ProgramConfig {
-        depth: prog.depth,
-        k: prog.k,
-        m,
-        particles_per_box,
-        vu_grid: prog.grid,
-        supernodes: false,
-        sort_miss_fraction: 1.0 - 1.0 / p as f64,
-        forces_near: prog.with_fields,
-    })
+    // A partitioned program is priced from its own exchange plans — the
+    // single source of truth the schedule was derived from.
+    communication_budget_with(
+        &ProgramConfig {
+            depth: prog.depth,
+            k: prog.k,
+            m,
+            particles_per_box,
+            vu_grid: prog.grid,
+            supernodes: false,
+            sort_miss_fraction: 1.0 - 1.0 / p as f64,
+            forces_near: prog.with_fields,
+        },
+        prog.partition.as_ref().map(|ps| &ps.partition),
+    )
 }
 
 /// Run the pass: static sums vs. the closed-form budget through the

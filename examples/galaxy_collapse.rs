@@ -1,17 +1,22 @@
-//! Gravitational collapse: a leapfrog N-body integration of a cold
-//! spherical cloud, with forces from Anderson's method — the celestial-
-//! mechanics workload the paper's introduction motivates.
+//! Gravitational collapse: a leapfrog N-body integration of a clustered
+//! cloud, with forces from Anderson's method — the celestial-mechanics
+//! workload the paper's introduction motivates.
+//!
+//! Initial conditions come from the shared workload generators in
+//! `fmm-bench` (`Distribution::{Uniform, Plummer, TwoCluster}`), the same
+//! seeded distributions the load-balance experiments use; each gets a
+//! slight solid-body spin about its centre of mass.
 //!
 //! Each step evaluates the field −∇Φ at all particles with the FMM
 //! (`evaluate_forces`) and advances a kick-drift-kick leapfrog. Energy
 //! conservation is reported as the correctness check (potential from the
 //! same FMM evaluation, so the check exercises both outputs).
 //!
-//! Run: `cargo run --release --example galaxy_collapse [n] [steps]`
+//! Run: `cargo run --release --example galaxy_collapse [n] [steps] [dist]`
+//! with `dist` one of `uniform`, `plummer` (default), `two_cluster`.
 
 use anderson_fmm::fmm_core::{Fmm, FmmConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use fmm_bench::workloads::Distribution;
 
 struct System {
     pos: Vec<[f64; 3]>,
@@ -19,27 +24,21 @@ struct System {
     mass: Vec<f64>,
 }
 
-/// A cold, uniform-density sphere of total mass 1 and radius 0.3 centred
-/// in the unit cube, with a slight solid-body spin.
-fn cold_sphere(n: usize, seed: u64) -> System {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut pos = Vec::with_capacity(n);
-    let mut vel = Vec::with_capacity(n);
-    while pos.len() < n {
-        let p = [
-            rng.gen::<f64>() * 2.0 - 1.0,
-            rng.gen::<f64>() * 2.0 - 1.0,
-            rng.gen::<f64>() * 2.0 - 1.0,
-        ];
-        let r2 = p[0] * p[0] + p[1] * p[1] + p[2] * p[2];
-        if r2 <= 1.0 {
-            let x = [0.5 + 0.3 * p[0], 0.5 + 0.3 * p[1], 0.5 + 0.3 * p[2]];
-            pos.push(x);
-            // ω × r spin about z.
-            let omega = 0.3;
-            vel.push([-omega * 0.3 * p[1], omega * 0.3 * p[0], 0.0]);
+/// Total mass 1, positions from the shared generator, and an ω × r
+/// solid-body spin about the z-axis through the centre of mass.
+fn init(dist: Distribution, n: usize, seed: u64) -> System {
+    let pos = dist.positions(n, seed);
+    let mut com = [0.0f64; 3];
+    for p in &pos {
+        for a in 0..3 {
+            com[a] += p[a] / n as f64;
         }
     }
+    let omega = 0.3;
+    let vel = pos
+        .iter()
+        .map(|p| [-omega * (p[1] - com[1]), omega * (p[0] - com[0]), 0.0])
+        .collect();
     System {
         pos,
         vel,
@@ -65,6 +64,15 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20_000);
     let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let dist = match args.get(3).map(String::as_str) {
+        None | Some("plummer") => Distribution::Plummer,
+        Some("uniform") => Distribution::Uniform,
+        Some("two_cluster") => Distribution::TwoCluster,
+        Some(other) => {
+            eprintln!("unknown distribution {other:?}; use uniform|plummer|two_cluster");
+            std::process::exit(2);
+        }
+    };
     let g = 1.0; // gravitational constant in code units
     let dt = 0.005;
     // Plummer softening: a cold collapse forms close pairs immediately;
@@ -73,10 +81,11 @@ fn main() {
     // field, which is exactly where close encounters live.
     let softening = 0.01;
 
-    let mut sys = cold_sphere(n, 11);
+    let mut sys = init(dist, n, 11);
     let fmm = Fmm::new(FmmConfig::order(5).auto_depth(48.0).softening(softening)).expect("config");
     println!(
-        "cold-sphere collapse: N = {}, dt = {}, {} steps, D = 5 (K = {})",
+        "{} collapse: N = {}, dt = {}, {} steps, D = 5 (K = {})",
+        dist.name(),
         n,
         dt,
         steps,
