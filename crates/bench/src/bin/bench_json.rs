@@ -298,7 +298,7 @@ fn bench_spmd(seeded: bool) -> String {
     let fmm = Fmm::new(
         FmmConfig::order(3)
             .depth(depth)
-            .executor(Executor::Spmd(workers)),
+            .executor(Executor::spmd(workers)),
     )
     .unwrap();
     let k = fmm.k();
@@ -355,7 +355,7 @@ fn bench_spmd(seeded: bool) -> String {
         let mut t1 = 0.0;
         let mut entries = Vec::new();
         for p in [1usize, 2, 4, 8] {
-            let f = Fmm::new(FmmConfig::order(3).depth(4).executor(Executor::Spmd(p))).unwrap();
+            let f = Fmm::new(FmmConfig::order(3).depth(4).executor(Executor::spmd(p))).unwrap();
             let t0 = std::time::Instant::now();
             f.evaluate(&spts, &sq).unwrap();
             let t = t0.elapsed().as_secs_f64();
@@ -409,7 +409,7 @@ fn bench_balance(seeded: bool) -> (String, Vec<BalanceCase>) {
                 Fmm::new(
                     FmmConfig::order(3)
                         .depth(depth)
-                        .executor(Executor::Spmd(p))
+                        .executor(Executor::spmd(p))
                         .balance(bal),
                 )
                 .unwrap()

@@ -65,7 +65,7 @@ fn main() {
     let sn = (n / 8).max(10_000);
     let spts = uniform(sn, 4242);
     let sq = unit_charges(sn);
-    println!("N = {}, executor = Executor::Spmd(p)", sn);
+    println!("N = {}, executor = Executor::spmd(p)", sn);
     println!(
         "{:>8} {:>10} {:>9} {:>11} {:>14} {:>12}",
         "workers", "time (s)", "speedup", "efficiency", "msgs (total)", "MB moved"
@@ -73,7 +73,7 @@ fn main() {
     let mut ts1 = 0.0;
     let mut p = 1;
     while p <= 8 {
-        let fmm = Fmm::new(FmmConfig::order(5).executor(Executor::Spmd(p))).unwrap();
+        let fmm = Fmm::new(FmmConfig::order(5).executor(Executor::spmd(p))).unwrap();
         let (t, out) = time_s(|| fmm.evaluate(&spts, &sq).unwrap());
         if p == 1 {
             ts1 = t;

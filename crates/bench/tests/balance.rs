@@ -23,7 +23,7 @@ fn assert_balanced(dist: Distribution, with_fields: bool) {
         let fmm = Fmm::new(
             FmmConfig::order(3)
                 .depth(DEPTH)
-                .executor(Executor::Spmd(P))
+                .executor(Executor::spmd(P))
                 .balance(bal),
         )
         .unwrap();

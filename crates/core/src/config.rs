@@ -47,21 +47,119 @@ impl DepthPolicy {
     }
 }
 
+/// Which wire carries SPMD messages between ranks.
+///
+/// All fabrics execute the *same* `CommProgram` and are bitwise
+/// interchangeable: the fabric decides how f64 payloads travel (moved
+/// `Vec`s over in-process channels, or length-prefixed `FMMW` frames over
+/// sockets), never what arrives. Addresses are not part of the selection —
+/// socket fabrics derive them from the environment or allocate ephemeral
+/// endpoints — so the enum stays `Copy` and can live inside plan keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fabric {
+    /// In-process `mpsc` channels between worker threads (the default;
+    /// zero serialization, payloads move by ownership transfer).
+    #[default]
+    InProcess,
+    /// UNIX-domain stream sockets carrying `FMMW` frames.
+    Unix,
+    /// TCP loopback sockets carrying `FMMW` frames.
+    Tcp,
+}
+
+impl Fabric {
+    pub const ALL: [Fabric; 3] = [Fabric::InProcess, Fabric::Unix, Fabric::Tcp];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Fabric::InProcess => "inprocess",
+            Fabric::Unix => "unix",
+            Fabric::Tcp => "tcp",
+        }
+    }
+
+    /// Parse a fabric name as used by the `--fabric` CLI knobs; the
+    /// socket fabrics also accept an `addr`-qualified spelling
+    /// (`unix:/path`, `tcp:host:port`) whose address part is ignored here.
+    pub fn from_name(s: &str) -> Option<Fabric> {
+        let kind = s.split(':').next().unwrap_or(s);
+        match kind {
+            "inprocess" | "channels" | "mpsc" => Some(Fabric::InProcess),
+            "unix" => Some(Fabric::Unix),
+            "tcp" => Some(Fabric::Tcp),
+            _ => None,
+        }
+    }
+}
+
+/// Options of the message-passing SPMD executor: how many ranks, which
+/// fabric carries their messages, and an optional per-run load-balance
+/// override. `Copy + Hash` so [`Executor`] stays embeddable in plan keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpmdOptions {
+    /// Worker (rank) count; must be a power of two.
+    pub workers: usize,
+    /// The wire between ranks. Outputs are bitwise identical across all
+    /// fabrics; this knob trades ownership-transfer channels against real
+    /// socket framing (and, via `fmm_spmd::distributed`, OS processes).
+    pub transport: Fabric,
+    /// Load-balance override for this executor; `None` defers to
+    /// [`FmmConfig::balance`].
+    pub balance_hint: Option<Balance>,
+}
+
+impl SpmdOptions {
+    /// `workers` ranks over the default in-process fabric.
+    pub fn new(workers: usize) -> Self {
+        SpmdOptions {
+            workers,
+            transport: Fabric::InProcess,
+            balance_hint: None,
+        }
+    }
+
+    /// Builder-style: select the message fabric.
+    pub fn transport(mut self, f: Fabric) -> Self {
+        self.transport = f;
+        self
+    }
+
+    /// Builder-style: override the load-balance policy for this executor.
+    pub fn balance_hint(mut self, b: Balance) -> Self {
+        self.balance_hint = Some(b);
+        self
+    }
+}
+
+impl From<usize> for SpmdOptions {
+    fn from(workers: usize) -> Self {
+        SpmdOptions::new(workers)
+    }
+}
+
 /// Which execution backend carries the five phases.
 ///
 /// All backends are bitwise interchangeable for fixed inputs: `Serial`
 /// and `Rayon` share one code path whose parallel loops are
-/// write-disjoint, and `Spmd(p)` (provided by the `fmm-spmd` crate) runs
-/// the same arithmetic per worker over explicit message channels.
+/// write-disjoint, and `Spmd` (provided by the `fmm-spmd` crate) runs
+/// the same arithmetic per worker over an explicit message fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Executor {
     /// Single-threaded reference execution.
     Serial,
     /// Shared-memory parallelism over rayon iterators (the default).
     Rayon,
-    /// Message-passing SPMD execution with the given number of worker
-    /// threads acting as VUs (must be a power of two).
-    Spmd(usize),
+    /// Message-passing SPMD execution: worker ranks acting as VUs over a
+    /// pluggable [`Fabric`]. Use [`Executor::spmd`] for the common case.
+    Spmd(SpmdOptions),
+}
+
+impl Executor {
+    /// Back-compat constructor: `p` SPMD ranks over the default
+    /// in-process fabric (the former `Executor::Spmd(p)`).
+    pub fn spmd(workers: usize) -> Executor {
+        Executor::Spmd(SpmdOptions::new(workers))
+    }
 }
 
 /// Arithmetic precision tier for `evaluate()`.
@@ -211,6 +309,16 @@ impl FmmConfig {
         }
     }
 
+    /// The SPMD load-balance policy that will actually run: the
+    /// executor's [`SpmdOptions::balance_hint`] when set, else the
+    /// config-level [`FmmConfig::balance`].
+    pub fn effective_balance(&self) -> Balance {
+        match self.effective_executor() {
+            Executor::Spmd(opts) => opts.balance_hint.unwrap_or(self.balance),
+            _ => self.balance,
+        }
+    }
+
     /// Builder-style: fixed depth.
     pub fn depth(mut self, h: u32) -> Self {
         self.depth = DepthPolicy::Fixed(h);
@@ -340,7 +448,8 @@ impl FmmConfig {
                 ));
             }
         }
-        if let Executor::Spmd(p) = self.executor {
+        if let Executor::Spmd(opts) = self.executor {
+            let p = opts.workers;
             if p == 0 || !p.is_power_of_two() {
                 return Err(format!("SPMD worker count {} must be a power of two", p));
             }
@@ -415,7 +524,7 @@ mod tests {
     #[test]
     fn spmd_rejects_mixed_precision() {
         let cfg = FmmConfig::order(5)
-            .executor(Executor::Spmd(4))
+            .executor(Executor::spmd(4))
             .precision(Precision::Mixed);
         assert!(cfg.validate().is_err());
         FmmConfig::order(5)

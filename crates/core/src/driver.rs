@@ -66,14 +66,14 @@ pub struct EvalOutput {
 
 /// Entry point of the message-passing backend, installed by
 /// `fmm_spmd::install()`. Takes the configured instance, the inputs of one
-/// evaluation, and the worker count from [`Executor::Spmd`].
+/// evaluation, and the executor options from [`Executor::Spmd`].
 pub type SpmdBackend = fn(
     fmm: &Fmm,
     positions: &[[f64; 3]],
     charges: &[f64],
     domain: Domain,
     with_fields: bool,
-    workers: usize,
+    opts: crate::config::SpmdOptions,
 ) -> Result<EvalOutput, FmmError>;
 
 static SPMD_BACKEND: std::sync::OnceLock<SpmdBackend> = std::sync::OnceLock::new();
@@ -336,14 +336,14 @@ impl Fmm {
                 charges.len()
             )));
         }
-        if let Executor::Spmd(workers) = self.cfg.effective_executor() {
+        if let Executor::Spmd(opts) = self.cfg.effective_executor() {
             let backend = SPMD_BACKEND.get().ok_or_else(|| {
                 FmmError::InvalidConfig(
                     "Executor::Spmd selected but no backend installed; call fmm_spmd::install()"
                         .into(),
                 )
             })?;
-            return backend(self, positions, charges, domain, with_fields, workers);
+            return backend(self, positions, charges, domain, with_fields, opts);
         }
         let depth = self.cfg.depth.resolve(positions.len());
         let k = self.k();

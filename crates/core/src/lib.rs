@@ -58,7 +58,7 @@ pub mod translations;
 pub mod traversal;
 
 pub use batch::{BatchOutput, BatchRequest};
-pub use config::{Balance, DepthPolicy, Executor, FmmConfig, Precision};
+pub use config::{Balance, DepthPolicy, Executor, Fabric, FmmConfig, Precision, SpmdOptions};
 pub use driver::{EvalOutput, Fmm, FmmError};
 pub use error::{relative_error_stats, ErrorStats};
 pub use near::{
@@ -69,7 +69,7 @@ pub use near::{
 pub use near32::{near_field_forces_f32, near_field_potentials_f32, ParticlesF32};
 pub use plan::TraversalPlan;
 pub use registry::{PlanKey, PlanRegistry, RegistryStats};
-pub use stats::{Phase, Profile, SpmdPhase, SpmdReport};
+pub use stats::{Counters, Phase, Profile, SpmdPhase, SpmdReport};
 pub use translations::TranslationSet;
 
 /// Re-exported substrate types that appear in the public API.

@@ -189,6 +189,81 @@ impl std::ops::AddAssign for SpmdPhase {
     }
 }
 
+/// The SPMD data-motion counters: per-phase message / byte / local-word
+/// totals plus a cursor naming the phase charges currently land in. One
+/// struct serves both sides of the transport seam — worker contexts count
+/// into it while executing the `CommProgram` (the fabric itself never
+/// counts, so the totals are fabric-independent and bitwise comparable
+/// across backends), and [`SpmdReport`] carries the merged result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    phases: [SpmdPhase; 6],
+    phase: usize,
+}
+
+impl Counters {
+    /// Number of program phases, matching the machine model's budget.
+    pub const PHASES: usize = 6;
+
+    /// Direct charges to the given phase index.
+    pub fn set_phase(&mut self, phase: usize) {
+        debug_assert!(phase < Self::PHASES, "phase {phase} out of range");
+        self.phase = phase;
+    }
+
+    /// The phase charges currently land in (0..6, budget order).
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Count `n` messages against the current phase.
+    pub fn add_messages(&mut self, n: u64) {
+        self.phases[self.phase].messages += n;
+    }
+
+    /// Count `words` f64 payload words crossing a rank boundary (8 bytes
+    /// each) against the current phase.
+    pub fn add_words(&mut self, words: u64) {
+        self.phases[self.phase].bytes += words * 8;
+    }
+
+    /// Count `words` f64 words moved within a rank's own memory.
+    pub fn add_local_words(&mut self, words: u64) {
+        self.phases[self.phase].local_words += words;
+    }
+
+    /// Fold another rank's totals into this one (cursor untouched).
+    pub fn merge(&mut self, other: &Counters) {
+        for (c, o) in self.phases.iter_mut().zip(&other.phases) {
+            *c += *o;
+        }
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, SpmdPhase> {
+        self.phases.iter()
+    }
+
+    /// The per-phase totals, in [`SpmdReport::PHASE_NAMES`] order.
+    pub fn phases(&self) -> &[SpmdPhase; 6] {
+        &self.phases
+    }
+}
+
+impl std::ops::Index<usize> for Counters {
+    type Output = SpmdPhase;
+    fn index(&self, i: usize) -> &SpmdPhase {
+        &self.phases[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Counters {
+    type Item = &'a SpmdPhase;
+    type IntoIter = std::slice::Iter<'a, SpmdPhase>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.phases.iter()
+    }
+}
+
 /// Per-phase measured communication of one SPMD evaluation, attached to
 /// [`crate::EvalOutput`] when the run used [`crate::Executor::Spmd`].
 /// Phases are indexed like the machine model's program budget.
@@ -198,8 +273,9 @@ pub struct SpmdReport {
     pub workers: usize,
     /// The VU grid the workers were arranged on.
     pub vu_dims: [usize; 3],
-    /// Measured motion per phase, in [`SpmdReport::PHASE_NAMES`] order.
-    pub phases: [SpmdPhase; 6],
+    /// Measured motion per phase, in [`SpmdReport::PHASE_NAMES`] order,
+    /// merged over all ranks.
+    pub phases: Counters,
     /// Per-worker busy wall-clock (sum of its six phase timings), in
     /// nanoseconds. The spread across workers is the load-balance signal.
     pub worker_busy_ns: Vec<u64>,
@@ -280,6 +356,26 @@ mod tests {
         b.add_flops(Phase::Eval, 20);
         a.merge(&b);
         assert_eq!(a.phase_flops(Phase::Eval), 30);
+    }
+
+    #[test]
+    fn counters_charge_the_current_phase() {
+        let mut c = Counters::default();
+        c.add_messages(2);
+        c.set_phase(3);
+        c.add_messages(1);
+        c.add_words(10);
+        c.add_local_words(4);
+        assert_eq!(c[0].messages, 2);
+        assert_eq!(c[3].messages, 1);
+        assert_eq!(c[3].bytes, 80);
+        assert_eq!(c[3].local_words, 4);
+        let mut total = Counters::default();
+        total.merge(&c);
+        total.merge(&c);
+        assert_eq!(total[3].bytes, 160);
+        assert_eq!(total.phase(), 0, "merge never moves the cursor");
+        assert_eq!(total.iter().map(|p| p.messages).sum::<u64>(), 6);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod layout;
 pub mod multigrid;
 pub mod program;
 pub mod replication;
+pub mod transport;
 pub mod travel;
 
 pub use compare::{
@@ -49,4 +50,5 @@ pub use program::{
     communication_budget, communication_budget_with, gather_hops, subgrid_extent, PhaseBudget,
     ProgramBudget, ProgramConfig, PARTICLE_WORDS,
 };
+pub use transport::{preflight, PreflightReport, TransportModel};
 pub use travel::{TravelPath, TravelStep};

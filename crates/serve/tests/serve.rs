@@ -246,6 +246,11 @@ fn metrics_and_info_report_the_registry() {
             .as_usize(),
         Some(1)
     );
+    // The fabrics the SPMD executor can run over, in declaration order.
+    assert!(
+        info.contains(r#""transports":["inprocess","unix","tcp"]"#),
+        "{info}"
+    );
     server.shutdown();
     server.join();
 }

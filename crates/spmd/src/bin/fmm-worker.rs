@@ -1,0 +1,58 @@
+//! One SPMD rank as an OS process.
+//!
+//! ```text
+//! fmm-worker --rank R --fabric unix:/tmp/fmm.sock
+//! fmm-worker --rank R --fabric tcp:127.0.0.1:7000
+//! ```
+//!
+//! Joins the launcher's rendezvous (see `fmm_spmd::evaluate_distributed`
+//! or the `fmm-launch` binary), receives the job, wires its row of the
+//! point-to-point mesh, executes the published `CommProgram`, and
+//! returns its `WorkerOut` — f64s as exact bit patterns, so the
+//! launcher's assembly is bitwise identical to the in-process run.
+
+use std::process::ExitCode;
+
+use fmm_spmd::{worker_join, FabricAddr};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: fmm-worker --rank R --fabric unix:PATH|tcp:HOST:PORT");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut rank: Option<usize> = None;
+    let mut fabric: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rank" => rank = args.next().and_then(|v| v.parse().ok()),
+            "--fabric" => fabric = args.next(),
+            "--help" | "-h" => {
+                println!("usage: fmm-worker --rank R --fabric unix:PATH|tcp:HOST:PORT");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("fmm-worker: unknown argument {other:?}");
+                return usage();
+            }
+        }
+    }
+    let (Some(rank), Some(fabric)) = (rank, fabric) else {
+        return usage();
+    };
+    let addr = match FabricAddr::parse(&fabric) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fmm-worker: bad --fabric: {e}");
+            return usage();
+        }
+    };
+    match worker_join(&addr, rank) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fmm-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -35,15 +35,15 @@ use crate::schedule::{cell_index, halo_axis_plan, particle_axis_plan, ring_partn
 /// the op; bytes are counted here per sending worker.
 pub fn all_to_allv(ctx: &mut WorkerCtx, outgoing: Vec<Vec<f64>>) -> Vec<f64> {
     let p = ctx.p();
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     let mut mine = Vec::new();
     let mut chunks: Vec<Option<Vec<f64>>> = (0..p).map(|_| None).collect();
     for (w, chunk) in outgoing.into_iter().enumerate() {
         if w == ctx.rank {
-            ctx.count_local(chunk.len() as u64);
+            ctx.counters.add_local_words(chunk.len() as u64);
             chunks[w] = Some(chunk);
         } else {
-            ctx.count_bytes_words(chunk.len() as u64);
+            ctx.counters.add_words(chunk.len() as u64);
             ctx.send(w, tag, chunk);
         }
     }
@@ -64,7 +64,7 @@ pub fn all_to_allv(ctx: &mut WorkerCtx, outgoing: Vec<Vec<f64>>) -> Vec<f64> {
 /// box transmissions match the model's `gather_hops(p)` accounting.
 pub fn gather_level_to_root(ctx: &mut WorkerCtx, buf: &mut [f64], l: u32, k: usize) {
     let p = ctx.p();
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     if p == 1 {
         return;
     }
@@ -86,8 +86,8 @@ pub fn gather_level_to_root(ctx: &mut WorkerCtx, buf: &mut [f64], l: u32, k: usi
         if ctx.rank & bit != 0 {
             // Payload words are the k-sample rows; the per-box index is
             // envelope metadata, like a router packet header.
-            ctx.count_msg(1);
-            ctx.count_bytes_words((held.len() / (k + 1) * k) as u64);
+            ctx.counters.add_messages(1);
+            ctx.counters.add_words((held.len() / (k + 1) * k) as u64);
             let data = std::mem::take(&mut held);
             ctx.send(ctx.rank - bit, tag, data);
         } else if ctx.rank + bit < p {
@@ -109,7 +109,7 @@ pub fn gather_level_to_root(ctx: &mut WorkerCtx, buf: &mut [f64], l: u32, k: usi
 /// stage), with bytes per actual transmission.
 pub fn broadcast_from_root(ctx: &mut WorkerCtx, buf: &mut [f64]) {
     let p = ctx.p();
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     if p == 1 {
         return;
     }
@@ -119,7 +119,7 @@ pub fn broadcast_from_root(ctx: &mut WorkerCtx, buf: &mut [f64]) {
         let span = bit << 1;
         if ctx.rank.is_multiple_of(span) {
             ctx.count_op(1);
-            ctx.count_bytes_words(buf.len() as u64);
+            ctx.counters.add_words(buf.len() as u64);
             ctx.send(ctx.rank + bit, tag, buf.to_vec());
         } else if ctx.rank.is_multiple_of(bit) {
             let data = ctx.recv(ctx.rank - bit, tag);
@@ -145,7 +145,7 @@ pub fn halo_exchange_axis(
     let n = 1usize << l;
     let lay = BlockLayout::new([n; 3], ctx.grid);
     let my = ctx.coords();
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     // Post sends: serve every rank along this axis whose plan names me.
     for other in 0..ctx.grid.dims[axis] {
         if other == my[axis] {
@@ -160,7 +160,7 @@ pub fn halo_exchange_axis(
             for &c in cells {
                 data.extend_from_slice(&level_buf[c * k..(c + 1) * k]);
             }
-            ctx.count_bytes_words(data.len() as u64);
+            ctx.counters.add_words(data.len() as u64);
             ctx.send(dst, tag, data);
         }
     }
@@ -170,7 +170,7 @@ pub fn halo_exchange_axis(
         if *src == ctx.rank {
             // Wrap aliased back onto my own subgrid: the true values
             // are already in place, only local index motion.
-            ctx.count_local((cells.len() * k) as u64);
+            ctx.counters.add_local_words((cells.len() * k) as u64);
             continue;
         }
         let data = ctx.recv(*src, tag);
@@ -188,13 +188,13 @@ pub fn halo_exchange_axis(
 /// metadata travels; bytes are exactly `rows × k` words, which is what
 /// the partitioned budget predicts.
 pub fn exchange_rows(ctx: &mut WorkerCtx, buf: &mut [f64], ex: &Exchange, k: usize) {
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     for (dst, cells) in &ex.sends[ctx.rank] {
         let mut data = Vec::with_capacity(cells.len() * k);
         for &c in cells {
             data.extend_from_slice(&buf[c * k..(c + 1) * k]);
         }
-        ctx.count_bytes_words(data.len() as u64);
+        ctx.counters.add_words(data.len() as u64);
         ctx.send(*dst, tag, data);
     }
     for (src, cells) in &ex.recvs[ctx.rank] {
@@ -242,7 +242,7 @@ pub fn particle_halo_axis(
     let n = 1usize << depth;
     let lay = BlockLayout::new([n; 3], ctx.grid);
     let my = ctx.coords();
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     for other in 0..ctx.grid.dims[axis] {
         if other == my[axis] {
             continue;
@@ -265,7 +265,7 @@ pub fn particle_halo_axis(
                 data.extend_from_slice(&cell.zs);
                 data.extend_from_slice(&cell.qs);
             }
-            ctx.count_bytes_words(payload);
+            ctx.counters.add_words(payload);
             ctx.send(dst, tag, data);
         }
     }
@@ -303,7 +303,7 @@ pub fn particle_exchange(
     own: &impl Fn(usize) -> CellParticles,
     store: &mut BTreeMap<usize, CellParticles>,
 ) {
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     for (dst, cells) in &ex.sends[ctx.rank] {
         let mut data = Vec::new();
         let mut payload = 0u64;
@@ -316,7 +316,7 @@ pub fn particle_exchange(
             data.extend_from_slice(&cell.zs);
             data.extend_from_slice(&cell.qs);
         }
-        ctx.count_bytes_words(payload);
+        ctx.counters.add_words(payload);
         ctx.send(*dst, tag, data);
     }
     for (src, cells) in &ex.recvs[ctx.rank] {
@@ -361,7 +361,7 @@ pub fn shift_slots(
     lay: &BlockLayout,
     n: usize,
 ) {
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     let mut staying: BTreeMap<usize, Slot> = BTreeMap::new();
     let mut leaving: Vec<f64> = Vec::new();
     let mut leaving_words = 0u64;
@@ -370,7 +370,7 @@ pub fn shift_slots(
         g[axis] = (g[axis] as i64 + pos_delta as i64).rem_euclid(n as i64) as usize;
         let npos = cell_index(g, n);
         if lay.vu_of(g) == ctx.rank {
-            ctx.count_local(5 * slot.cell.len() as u64);
+            ctx.counters.add_local_words(5 * slot.cell.len() as u64);
             staying.insert(npos, slot);
         } else {
             let cnt = slot.cell.len();
@@ -391,7 +391,7 @@ pub fn shift_slots(
         return;
     }
     let (dst, src) = ring_partners(&ctx.grid, ctx.rank, axis, pos_delta);
-    ctx.count_bytes_words(leaving_words);
+    ctx.counters.add_words(leaving_words);
     ctx.send(dst, tag, leaving);
     let data = ctx.recv(src, tag);
     unpack_slots(&data, slots);
@@ -442,7 +442,7 @@ pub fn shift_slots_part(
     route: &Exchange,
     n: usize,
 ) {
-    let tag = ctx.fresh_tag();
+    let tag = ctx.tags.fresh();
     let mut staying: BTreeMap<usize, Slot> = BTreeMap::new();
     // Departing slots keyed by source cell, the route's key.
     let mut leaving: BTreeMap<usize, (usize, Slot)> = BTreeMap::new();
@@ -452,7 +452,7 @@ pub fn shift_slots_part(
         let npos = cell_index(g, n);
         let owner = part.leaf_owner(morton_encode(g[0] as u32, g[1] as u32, g[2] as u32));
         if owner == ctx.rank {
-            ctx.count_local(5 * slot.cell.len() as u64);
+            ctx.counters.add_local_words(5 * slot.cell.len() as u64);
             staying.insert(npos, slot);
         } else {
             leaving.insert(pos, (npos, slot));
@@ -477,7 +477,7 @@ pub fn shift_slots_part(
             data.extend_from_slice(&slot.cell.qs);
             data.extend_from_slice(&slot.acc);
         }
-        ctx.count_bytes_words(words);
+        ctx.counters.add_words(words);
         ctx.send(*dst, tag, data);
     }
     debug_assert!(leaving.is_empty(), "departing slot missing from the route");

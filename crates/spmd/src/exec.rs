@@ -25,7 +25,7 @@ use fmm_core::near::{
     PAIR_FORCE_FLOPS,
 };
 use fmm_core::particles::BinnedParticles;
-use fmm_core::stats::SpmdPhase;
+use fmm_core::stats::Counters;
 use fmm_core::translations::TranslationSet;
 use fmm_core::traversal::{downward_level, upward_level, Aggregation};
 use fmm_core::TraversalPlan;
@@ -76,7 +76,7 @@ impl<'a> Cursor<'a> {
         let st = &self.steps[self.i];
         self.i += 1;
         debug_assert!(want(&st.kind), "schedule mismatch at step {st:?}");
-        debug_assert_eq!(ctx.peek_tag(), st.tag, "tag drift at step {st:?}");
+        debug_assert_eq!(ctx.tags.peek(), st.tag, "tag drift at step {st:?}");
         st
     }
 
@@ -88,7 +88,7 @@ impl<'a> Cursor<'a> {
             return None;
         }
         self.i += 1;
-        debug_assert_eq!(ctx.peek_tag(), st.tag, "tag drift at step {st:?}");
+        debug_assert_eq!(ctx.tags.peek(), st.tag, "tag drift at step {st:?}");
         Some(st)
     }
 
@@ -100,7 +100,7 @@ impl<'a> Cursor<'a> {
 
 /// One worker's contribution to the evaluation.
 pub(crate) struct WorkerOut {
-    pub counters: [SpmdPhase; 6],
+    pub counters: Counters,
     /// Original input index of each locally-sorted particle.
     pub orig: Vec<usize>,
     /// Combined far + near potential per local particle.
@@ -211,7 +211,8 @@ fn downward_owned(
         for (d, s) in local_cur[ci * k..(ci + 1) * k].iter_mut().zip(&acc) {
             *d += *s;
         }
-        ctx.count_local((op.offsets.len() as u64 + 2) * k as u64);
+        ctx.counters
+            .add_local_words((op.offsets.len() as u64 + 2) * k as u64);
         flops += (op.offsets.len() as u64 + apply_t3 as u64) * gemm_flops(1, k, k);
     }
     flops
@@ -268,7 +269,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
 
     // ---- Phase 1: P2O over owned leaf boxes (all other boxes are empty
     // in this worker's binning and skipped).
-    ctx.phase = 1;
+    ctx.set_phase(1);
     let t0 = Instant::now();
     let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
     let leaf_side = sh.domain.box_side(depth);
@@ -288,7 +289,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
     // layout); once a level no longer fills the VU grid, its children are
     // combined to rank 0 (Multigrid embedding) and the remaining levels
     // run there serially.
-    ctx.phase = 2;
+    ctx.set_phase(2);
     let t0 = Instant::now();
     let mut cur = Cursor::new(&sh.program.phases[2]);
     if depth >= 3 {
@@ -322,7 +323,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                             out,
                         );
                     }
-                    ctx.count_local(8 * k as u64);
+                    ctx.counters.add_local_words(8 * k as u64);
                     tflops += gemm_flops(8, k, k);
                 }
             } else {
@@ -337,7 +338,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
                 }
                 if rank == 0 {
                     let fl = upward_level(&mut fh, ts, sh.plan, l, Aggregation::Gemm, false);
-                    ctx.count_local(fl.copied);
+                    ctx.counters.add_local_words(fl.copied);
                     tflops += fl.t1;
                 }
             }
@@ -350,7 +351,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
     // first distributed level receives its parents' locals by broadcast;
     // each distributed level halo-exchanges the far field and then runs
     // T2 + T3 per owned box.
-    ctx.phase = 3;
+    ctx.set_phase(3);
     let t0 = Instant::now();
     let sep = cfg.separation;
     let mut cur = Cursor::new(&sh.program.phases[3]);
@@ -359,7 +360,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
             // Multigrid-embedded level: rank 0 computes it serially.
             if rank == 0 {
                 let fl = downward_level(&mut fh, ts, sh.plan, false, Aggregation::Gemm, false, l);
-                ctx.count_local(fl.copied);
+                ctx.counters.add_local_words(fl.copied);
                 tflops += fl.t2 + fl.t3;
             }
             continue;
@@ -417,7 +418,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
     times[3] = t0.elapsed();
 
     // ---- Phase 4: evaluate leaf inner approximations at owned particles.
-    ctx.phase = 4;
+    ctx.set_phase(4);
     let t0 = Instant::now();
     let b_leaf = cfg.inner_ratio * leaf_side;
     let mut pot = vec![0.0; bp.len()];
@@ -436,7 +437,7 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut {
     times[4] = t0.elapsed();
 
     // ---- Phase 5: near field.
-    ctx.phase = 5;
+    ctx.set_phase(5);
     let t0 = Instant::now();
     let eps2 = cfg.softening * cfg.softening;
     let mut near_pot = vec![0.0; bp.len()];
@@ -690,7 +691,7 @@ pub(crate) fn worker_main_part(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut
     times[0] = t0.elapsed();
 
     // ---- Phase 1: P2O over owned leaf boxes, exactly as the uniform path.
-    ctx.phase = 1;
+    ctx.set_phase(1);
     let t0 = Instant::now();
     let mut fh = FieldHierarchy::new(Hierarchy::new(depth), k);
     let leaf_side = sh.domain.box_side(depth);
@@ -708,7 +709,7 @@ pub(crate) fn worker_main_part(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut
     // ---- Phase 2: upward pass. No Multigrid embedding: every level down
     // to 2 is computed by the partition's owners. One child-row flush per
     // parent level brings each owned parent its eight children's rows.
-    ctx.phase = 2;
+    ctx.set_phase(2);
     let t0 = Instant::now();
     let mut cur = Cursor::new(&sh.program.phases[2]);
     if depth >= 3 {
@@ -746,7 +747,7 @@ pub(crate) fn worker_main_part(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut
                         out,
                     );
                 }
-                ctx.count_local(8 * k as u64);
+                ctx.counters.add_local_words(8 * k as u64);
                 tflops += gemm_flops(8, k, k);
             }
         }
@@ -757,7 +758,7 @@ pub(crate) fn worker_main_part(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut
     // ---- Phase 3: downward pass. Per level: fetch the owned boxes'
     // parent locals (l ≥ 3), exchange the interactive-field far rows, then
     // run T2 + T3 over the owned Morton range.
-    ctx.phase = 3;
+    ctx.set_phase(3);
     let t0 = Instant::now();
     let sep = cfg.separation;
     let mut cur = Cursor::new(&sh.program.phases[3]);
@@ -801,7 +802,7 @@ pub(crate) fn worker_main_part(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut
     times[3] = t0.elapsed();
 
     // ---- Phase 4: evaluate leaf inner approximations at owned particles.
-    ctx.phase = 4;
+    ctx.set_phase(4);
     let t0 = Instant::now();
     let b_leaf = cfg.inner_ratio * leaf_side;
     let mut pot = vec![0.0; bp.len()];
@@ -820,7 +821,7 @@ pub(crate) fn worker_main_part(mut ctx: WorkerCtx, sh: &Shared<'_>) -> WorkerOut
     times[4] = t0.elapsed();
 
     // ---- Phase 5: near field.
-    ctx.phase = 5;
+    ctx.set_phase(5);
     let t0 = Instant::now();
     let eps2 = cfg.softening * cfg.softening;
     let mut near_pot = vec![0.0; bp.len()];

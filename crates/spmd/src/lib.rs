@@ -2,9 +2,9 @@
 //!
 //! The machine model in `fmm-machine` *prices* the FMM's communication on a
 //! CM-5-style distributed machine; this crate *executes* it. N worker
-//! threads play the VUs of a [`fmm_machine::VuGrid`], each owning a block
+//! ranks play the VUs of a [`fmm_machine::VuGrid`], each owning a block
 //! of boxes outright. No shared mutable arrays exist: every datum that
-//! moves between workers goes through an explicit typed channel, so the
+//! moves between workers goes through an explicit [`Transport`], so the
 //! per-phase byte and message counters measured here are the program's
 //! actual data motion — directly comparable against
 //! `fmm_machine::communication_budget`.
@@ -16,9 +16,16 @@
 //! tree-structured combine/spread for the coarse levels where boxes are
 //! fewer than VUs (the Multigrid embedding).
 //!
+//! Three fabrics carry the same `CommProgram`
+//! ([`fmm_core::Fabric`]): in-process `mpsc` channels (the default),
+//! UNIX-domain sockets, and TCP — the socket fabrics framing every
+//! message with the length-prefixed `FMMW` codec ([`transport`]). The
+//! [`distributed`] module runs the same program across OS processes
+//! (`fmm-worker` ranks joining a rendezvous).
+//!
 //! Results are **bitwise identical** to the serial and rayon backends for
-//! every worker count: the same per-box arithmetic runs in the same order,
-//! only the data lives elsewhere.
+//! every worker count and every fabric: the same per-box arithmetic runs
+//! in the same order, only the data lives elsewhere.
 //!
 //! ## Usage
 //!
@@ -26,7 +33,7 @@
 //! use fmm_core::{Executor, Fmm, FmmConfig};
 //!
 //! fmm_spmd::install(); // register the backend once per process
-//! let fmm = Fmm::new(FmmConfig::order(3).depth(2).executor(Executor::Spmd(4))).unwrap();
+//! let fmm = Fmm::new(FmmConfig::order(3).depth(2).executor(Executor::spmd(4))).unwrap();
 //! let positions: Vec<[f64; 3]> = (0..64)
 //!     .map(|i| {
 //!         let f = i as f64 / 64.0;
@@ -40,23 +47,32 @@
 #![forbid(unsafe_code)]
 
 pub mod collectives;
+pub mod distributed;
 mod exec;
-mod fabric;
+pub mod fabric;
 pub mod schedule;
+pub mod transport;
 
+use std::io;
 use std::time::Duration;
 
 use fmm_core::driver::{EvalOutput, Fmm, FmmError};
 use fmm_core::near::NearFieldStats;
-use fmm_core::stats::SpmdPhase;
+use fmm_core::stats::Counters;
 use fmm_core::traversal::TraversalFlops;
-use fmm_core::{Balance, Domain, Phase, Profile, Separation, SpmdReport};
+use fmm_core::{
+    Balance, Domain, Fabric, Phase, Profile, Separation, SpmdOptions, SpmdReport, TraversalPlan,
+};
 use fmm_linalg::gemm_flops;
 use fmm_machine::VuGrid;
 use fmm_tree::partition::{leaf_costs, CostModel};
 
-pub use fabric::{run_workers, WorkerCtx};
+pub use distributed::{evaluate_distributed, worker_join, LaunchConfig};
+pub use fabric::{
+    channel_ctxs, run_ctxs, run_workers, ChannelTransport, TagAllocator, Transport, WorkerCtx,
+};
 pub use schedule::{CommProgram, Partition};
+pub use transport::{FabricAddr, SocketTransport};
 
 /// Register this crate as the backend for [`fmm_core::Executor::Spmd`].
 /// Idempotent; call once before evaluating.
@@ -111,30 +127,66 @@ pub fn cost_partition(
     Partition::cost_weighted(depth, workers, &costs)
 }
 
-/// The backend entry point matching [`fmm_core::driver::SpmdBackend`].
-fn run_spmd(
+/// Wire `p = grid.len()` worker contexts over the selected fabric, all in
+/// one process: `mpsc` channels, a UNIX socket-pair mesh, or a loopback
+/// TCP mesh. The socket meshes run the exact framing of the
+/// multi-process path, which is what makes single-process equivalence
+/// tests across fabrics meaningful.
+pub fn fabric_ctxs(grid: VuGrid, fabric: Fabric) -> io::Result<Vec<WorkerCtx>> {
+    let p = grid.len();
+    match fabric {
+        Fabric::InProcess => Ok(channel_ctxs(grid)),
+        Fabric::Unix => {
+            #[cfg(unix)]
+            {
+                transport::unix_pair_mesh(p)?
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, row)| {
+                        Ok(WorkerCtx::new(
+                            rank,
+                            grid,
+                            Box::new(SocketTransport::new(rank, row)?),
+                        ))
+                    })
+                    .collect()
+            }
+            #[cfg(not(unix))]
+            {
+                Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "the unix fabric needs UNIX-domain sockets",
+                ))
+            }
+        }
+        Fabric::Tcp => transport::tcp_loopback_mesh(p)?
+            .into_iter()
+            .enumerate()
+            .map(|(rank, row)| {
+                Ok(WorkerCtx::new(
+                    rank,
+                    grid,
+                    Box::new(SocketTransport::new(rank, row)?),
+                ))
+            })
+            .collect(),
+    }
+}
+
+/// One source of truth for the communication schedule: the executor walks
+/// this program, `fmm-verify` statically checks it, and the distributed
+/// workers rebuild the identical one from the job description.
+pub(crate) fn build_program(
     fmm: &Fmm,
     positions: &[[f64; 3]],
-    charges: &[f64],
     domain: Domain,
+    depth: u32,
+    grid: VuGrid,
     with_fields: bool,
-    workers: usize,
-) -> Result<EvalOutput, FmmError> {
+    balance: Balance,
+) -> CommProgram {
     let cfg = fmm.config();
-    let depth = cfg.depth.resolve(positions.len());
-    let grid = vu_grid_for(workers);
-    let n_axis = 1usize << depth;
-    if grid.dims.iter().any(|&d| d > n_axis) {
-        return Err(FmmError::InvalidConfig(format!(
-            "Executor::Spmd({workers}) lays workers on a {:?} grid, but depth {depth} \
-             has only {n_axis} leaf boxes per axis; reduce workers or increase depth",
-            grid.dims,
-        )));
-    }
-    let plan = fmm.plan_for(depth);
-    // One source of truth for the communication schedule: the executor
-    // walks this program; `fmm-verify` statically checks the same one.
-    let program = match cfg.balance {
+    match balance {
         Balance::Uniform => CommProgram::build(
             grid,
             depth,
@@ -152,14 +204,47 @@ fn run_spmd(
                 positions,
                 domain,
                 depth,
-                workers,
+                grid.len(),
                 fmm.k(),
                 cfg.m_trunc,
                 with_fields,
                 cfg.separation,
             ),
         ),
-    };
+    }
+}
+
+/// The backend entry point matching [`fmm_core::driver::SpmdBackend`].
+fn run_spmd(
+    fmm: &Fmm,
+    positions: &[[f64; 3]],
+    charges: &[f64],
+    domain: Domain,
+    with_fields: bool,
+    opts: SpmdOptions,
+) -> Result<EvalOutput, FmmError> {
+    let cfg = fmm.config();
+    let workers = opts.workers;
+    let depth = cfg.depth.resolve(positions.len());
+    let grid = vu_grid_for(workers);
+    let n_axis = 1usize << depth;
+    if grid.dims.iter().any(|&d| d > n_axis) {
+        return Err(FmmError::InvalidConfig(format!(
+            "Executor::spmd({workers}) lays workers on a {:?} grid, but depth {depth} \
+             has only {n_axis} leaf boxes per axis; reduce workers or increase depth",
+            grid.dims,
+        )));
+    }
+    let plan = fmm.plan_for(depth);
+    let program = build_program(
+        fmm,
+        positions,
+        domain,
+        depth,
+        grid,
+        with_fields,
+        cfg.effective_balance(),
+    );
     let shared = exec::Shared {
         fmm,
         positions,
@@ -170,18 +255,51 @@ fn run_spmd(
         plan: &plan,
         program: &program,
     };
+    let ctxs = fabric_ctxs(grid, opts.transport).map_err(|e| {
+        FmmError::InvalidConfig(format!(
+            "cannot wire the {} fabric for {workers} workers: {e}",
+            opts.transport.name()
+        ))
+    })?;
     let outs = if program.partition.is_some() {
-        run_workers(grid, |ctx| exec::worker_main_part(ctx, &shared))
+        run_ctxs(ctxs, |ctx| exec::worker_main_part(ctx, &shared))
     } else {
-        run_workers(grid, |ctx| exec::worker_main(ctx, &shared))
+        run_ctxs(ctxs, |ctx| exec::worker_main(ctx, &shared))
     };
+    Ok(assemble(
+        fmm,
+        &plan,
+        &program,
+        grid,
+        depth,
+        positions.len(),
+        with_fields,
+        domain,
+        outs,
+    ))
+}
 
-    // Assemble: scatter per-worker results back to original particle
-    // order, sum counters and stats, take phase times from rank 0.
-    let n = positions.len();
+/// Assemble per-worker outputs into one [`EvalOutput`]: scatter results
+/// back to original particle order, merge counters and stats, take phase
+/// times from rank 0. Shared between the thread launcher and the
+/// multi-process launcher in [`distributed`] — the aggregation must be
+/// identical or the fabrics would diverge at the last step.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble(
+    fmm: &Fmm,
+    plan: &TraversalPlan,
+    program: &CommProgram,
+    grid: VuGrid,
+    depth: u32,
+    n: usize,
+    with_fields: bool,
+    domain: Domain,
+    outs: Vec<exec::WorkerOut>,
+) -> EvalOutput {
+    let workers = grid.len();
     let mut potentials = vec![0.0; n];
     let mut fields = with_fields.then(|| vec![[0.0; 3]; n]);
-    let mut counters = [SpmdPhase::default(); 6];
+    let mut counters = Counters::default();
     let mut stats = NearFieldStats::default();
     let (mut p2o_flops, mut eval_flops) = (0u64, 0u64);
     let mut worker_busy_ns = Vec::with_capacity(outs.len());
@@ -195,9 +313,7 @@ fn run_spmd(
                 f[o] = wf[i];
             }
         }
-        for (c, wc) in counters.iter_mut().zip(&w.counters) {
-            *c += *wc;
-        }
+        counters.merge(&w.counters);
         stats.pair_interactions += w.near_stats.pair_interactions;
         stats.box_pairs += w.near_stats.box_pairs;
         stats.flops += w.near_stats.flops;
@@ -246,7 +362,7 @@ fn run_spmd(
     profile.add_flops(Phase::Eval, eval_flops);
     profile.add_flops(Phase::Near, stats.flops);
 
-    Ok(EvalOutput {
+    EvalOutput {
         potentials,
         fields,
         profile,
@@ -265,7 +381,7 @@ fn run_spmd(
                 .as_ref()
                 .map(|ps| ps.partition.splits().to_vec()),
         }),
-    })
+    }
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! The tentpole invariant: `Executor::Spmd(p)` is **bitwise identical** to
+//! The tentpole invariant: `Executor::spmd(p)` is **bitwise identical** to
 //! `Executor::Serial` — same potentials, same fields, same near-field
 //! counters — for every worker count. Distribution moves data, never bits.
 
@@ -35,7 +35,7 @@ fn assert_bitwise_bal(depth: u32, n: usize, workers: &[usize], with_fields: bool
         serial.evaluate(&pts, &q).unwrap()
     };
     for &p in workers {
-        let fmm = Fmm::new(config(depth, Executor::Spmd(p)).balance(bal)).unwrap();
+        let fmm = Fmm::new(config(depth, Executor::spmd(p)).balance(bal)).unwrap();
         let out = if with_fields {
             fmm.evaluate_forces(&pts, &q).unwrap()
         } else {
@@ -153,7 +153,7 @@ fn oversubscribed_workers_is_an_error() {
     fmm_spmd::install();
     let (pts, q) = pseudo_system(256, 7);
     // depth 2 → 4 boxes per axis; 512 workers → dims [8,8,8] > 4.
-    let fmm = Fmm::new(config(2, Executor::Spmd(512))).unwrap();
+    let fmm = Fmm::new(config(2, Executor::spmd(512))).unwrap();
     let err = fmm.evaluate(&pts, &q).unwrap_err();
     assert!(matches!(err, fmm_core::FmmError::InvalidConfig(_)));
 }
@@ -176,7 +176,7 @@ fn forced_kernels_bitwise_across_all_executors() {
                 .unwrap()
         };
         let serial = mk(Executor::Serial);
-        for out in [mk(Executor::Rayon), mk(Executor::Spmd(4))] {
+        for out in [mk(Executor::Rayon), mk(Executor::spmd(4))] {
             for (a, b) in serial.potentials.iter().zip(&out.potentials) {
                 assert_eq!(a.to_bits(), b.to_bits(), "{kernel:?} potential");
             }

@@ -36,7 +36,7 @@ fn table4_motion_matches_the_model_within_10_percent() {
     let fmm = Fmm::new(
         FmmConfig::order(3)
             .depth(DEPTH)
-            .executor(Executor::Spmd(WORKERS)),
+            .executor(Executor::spmd(WORKERS)),
     )
     .unwrap();
     let k = fmm.k();
@@ -118,7 +118,7 @@ fn assert_partitioned_budget_exact(with_fields: bool) {
     let fmm = Fmm::new(
         FmmConfig::order(3)
             .depth(DEPTH3)
-            .executor(Executor::Spmd(P))
+            .executor(Executor::spmd(P))
             .balance(Balance::CostWeighted),
     )
     .unwrap();

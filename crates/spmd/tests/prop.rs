@@ -67,7 +67,7 @@ fn flatten(pos: usize, s: &Slot) -> Vec<u64> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// `Executor::Spmd(p)` reproduces `Executor::Serial` bit for bit on
+    /// `Executor::spmd(p)` reproduces `Executor::Serial` bit for bit on
     /// arbitrary particle systems, for every depth, worker count and
     /// balance mode.
     #[test]
@@ -81,7 +81,7 @@ proptest! {
         let cfg = |e| FmmConfig::order(3).depth(depth).executor(e).balance(bal);
         let serial = Fmm::new(cfg(Executor::Serial)).unwrap()
             .evaluate(&pts, &q).unwrap();
-        let spmd = Fmm::new(cfg(Executor::Spmd(p))).unwrap()
+        let spmd = Fmm::new(cfg(Executor::spmd(p))).unwrap()
             .evaluate(&pts, &q).unwrap();
         for (i, (a, b)) in serial.potentials.iter().zip(&spmd.potentials).enumerate() {
             prop_assert_eq!(a.to_bits(), b.to_bits(),

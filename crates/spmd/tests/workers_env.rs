@@ -26,7 +26,7 @@ fn bitwise_at_env_worker_count() {
 
     let cfg = |e| FmmConfig::order(3).depth(3).executor(e);
     let serial = Fmm::new(cfg(Executor::Serial)).unwrap();
-    let spmd = Fmm::new(cfg(Executor::Spmd(workers))).unwrap();
+    let spmd = Fmm::new(cfg(Executor::spmd(workers))).unwrap();
     let a = serial.evaluate_forces(&pts, &q).unwrap();
     let b = spmd.evaluate_forces(&pts, &q).unwrap();
     for (x, y) in a.potentials.iter().zip(&b.potentials) {

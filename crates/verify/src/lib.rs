@@ -152,10 +152,10 @@ fn list<T: std::fmt::Display>(errs: &[T], cap: usize) -> String {
     s
 }
 
-/// Build the program for `cfg`, lower it (with any mutation), and run
-/// the static passes.
-pub fn run_checks(cfg: &CheckConfig) -> Report {
-    let program = if cfg.balance {
+/// Build the `CommProgram` a `CheckConfig` describes — the same program
+/// `run_checks` verifies and `preflight_budget` prices.
+pub fn build_check_program(cfg: &CheckConfig) -> CommProgram {
+    if cfg.balance {
         // A data-dependent layout: cut the Morton curve for a synthetic
         // heavy-tailed leaf-cost profile (deterministic LCG; a few leaves
         // dominate, as a clustered distribution's do), then check the
@@ -192,7 +192,23 @@ pub fn run_checks(cfg: &CheckConfig) -> Report {
             cfg.sep_d,
             cfg.with_fields,
         )
-    };
+    }
+}
+
+/// Price the program `cfg` describes for the launcher's pre-flight gate:
+/// lower it and run the closed-form budget over the lowered endpoints —
+/// exactly what pass 3 compares against, with M derived from the order
+/// as `FmmConfig::order` derives it.
+pub fn preflight_budget(cfg: &CheckConfig) -> fmm_machine::ProgramBudget {
+    let program = build_check_program(cfg);
+    let low = lower(&program);
+    passes::budget::budget_for(&low, cfg.order / 2 + 1, 4.0)
+}
+
+/// Build the program for `cfg`, lower it (with any mutation), and run
+/// the static passes.
+pub fn run_checks(cfg: &CheckConfig) -> Report {
+    let program = build_check_program(cfg);
     let mut low = lower(&program);
     if let Some(m) = cfg.mutate {
         apply_mutation(&mut low, m);

@@ -39,7 +39,7 @@ proptest! {
         fmm_spmd::install();
         let p = 1usize << log_p;
         let fmm = Fmm::new(
-            FmmConfig::order(3).depth(depth).executor(Executor::Spmd(p)),
+            FmmConfig::order(3).depth(depth).executor(Executor::spmd(p)),
         ).unwrap();
         let out = if forces {
             fmm.evaluate_forces(&pts, &q).unwrap()

@@ -15,8 +15,11 @@
 //! * [`fmm_linalg`] — the small dense-BLAS substrate,
 //! * [`fmm_machine`] — the CM-5-like data-parallel machine simulator,
 //! * [`fmm_spmd`] — the message-passing SPMD executor behind it
-//!   (`Executor::Spmd(p)`: worker threads as VUs, explicit channels,
-//!   measured per-phase data motion),
+//!   (`Executor::spmd(p)`: worker threads as VUs, explicit channels,
+//!   measured per-phase data motion) and its pluggable fabrics
+//!   ([`Transport`]: in-process channels, UNIX-domain sockets, TCP —
+//!   bitwise-identical output on all three; see `fmm-worker` for
+//!   multi-process execution),
 //! * [`fmm_direct`] / [`fmm_bh`] — O(N²) and Barnes–Hut baselines,
 //! * [`fmm2d`] — the two-dimensional (log-kernel) variant of the method,
 //! * [`fmm_serve`] — a batched, multi-tenant evaluation service
@@ -36,5 +39,7 @@ pub use fmm_spmd;
 pub use fmm_tree;
 
 pub use fmm_core::{BatchOutput, BatchRequest, PlanKey, PlanRegistry, RegistryStats};
+pub use fmm_core::{Counters, Fabric, SpmdOptions};
 pub use fmm_core::{DepthPolicy, EvalOutput, Executor, Fmm, FmmConfig, FmmError, Precision};
 pub use fmm_linalg::Kernel;
+pub use fmm_spmd::{FabricAddr, Transport};
